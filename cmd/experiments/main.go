@@ -1,0 +1,221 @@
+// Command experiments regenerates the evaluation of the paper: every
+// figure of "Approximation Schemes for Many-Objective Query Optimization"
+// (Trummer & Koch, SIGMOD 2014) has a corresponding section in the output.
+//
+// Usage:
+//
+//	experiments [-fig all|1|2|3|4|5|7|9|10] [-timeout 2s] [-cases 3]
+//	            [-sf 1] [-seed 1] [-queries 1,12,3] [-out dir]
+//
+// The defaults are scaled down from the paper's setup (two-hour timeout,
+// 20 test cases per configuration) so the full run finishes in minutes;
+// raise -timeout and -cases to approach the original scale. With -out,
+// machine-readable CSV files are written next to the textual report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"moqo/internal/bench"
+	"moqo/internal/objective"
+	"moqo/internal/viz"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling")
+		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
+		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
+		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
+		seed    = flag.Int64("seed", 1, "workload random seed")
+		queries = flag.String("queries", "", "comma-separated TPC-H query numbers (default: all 22)")
+		outDir  = flag.String("out", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Timeout = *timeout
+	cfg.CasesPerConfig = *cases
+	cfg.ScaleFactor = *sf
+	cfg.Seed = *seed
+	if *queries != "" {
+		for _, part := range strings.Split(*queries, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatalf("bad -queries entry %q: %v", part, err)
+			}
+			cfg.Queries = append(cfg.Queries, n)
+		}
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("create output dir: %v", err)
+		}
+	}
+
+	if want("1") || want("2") {
+		runningExample()
+	}
+	if want("3") {
+		figure3(cfg)
+	}
+	if want("4") {
+		figure4(cfg, *outDir)
+	}
+	if want("5") {
+		figure5(cfg, *outDir)
+	}
+	if want("7") {
+		figure7()
+	}
+	if want("9") {
+		figure9(cfg, *outDir)
+	}
+	if want("10") {
+		figure10(cfg, *outDir)
+	}
+	if *fig == "scaling" || *fig == "all" {
+		scaling(cfg)
+	}
+	if *fig == "quality" || *fig == "all" {
+		quality(cfg)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+func runningExample() {
+	header("Figures 1-2: running example (weighted vs bounded MOQO, Pareto frontier)")
+	e := bench.NewRunningExample()
+	toXY := func(vs []objective.Vector) [][2]float64 {
+		out := make([][2]float64, len(vs))
+		for i, v := range vs {
+			out[i] = [2]float64{v[objective.BufferFootprint], v[objective.TotalTime]}
+		}
+		return out
+	}
+	fmt.Println("plan cost vectors (o) and Pareto frontier (*):")
+	fmt.Println(bench.Scatter(toXY(e.Points), toXY(e.ParetoFrontier()), 40, 12, "buffer space", "time"))
+	w := e.WeightedOptimum()
+	b := e.BoundedOptimum()
+	fmt.Printf("weighted optimum:        buffer=%.1f time=%.1f (weighted cost %.1f)\n",
+		w[objective.BufferFootprint], w[objective.TotalTime], e.Weights.Cost(w))
+	fmt.Printf("bounded optimum (B=%.1f): buffer=%.1f time=%.1f — the bound changes the optimal plan\n",
+		e.Bounds[objective.BufferFootprint], b[objective.BufferFootprint], b[objective.TotalTime])
+}
+
+func figure3(cfg bench.Config) {
+	header("Figure 3: optimal-plan evolution for TPC-H Q3 under changing preferences")
+	steps, err := bench.Figure3(cfg)
+	if err != nil {
+		fatalf("figure 3: %v", err)
+	}
+	fmt.Print(bench.RenderEvolution(steps))
+}
+
+func figure4(cfg bench.Config, outDir string) {
+	header("Figure 4: 3-D approximate Pareto frontiers for TPC-H Q5 (loss x buffer x time)")
+	res, err := bench.Figure4(cfg)
+	if err != nil {
+		fatalf("figure 4: %v", err)
+	}
+	for _, r := range res {
+		fmt.Println(bench.RenderFrontier(r))
+		writeCSV(outDir, fmt.Sprintf("fig4_alpha%.4g.csv", r.Alpha), bench.FrontierCSV(r))
+		if outDir != "" {
+			vectors := make([]objective.Vector, len(r.Points))
+			for i, p := range r.Points {
+				vectors[i] = objective.Vector{}.
+					With(objective.TupleLoss, p.TupleLoss).
+					With(objective.BufferFootprint, p.Buffer).
+					With(objective.TotalTime, p.Time)
+			}
+			title := fmt.Sprintf("TPC-H Q5 approximate Pareto frontier (alpha=%.4g)", r.Alpha)
+			svg := viz.Scatter3D(vectors, objective.TupleLoss, objective.BufferFootprint,
+				objective.TotalTime, viz.DefaultStyle(title))
+			writeCSV(outDir, fmt.Sprintf("fig4_alpha%.4g.svg", r.Alpha), svg)
+		}
+	}
+}
+
+func scaling(cfg bench.Config) {
+	header("Empirical scaling (companion to Figure 7): optimization time vs #tables")
+	spec := bench.ScalingSpec{Timeout: cfg.Timeout, Seed: cfg.Seed}
+	pts, err := bench.Scaling(spec)
+	if err != nil {
+		fatalf("scaling: %v", err)
+	}
+	fmt.Println("synthetic chain queries, m=1e5, three objectives; '>' marks timeout (lower bound):")
+	fmt.Print(bench.RenderScaling(pts, spec))
+}
+
+func quality(cfg bench.Config) {
+	header("Frontier quality: measured RTA cover factor vs the alpha guarantee")
+	rows, err := bench.FrontierQuality(cfg)
+	if err != nil {
+		fatalf("quality: %v", err)
+	}
+	fmt.Println("(queries whose exact optimization timed out are skipped)")
+	fmt.Print(bench.RenderQuality(rows))
+}
+
+func figure5(cfg bench.Config, outDir string) {
+	header("Figure 5: exact algorithm (EXA) on TPC-H — time, memory, Pareto plans")
+	rows, err := bench.Figure5(cfg)
+	if err != nil {
+		fatalf("figure 5: %v", err)
+	}
+	fmt.Print(bench.RenderRows(rows, "objs"))
+	writeCSV(outDir, "fig5.csv", bench.RowsCSV(rows, "objs"))
+}
+
+func figure7() {
+	header("Figure 7: analytic time complexity (j=6, l=3, m=1e5)")
+	fmt.Print(bench.RenderComplexity(bench.Figure7(bench.DefaultComplexityParams())))
+}
+
+func figure9(cfg bench.Config, outDir string) {
+	header("Figure 9: weighted MOQO — EXA vs RTA")
+	rows, err := bench.Figure9(cfg)
+	if err != nil {
+		fatalf("figure 9: %v", err)
+	}
+	fmt.Print(bench.RenderRows(rows, "objs"))
+	writeCSV(outDir, "fig9.csv", bench.RowsCSV(rows, "objs"))
+}
+
+func figure10(cfg bench.Config, outDir string) {
+	header("Figure 10: bounded MOQO — EXA vs IRA")
+	rows, err := bench.Figure10(cfg)
+	if err != nil {
+		fatalf("figure 10: %v", err)
+	}
+	fmt.Print(bench.RenderRows(rows, "bounds"))
+	writeCSV(outDir, "fig10.csv", bench.RowsCSV(rows, "bounds"))
+}
+
+func writeCSV(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+package moqo_test
+
+import (
+	"fmt"
+
+	"moqo"
+)
+
+// Example demonstrates weighted multi-objective optimization with the RTA
+// approximation scheme: a guaranteed near-optimal compromise between
+// execution time and buffer footprint for TPC-H query 12.
+func Example() {
+	cat := moqo.TPCHCatalog(1)
+	q, err := moqo.TPCHQuery(12, cat)
+	if err != nil {
+		panic(err)
+	}
+	res, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint},
+		Weights: map[moqo.Objective]float64{
+			moqo.TotalTime:       1,
+			moqo.BufferFootprint: 1.0 / 1024,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("plan operators: %d\n", res.Plan.NumOperators())
+	fmt.Printf("frontier non-empty: %v\n", len(res.Frontier) > 0)
+	fmt.Printf("guarantee: within factor 1.5 of the weighted optimum\n")
+	// Output:
+	// plan operators: 3
+	// frontier non-empty: true
+	// guarantee: within factor 1.5 of the weighted optimum
+}
+
+// ExampleOptimize_bounded demonstrates bounded-weighted optimization with
+// the IRA: the cheapest plan (by CPU) that keeps tuple loss at zero.
+func ExampleOptimize_bounded() {
+	cat := moqo.TPCHCatalog(1)
+	q, err := moqo.TPCHQuery(14, cat)
+	if err != nil {
+		panic(err)
+	}
+	res, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoIRA,
+		Alpha:      1.25,
+		Objectives: []moqo.Objective{moqo.CPULoad, moqo.TupleLoss},
+		Weights:    map[moqo.Objective]float64{moqo.CPULoad: 1},
+		Bounds:     map[moqo.Objective]float64{moqo.TupleLoss: 0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tuple loss: %v\n", res.Cost(moqo.TupleLoss))
+	fmt.Printf("bound respected: %v\n", res.Cost(moqo.TupleLoss) <= 0)
+	// Output:
+	// tuple loss: 0
+	// bound respected: true
+}

@@ -1,0 +1,54 @@
+// Quickstart: optimize TPC-H query 3 for a time/energy/result-quality
+// compromise with the RTA approximation scheme, then print the chosen plan
+// and the full tradeoff frontier the optimizer discovered along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moqo"
+)
+
+func main() {
+	// The TPC-H catalog at scale factor 1 (6M-row lineitem).
+	cat := moqo.TPCHCatalog(1)
+	q, err := moqo.TPCHQuery(3, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find a plan within factor 1.5 of the optimal weighted cost over
+	// three conflicting objectives. The weights encode that losing result
+	// tuples is expensive (sampling should only win if it buys a lot of
+	// time) and energy matters a little.
+	res, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy, moqo.TupleLoss},
+		Weights: map[moqo.Objective]float64{
+			moqo.TotalTime: 1,
+			moqo.Energy:    50,
+			moqo.TupleLoss: 100_000,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("optimized in %s (%d plans considered, %d Pareto representatives kept)\n\n",
+		res.Stats.Duration, res.Stats.Considered, len(res.Frontier))
+	fmt.Println("selected plan:")
+	fmt.Print(res.PlanText())
+	fmt.Println("cost vector:")
+	for _, o := range res.Objectives() {
+		fmt.Printf("  %-12s %12.4g %s\n", o, res.Cost(o), o.Unit())
+	}
+
+	fmt.Println("\ndiscovered tradeoffs (time vs loss):")
+	objs := moqo.NewObjectiveSet(moqo.TotalTime, moqo.Energy, moqo.TupleLoss)
+	for _, v := range res.FrontierVectors() {
+		fmt.Printf("  %s\n", v.FormatOn(objs))
+	}
+}

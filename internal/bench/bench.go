@@ -1,0 +1,311 @@
+// Package bench is the experiment harness that regenerates the evaluation
+// of the paper. Every figure of the paper has a corresponding Figure*
+// function returning structured results plus a text renderer:
+//
+//	Figure 1/2  — running example: weighted vs bounded optima, Pareto
+//	              frontier and dominated area (conceptual illustrations).
+//	Figure 3    — optimal-plan evolution for TPC-H Q3 under changing
+//	              user preferences.
+//	Figure 4    — three-dimensional approximate Pareto frontiers for
+//	              TPC-H Q5 at two precisions.
+//	Figure 5    — cost explosion of the exact algorithm (EXA) across the
+//	              TPC-H queries for 1/3/6/9 objectives.
+//	Figure 7    — analytic complexity curves (EXA vs RTA vs Selinger).
+//	Figure 9    — weighted MOQO: EXA vs RTA at α ∈ {1.15, 1.5, 2}.
+//	Figure 10   — bounded MOQO: EXA vs IRA at α ∈ {1.15, 1.5, 2}.
+//
+// The harness follows the paper's experimental setup (Section 8): per
+// query and configuration it generates seeded random test cases (random
+// objective subsets, uniform weights, bounds from the objective domain or
+// [1,2]× the per-query minimum) and reports timeout percentage,
+// optimization time, memory, Pareto-set size / iteration count, and the
+// weighted cost of the produced plan relative to the best plan any
+// algorithm produced for the same test case.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"moqo/internal/catalog"
+	"moqo/internal/core"
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/workload"
+)
+
+// Config parameterizes a harness run. The defaults are scaled down from
+// the paper's setup (two-hour timeout, 20 test cases per configuration) so
+// a full reproduction finishes in minutes on a laptop; raise Timeout and
+// CasesPerConfig to approach the paper's exact setup.
+type Config struct {
+	// ScaleFactor of the TPC-H catalog (paper: 1).
+	ScaleFactor float64
+	// Timeout per optimizer run (paper: 2h; default here: 2s).
+	Timeout time.Duration
+	// CasesPerConfig is the number of random test cases per (query,
+	// configuration) pair (paper: 20; default here: 3).
+	CasesPerConfig int
+	// Seed makes workloads reproducible.
+	Seed int64
+	// Queries restricts the TPC-H query set (numbers; nil = all 22, in
+	// paper order).
+	Queries []int
+	// Alphas are the approximation precisions compared for RTA and IRA
+	// (paper: 1.15, 1.5, 2).
+	Alphas []float64
+	// ObjectiveCounts for Figure 5/9 (paper: 1/3/6/9 and 3/6/9).
+	ObjectiveCounts []int
+	// BoundCounts for Figure 10 (paper: 3/6/9).
+	BoundCounts []int
+	// Workers runs (query, configuration) cells concurrently (the paper
+	// ran five optimizer threads in parallel). 0 or 1 = sequential.
+	// Concurrent cells contend for CPU, so per-run times are inflated
+	// under load, exactly as in the paper's setup.
+	Workers int
+}
+
+// DefaultConfig returns the scaled-down default setup.
+func DefaultConfig() Config {
+	return Config{
+		ScaleFactor:     1,
+		Timeout:         2 * time.Second,
+		CasesPerConfig:  3,
+		Seed:            1,
+		Queries:         nil,
+		Alphas:          []float64{1.15, 1.5, 2},
+		ObjectiveCounts: []int{3, 6, 9},
+		BoundCounts:     []int{3, 6, 9},
+	}
+}
+
+// queries resolves the query list in paper order.
+func (c Config) queries() []int {
+	if len(c.Queries) > 0 {
+		return c.Queries
+	}
+	return workload.PaperOrder
+}
+
+// Cell aggregates one algorithm's results over the test cases of one
+// (query, configuration) pair — one bar of one subplot of Figures 5/9/10.
+type Cell struct {
+	Algorithm string
+	Cases     int
+	Timeouts  int
+	// Arithmetic averages over the test cases, as in the paper.
+	AvgTimeMs   float64
+	AvgMemKB    float64
+	AvgPareto   float64
+	AvgIters    float64
+	AvgWCostPct float64 // weighted cost as % of best-known, >= 100
+	// AvgBoundViolations counts bounded objectives the plan exceeded
+	// (bounded MOQO only; 0 when every returned plan was feasible or no
+	// feasible plan existed).
+	AvgBoundViolations float64
+}
+
+// TimeoutPct returns the percentage of test cases that hit the timeout.
+func (c Cell) TimeoutPct() float64 {
+	if c.Cases == 0 {
+		return 0
+	}
+	return 100 * float64(c.Timeouts) / float64(c.Cases)
+}
+
+// add folds one run into the aggregate (avg fields hold sums until
+// finalize is called).
+func (c *Cell) add(st core.Stats, wcostPct float64, boundViolations int) {
+	c.Cases++
+	if st.TimedOut {
+		c.Timeouts++
+	}
+	c.AvgTimeMs += float64(st.Duration) / float64(time.Millisecond)
+	c.AvgMemKB += float64(st.MemoryBytes) / 1024
+	c.AvgPareto += float64(st.ParetoLast)
+	c.AvgIters += float64(st.Iterations)
+	c.AvgWCostPct += wcostPct
+	c.AvgBoundViolations += float64(boundViolations)
+}
+
+// finalize turns the accumulated sums into averages.
+func (c *Cell) finalize() {
+	if c.Cases == 0 {
+		return
+	}
+	n := float64(c.Cases)
+	c.AvgTimeMs /= n
+	c.AvgMemKB /= n
+	c.AvgPareto /= n
+	c.AvgIters /= n
+	c.AvgWCostPct /= n
+	c.AvgBoundViolations /= n
+}
+
+// Row is one (query, parameter) group of a figure: the cells of all
+// compared algorithms. Param is the number of objectives (Figures 5/9) or
+// the number of bounds (Figure 10).
+type Row struct {
+	QueryNum  int
+	NumTables int
+	Param     int
+	Cells     []Cell
+}
+
+// runCase runs one algorithm on one test case and returns the plan's
+// weighted cost together with the run statistics.
+type caseRun struct {
+	name  string
+	stats core.Stats
+	wcost float64
+	// violations counts bounded objectives the returned plan exceeds.
+	violations int
+}
+
+// runAlgorithms executes every algorithm of the comparison on one test
+// case. algs maps a display name to a closure running the algorithm.
+func runAlgorithms(tc workload.TestCase, m *costmodel.Model, algs []namedAlgo) ([]caseRun, error) {
+	runs := make([]caseRun, 0, len(algs))
+	for _, a := range algs {
+		res, err := a.run(m, tc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s on %s: %w", a.name, tc, err)
+		}
+		violations := 0
+		for _, o := range tc.Bounds.BoundedObjectives(tc.Objectives) {
+			if res.Best.Cost[o] > tc.Bounds[o] {
+				violations++
+			}
+		}
+		runs = append(runs, caseRun{
+			name:       a.name,
+			stats:      res.Stats,
+			wcost:      tc.Weights.Cost(res.Best.Cost),
+			violations: violations,
+		})
+	}
+	return runs, nil
+}
+
+type namedAlgo struct {
+	name string
+	run  func(*costmodel.Model, workload.TestCase) (core.Result, error)
+}
+
+// exaAlgo builds the EXA comparator.
+func exaAlgo(timeout time.Duration) namedAlgo {
+	return namedAlgo{
+		name: "EXA",
+		run: func(m *costmodel.Model, tc workload.TestCase) (core.Result, error) {
+			return core.EXA(m, tc.Weights, tc.Bounds, core.Options{
+				Objectives: tc.Objectives, Timeout: timeout,
+			})
+		},
+	}
+}
+
+// rtaAlgo builds an RTA comparator at the given precision.
+func rtaAlgo(alpha float64, timeout time.Duration) namedAlgo {
+	return namedAlgo{
+		name: fmt.Sprintf("RTA(%.4g)", alpha),
+		run: func(m *costmodel.Model, tc workload.TestCase) (core.Result, error) {
+			return core.RTA(m, tc.Weights, core.Options{
+				Objectives: tc.Objectives, Alpha: alpha, Timeout: timeout,
+			})
+		},
+	}
+}
+
+// iraAlgo builds an IRA comparator at the given precision.
+func iraAlgo(alpha float64, timeout time.Duration) namedAlgo {
+	return namedAlgo{
+		name: fmt.Sprintf("IRA(%.4g)", alpha),
+		run: func(m *costmodel.Model, tc workload.TestCase) (core.Result, error) {
+			return core.IRA(m, tc.Weights, tc.Bounds, core.Options{
+				Objectives: tc.Objectives, Alpha: alpha, Timeout: timeout,
+			})
+		},
+	}
+}
+
+// aggregate folds per-case runs into per-algorithm cells, computing the
+// weighted-cost percentage against the best plan any algorithm produced
+// for the same test case (the paper's W-Cost metric).
+func aggregate(cells []Cell, perCase [][]caseRun) {
+	for _, runs := range perCase {
+		best := runs[0].wcost
+		for _, r := range runs[1:] {
+			if r.wcost < best {
+				best = r.wcost
+			}
+		}
+		for i, r := range runs {
+			pct := 100.0
+			if best > 0 {
+				pct = 100 * r.wcost / best
+			}
+			cells[i].add(r.stats, pct, r.violations)
+		}
+	}
+	for i := range cells {
+		cells[i].finalize()
+	}
+}
+
+// runCells executes one job per (query, param) cell, sequentially or on a
+// worker pool, and returns the produced rows in deterministic (input)
+// order regardless of scheduling.
+func runCells(workers int, jobs []func() (Row, error)) ([]Row, error) {
+	rows := make([]Row, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, job := range jobs {
+			rows[i], errs[i] = job()
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		done := make(chan int)
+		for i := range jobs {
+			go func(i int) {
+				sem <- struct{}{}
+				rows[i], errs[i] = jobs[i]()
+				<-sem
+				done <- i
+			}(i)
+		}
+		for range jobs {
+			<-done
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// newRNG derives a deterministic RNG for one (figure, query, param) cell,
+// so single figures can be regenerated in isolation with identical
+// workloads.
+func (c Config) newRNG(figure string, queryNum, param int) *rand.Rand {
+	h := int64(0)
+	for _, ch := range figure {
+		h = h*131 + int64(ch)
+	}
+	return rand.New(rand.NewSource(c.Seed + h*1_000_003 + int64(queryNum)*1009 + int64(param)*13))
+}
+
+// catalogFor builds the TPC-H catalog for the run.
+func (c Config) catalog() *catalog.Catalog { return catalog.TPCH(c.ScaleFactor) }
+
+// minimaFor computes per-objective minima (all nine objectives) for bounds
+// generation; sampling availability must match the bounded runs, where all
+// nine objectives (including tuple loss) are active.
+func minimaFor(m *costmodel.Model, timeout time.Duration) (objective.Vector, error) {
+	return core.ObjectiveMinima(m, core.Options{
+		Objectives: objective.AllSet(),
+		Timeout:    timeout,
+	})
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"moqo/internal/costmodel"
+	"moqo/internal/workload"
+)
+
+// Figure10 reproduces the paper's Figure 10: the bounded-MOQO comparison
+// of the EXA against the IRA at α ∈ Alphas. All nine objectives are always
+// active; the number of bounded objectives varies over BoundCounts (paper:
+// 3, 6, 9). Bounds on unbounded-domain objectives are drawn from [1,2]
+// times the per-query minimum (computed by single-objective optimization);
+// bounds on tuple loss are drawn uniformly from [0,1]. Reported per
+// (query, #bounds): timeout percentage, average time, memory of the last
+// iteration, IRA iteration count, and weighted cost relative to the best
+// compared plan.
+func Figure10(cfg Config) ([]Row, error) {
+	counts := cfg.BoundCounts
+	if len(counts) == 0 {
+		counts = []int{3, 6, 9}
+	}
+	algs := []namedAlgo{exaAlgo(cfg.Timeout)}
+	for _, a := range cfg.Alphas {
+		algs = append(algs, iraAlgo(a, cfg.Timeout))
+	}
+	var jobs []func() (Row, error)
+	for _, qn := range cfg.queries() {
+		for _, k := range counts {
+			qn, k := qn, k
+			jobs = append(jobs, func() (Row, error) {
+				q := workload.MustQuery(qn, cfg.catalog())
+				m := costmodel.NewDefault(q)
+				minima, err := minimaFor(m, cfg.Timeout)
+				if err != nil {
+					return Row{}, err
+				}
+				r := cfg.newRNG("fig10", qn, k)
+				var perCase [][]caseRun
+				for i := 0; i < cfg.CasesPerConfig; i++ {
+					tc := workload.BoundedCase(q, k, minima, r)
+					runs, err := runAlgorithms(tc, m, algs)
+					if err != nil {
+						return Row{}, err
+					}
+					perCase = append(perCase, runs)
+				}
+				cells := make([]Cell, len(algs))
+				for i, a := range algs {
+					cells[i].Algorithm = a.name
+				}
+				aggregate(cells, perCase)
+				return Row{
+					QueryNum:  qn,
+					NumTables: q.NumRelations(),
+					Param:     k,
+					Cells:     cells,
+				}, nil
+			})
+		}
+	}
+	return runCells(cfg.Workers, jobs)
+}

@@ -1,0 +1,72 @@
+package bench
+
+import "math"
+
+// ComplexityPoint is one x-position of the paper's Figure 7: the analytic
+// worst-case time complexity of the compared algorithms for joining n
+// tables.
+type ComplexityPoint struct {
+	N        int
+	EXA      float64             // O(Nbushy(j,n)^2), Theorem 2
+	RTA      map[float64]float64 // per alpha: O(j*3^n*Nstored^3), Theorem 5
+	Selinger float64             // O(j*3^n)
+}
+
+// ComplexityParams are the constants of Figure 7 (j operators, l
+// objectives, m maximal table cardinality).
+type ComplexityParams struct {
+	J int
+	L int
+	M float64
+	// Alphas are the RTA precisions to plot (paper: 1.05 and 1.5).
+	Alphas []float64
+	// MaxN is the largest table count (paper: 10).
+	MaxN int
+}
+
+// DefaultComplexityParams returns the paper's Figure 7 setting: j = 6,
+// l = 3, m = 1e5, α ∈ {1.05, 1.5}, n = 2..10.
+func DefaultComplexityParams() ComplexityParams {
+	return ComplexityParams{J: 6, L: 3, M: 1e5, Alphas: []float64{1.05, 1.5}, MaxN: 10}
+}
+
+// NumBushyPlans evaluates Nbushy(j, n) = j^(2n-1) * (2(n-1))! / (n-1)!,
+// the number of possible bushy plans for joining n tables with j operators
+// (paper Section 5.2).
+func NumBushyPlans(j, n int) float64 {
+	f := math.Pow(float64(j), float64(2*n-1))
+	for i := n; i <= 2*(n-1); i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// NumStoredRTA evaluates Nstored(m, n) = (n * log_αi(m))^(l-1), the bound
+// on the RTA's per-table-set archive size (Lemma 2), with the internal
+// precision αi = α^(1/n) — so log_αi(m) = n*ln(m)/ln(α).
+func NumStoredRTA(m float64, n, l int, alpha float64) float64 {
+	logAlphaI := float64(n) * math.Log(m) / math.Log(alpha)
+	return math.Pow(float64(n)*logAlphaI, float64(l-1))
+}
+
+// Figure7 evaluates the analytic complexity formulas the paper plots in
+// Figure 7: the EXA's O(Nbushy^2), the RTA's O(j*3^n*Nstored^3) for each
+// alpha, and Selinger's O(j*3^n), for n = 2..MaxN.
+func Figure7(p ComplexityParams) []ComplexityPoint {
+	var out []ComplexityPoint
+	for n := 2; n <= p.MaxN; n++ {
+		nb := NumBushyPlans(p.J, n)
+		pt := ComplexityPoint{
+			N:        n,
+			EXA:      nb * nb,
+			RTA:      make(map[float64]float64, len(p.Alphas)),
+			Selinger: float64(p.J) * math.Pow(3, float64(n)),
+		}
+		for _, a := range p.Alphas {
+			ns := NumStoredRTA(p.M, n, p.L, a)
+			pt.RTA[a] = float64(p.J) * math.Pow(3, float64(n)) * ns * ns * ns
+		}
+		out = append(out, pt)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"moqo/internal/costmodel"
+	"moqo/internal/workload"
+)
+
+// Figure9 reproduces the paper's Figure 9: the weighted-MOQO comparison of
+// the EXA against the RTA at α ∈ Alphas over the TPC-H queries with 3, 6
+// and 9 objectives. Reported per (query, #objectives): timeout percentage,
+// average optimization time, memory, Pareto-plan count of the last
+// completely treated table set, and the weighted cost of the produced plan
+// as a percentage of the best plan produced by any compared algorithm on
+// the same test case.
+func Figure9(cfg Config) ([]Row, error) {
+	counts := cfg.ObjectiveCounts
+	if len(counts) == 0 {
+		counts = []int{3, 6, 9}
+	}
+	algs := []namedAlgo{exaAlgo(cfg.Timeout)}
+	for _, a := range cfg.Alphas {
+		algs = append(algs, rtaAlgo(a, cfg.Timeout))
+	}
+	var jobs []func() (Row, error)
+	for _, qn := range cfg.queries() {
+		for _, k := range counts {
+			qn, k := qn, k
+			jobs = append(jobs, func() (Row, error) {
+				q := workload.MustQuery(qn, cfg.catalog())
+				m := costmodel.NewDefault(q)
+				r := cfg.newRNG("fig9", qn, k)
+				var perCase [][]caseRun
+				for i := 0; i < cfg.CasesPerConfig; i++ {
+					tc := workload.WeightedCase(q, k, r)
+					runs, err := runAlgorithms(tc, m, algs)
+					if err != nil {
+						return Row{}, err
+					}
+					perCase = append(perCase, runs)
+				}
+				cells := make([]Cell, len(algs))
+				for i, a := range algs {
+					cells[i].Algorithm = a.name
+				}
+				aggregate(cells, perCase)
+				return Row{
+					QueryNum:  qn,
+					NumTables: q.NumRelations(),
+					Param:     k,
+					Cells:     cells,
+				}, nil
+			})
+		}
+	}
+	return runCells(cfg.Workers, jobs)
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderRows renders Figure 5/9/10 results as an aligned text table with
+// one line per (query, parameter, algorithm). paramName labels the Param
+// column ("objs" for Figures 5/9, "bounds" for Figure 10).
+func RenderRows(rows []Row, paramName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-7s %-7s %-10s %9s %12s %12s %9s %8s %8s %7s\n",
+		"query", "tables", paramName, "algorithm", "t-out(%)", "time(ms)", "mem(KB)", "#pareto", "#iter", "wcost(%)", "b-viol")
+	b.WriteString(strings.Repeat("-", 110) + "\n")
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "q%-4d %-7d %-7d %-10s %9.0f %12.1f %12.1f %9.1f %8.1f %8.2f %7.2f\n",
+				r.QueryNum, r.NumTables, r.Param, c.Algorithm,
+				c.TimeoutPct(), c.AvgTimeMs, c.AvgMemKB, c.AvgPareto, c.AvgIters, c.AvgWCostPct,
+				c.AvgBoundViolations)
+		}
+	}
+	return b.String()
+}
+
+// RowsCSV renders Figure 5/9/10 results as CSV.
+func RowsCSV(rows []Row, paramName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query,tables,%s,algorithm,timeout_pct,time_ms,mem_kb,pareto,iterations,wcost_pct,bound_violations\n", paramName)
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "%d,%d,%d,%s,%.1f,%.3f,%.3f,%.2f,%.2f,%.4f,%.2f\n",
+				r.QueryNum, r.NumTables, r.Param, c.Algorithm,
+				c.TimeoutPct(), c.AvgTimeMs, c.AvgMemKB, c.AvgPareto, c.AvgIters, c.AvgWCostPct, c.AvgBoundViolations)
+		}
+	}
+	return b.String()
+}
+
+// RenderComplexity renders the Figure 7 curves as a text table.
+func RenderComplexity(pts []ComplexityPoint) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	alphas := make([]float64, 0, len(pts[0].RTA))
+	for a := range pts[0].RTA {
+		alphas = append(alphas, a)
+	}
+	sort.Float64s(alphas)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%3s %14s", "n", "EXA")
+	for _, a := range alphas {
+		fmt.Fprintf(&b, " %14s", fmt.Sprintf("RTA(%.4g)", a))
+	}
+	fmt.Fprintf(&b, " %14s\n", "Selinger")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%3d %14.4g", p.N, p.EXA)
+		for _, a := range alphas {
+			fmt.Fprintf(&b, " %14.4g", p.RTA[a])
+		}
+		fmt.Fprintf(&b, " %14.4g\n", p.Selinger)
+	}
+	return b.String()
+}
+
+// RenderFrontier renders a Figure 4 frontier as a text table.
+func RenderFrontier(r Figure4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alpha=%.4g: %d frontier plans (time %.0fms, %d considered)\n",
+		r.Alpha, len(r.Points), float64(r.Stats.Duration.Milliseconds()), r.Stats.Considered)
+	fmt.Fprintf(&b, "%10s %14s %12s\n", "tuple_loss", "buffer(bytes)", "time(ms)")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10.4f %14.0f %12.2f\n", p.TupleLoss, p.Buffer, p.Time)
+	}
+	return b.String()
+}
+
+// FrontierCSV renders a Figure 4 frontier as CSV.
+func FrontierCSV(r Figure4Result) string {
+	var b strings.Builder
+	b.WriteString("tuple_loss,buffer_bytes,time_ms\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%.6f,%.1f,%.4f\n", p.TupleLoss, p.Buffer, p.Time)
+	}
+	return b.String()
+}
+
+// RenderEvolution renders the Figure 3 plan-evolution steps.
+func RenderEvolution(steps []EvolutionStep) string {
+	var b strings.Builder
+	for i, s := range steps {
+		fmt.Fprintf(&b, "(%c) %s\n%s\n", 'a'+i, s.Description, s.PlanText)
+	}
+	return b.String()
+}
+
+// Scatter renders a two-dimensional ASCII scatter plot of cost vectors,
+// used to visualize the running example (Figures 1-2). Marked points are
+// drawn with '*', others with 'o'.
+func Scatter(points, marked [][2]float64, width, height int, xLabel, yLabel string) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxX, maxY := 0.0, 0.0
+	for _, p := range append(append([][2]float64{}, points...), marked...) {
+		if p[0] > maxX {
+			maxX = p[0]
+		}
+		if p[1] > maxY {
+			maxY = p[1]
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(p [2]float64, ch byte) {
+		x := int(p[0] / maxX * float64(width-1))
+		y := height - 1 - int(p[1]/maxY*float64(height-1))
+		grid[y][x] = ch
+	}
+	for _, p := range points {
+		put(p, 'o')
+	}
+	for _, p := range marked {
+		put(p, '*')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", yLabel)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s %s\n", strings.Repeat("-", width), xLabel)
+	return b.String()
+}

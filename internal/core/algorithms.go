@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/pareto"
+	"moqo/internal/plan"
+)
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	// Best is the selected plan (nil only for queries with no plans,
+	// which cannot occur for validated queries).
+	Best *plan.Node
+	// Frontier is the (approximate) Pareto archive of the full table set
+	// — the paper's "Pareto frontier as byproduct of optimization".
+	Frontier *pareto.Archive
+	// Stats reports the optimization effort.
+	Stats Stats
+}
+
+// EXA runs the exact multi-objective dynamic program of Ganguly et al.
+// (paper Algorithm 1): it computes the Pareto plan set of the query and
+// selects the best plan for the given weights and bounds. Exponential in
+// the number of possible plans (Theorems 1-2); use the timeout.
+func EXA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options) (Result, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if !w.Valid() || !b.Valid() {
+		return Result{}, fmt.Errorf("core: invalid weights or bounds")
+	}
+	start := time.Now()
+	e := newEngine(m, opts, 1, w)
+	final := e.run()
+	st := e.stats(start)
+	return Result{Best: final.SelectBest(w, b), Frontier: final, Stats: st}, nil
+}
+
+// RTA runs the representative-tradeoffs algorithm (paper Algorithm 2), an
+// approximation scheme for weighted MOQO: it computes an αU-approximate
+// Pareto set using internal pruning precision αi = αU^(1/|Q|) and selects
+// the plan with minimal weighted cost. The returned plan's weighted cost is
+// within factor αU of the optimum (Theorem 3 + Corollary 1). Bounds are not
+// supported — use IRA for bounded-weighted MOQO.
+func RTA(m *costmodel.Model, w objective.Weights, opts Options) (Result, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if !w.Valid() {
+		return Result{}, fmt.Errorf("core: invalid weights")
+	}
+	start := time.Now()
+	final, e := rtaParetoPlans(m, w, opts, opts.Alpha)
+	st := e.stats(start)
+	return Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}, nil
+}
+
+// rtaParetoPlans is FindParetoPlans of Algorithm 2: it derives the internal
+// pruning precision αi = setAlpha^(1/|Q|) from the requested Pareto-set
+// precision and runs the shared engine.
+func rtaParetoPlans(m *costmodel.Model, w objective.Weights, opts Options, setAlpha float64) (*pareto.Archive, *engine) {
+	n := m.Query().NumRelations()
+	alphaInternal := math.Pow(setAlpha, 1/float64(n))
+	if alphaInternal < 1 {
+		alphaInternal = 1
+	}
+	e := newEngine(m, opts, alphaInternal, w)
+	return e.run(), e
+}
+
+// maxIRAIterations caps the refinement loop. Theorem 8 guarantees
+// termination for exact arithmetic; the cap guards against the iteration
+// precision underflowing to exactly 1 without the stopping condition
+// having been re-evaluated, and is far above the iteration counts the
+// paper reports (< 100).
+const maxIRAIterations = 256
+
+// IRA runs the iterative-refinement algorithm (paper Algorithm 3), an
+// approximation scheme for bounded-weighted MOQO. Every iteration runs the
+// RTA's FindParetoPlans at precision α(i) = αU^(2^(-i/(3l-3))) and the loop
+// stops once no plan within the relaxed bounds α·B could improve on the
+// incumbent by more than the approximation slack — which certifies the
+// incumbent αU-approximate (Theorem 6).
+func IRA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options) (Result, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if !w.Valid() || !b.Valid() {
+		return Result{}, fmt.Errorf("core: invalid weights or bounds")
+	}
+	start := time.Now()
+	alphaU := opts.Alpha
+	l := opts.Objectives.Len()
+	denom := float64(3*l - 3)
+	if denom < 1 {
+		denom = 1
+	}
+
+	var total Stats
+	var final *pareto.Archive
+	var popt *plan.Node
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+
+	for i := 1; ; i++ {
+		// Precision refinement policy: exponent halves every 3l-3
+		// iterations, so per-iteration cost roughly doubles (Theorem 7)
+		// and redundant work across iterations stays negligible.
+		alpha := math.Pow(alphaU, math.Exp2(-float64(i)/denom))
+		if alpha < 1 {
+			alpha = 1
+		}
+
+		iterOpts := opts
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				total.TimedOut = true
+				break
+			}
+			iterOpts.Timeout = remaining
+		}
+		iterStart := time.Now()
+		archive, e := rtaParetoPlans(m, w, iterOpts, alpha)
+		iterStats := e.stats(iterStart)
+		total.merge(iterStats)
+		total.IterationDetail = append(total.IterationDetail, IterationInfo{
+			Alpha:        alpha,
+			Duration:     iterStats.Duration,
+			Considered:   iterStats.Considered,
+			FrontierSize: archive.Len(),
+		})
+		final = archive
+		popt = archive.SelectBest(w, b)
+
+		if iraStop(archive, w, b, opts.Objectives, alpha, alphaU) {
+			break
+		}
+		if alpha == 1 || i >= maxIRAIterations || total.TimedOut {
+			// alpha == 1 means the iteration was exact: popt is optimal.
+			break
+		}
+	}
+	total.Duration = time.Since(start)
+	return Result{Best: popt, Frontier: final, Stats: total}, nil
+}
+
+// iraStop evaluates the termination condition of Algorithm 3:
+//
+//	¬∃ p ∈ P : c(p) ⪯ αB  ∧  C_W(c(p))/α < C_W(c(popt))/αU
+//
+// where popt is the incumbent: the best plan of P that respects the strict
+// bounds. If no plan within the *relaxed* bounds αB has a weighted cost low
+// enough that a true Pareto plan hiding behind it (at most factor α
+// cheaper and at most factor α over the bounds) could beat the incumbent's
+// αU-slack, the incumbent is certifiably αU-approximate (Theorem 6).
+//
+// When P holds no strictly-in-bounds plan the incumbent's weighted cost is
+// taken as +Inf: any plan within the relaxed bounds then forces another
+// refinement iteration, because a bound-respecting true optimum may still
+// be hiding behind it. (Reading the incumbent through SelectBest's
+// infeasible *fallback* instead would let the loop stop with an
+// out-of-bounds plan while feasible plans exist, voiding the guarantee of
+// Definition 3, under which any bound-violating plan has relative cost
+// infinity whenever some plan respects the bounds.) If additionally no
+// plan respects even the relaxed bounds, no feasible plan can exist at all
+// — the α-approximate Pareto set would contain a within-αB representative
+// of it — and stopping with the weighted-cost fallback is sound.
+func iraStop(archive *pareto.Archive, w objective.Weights, b objective.Bounds,
+	objs objective.Set, alpha, alphaU float64) bool {
+	threshold := math.Inf(1)
+	for _, p := range archive.Plans() {
+		if b.Respects(p.Cost, objs) {
+			if c := w.Cost(p.Cost) / alphaU; c < threshold {
+				threshold = c
+			}
+		}
+	}
+	for _, p := range archive.Plans() {
+		if b.RespectsRelaxed(p.Cost, alpha, objs) && w.Cost(p.Cost)/alpha < threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// Selinger runs a single-objective Selinger-style bushy dynamic program
+// minimizing one objective. It is the paper's single-objective baseline
+// (Figure 5's 1-objective measurements, Figure 7's complexity comparison)
+// and the tool used to derive per-objective minima for bounds generation.
+func Selinger(m *costmodel.Model, obj objective.ID, opts Options) (Result, error) {
+	opts.Objectives = objective.NewSet(obj)
+	return WeightedSumDP(m, objective.SingleWeight(obj), opts)
+}
+
+// WeightedSumDP runs a dynamic program that prunes on the scalar weighted
+// cost alone. For a single objective this is exactly Selinger's algorithm.
+// For multiple objectives with diverse cost formulas it is UNSOUND — the
+// paper's Example 1 shows the single-objective principle of optimality
+// breaks — and it is included as the ablation baseline demonstrating that
+// unsoundness (see the package tests).
+func WeightedSumDP(m *costmodel.Model, w objective.Weights, opts Options) (Result, error) {
+	if opts.Objectives.Len() == 0 {
+		opts.Objectives = w.Active()
+	}
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if !w.Valid() {
+		return Result{}, fmt.Errorf("core: invalid weights")
+	}
+	start := time.Now()
+	e := newEngine(m, opts, 1, w)
+	best := e.runScalar(func(v objective.Vector) float64 { return w.Cost(v) })
+	st := e.stats(start)
+	a := pareto.NewArchive(opts.Objectives, 1)
+	if best != nil {
+		a.Insert(best)
+	}
+	return Result{Best: best, Frontier: a, Stats: st}, nil
+}
+
+// ObjectiveMinima returns, for every active objective, the minimal
+// achievable cost over the plan space, computed by one single-objective DP
+// per objective. The paper's test-case generator draws bounds for
+// unbounded-domain objectives from [1,2] times these minima.
+func ObjectiveMinima(m *costmodel.Model, opts Options) (objective.Vector, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return objective.Vector{}, err
+	}
+	var minima objective.Vector
+	for _, o := range opts.Objectives.IDs() {
+		sopts := opts
+		sopts.Objectives = opts.Objectives // keep sampling decision stable
+		res, err := singleObjectiveMin(m, o, sopts)
+		if err != nil {
+			return objective.Vector{}, err
+		}
+		minima[o] = res
+	}
+	return minima, nil
+}
+
+// singleObjectiveMin minimizes one objective over the plan space defined
+// by opts (including its sampling decision, which must match the main
+// run's plan space for the minima to be meaningful bounds).
+func singleObjectiveMin(m *costmodel.Model, o objective.ID, opts Options) (float64, error) {
+	start := time.Now()
+	e := newEngine(m, opts, 1, objective.SingleWeight(o))
+	best := e.runScalar(func(v objective.Vector) float64 { return v[o] })
+	_ = e.stats(start)
+	if best == nil {
+		return 0, fmt.Errorf("core: no plan found for objective %v", o)
+	}
+	return best.Cost[o], nil
+}

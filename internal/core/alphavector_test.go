@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+)
+
+func TestRTAVectorUniformMatchesRTA(t *testing.T) {
+	// A uniform precision vector must behave exactly like the scalar RTA.
+	q := chainQuery(t)
+	m := costmodel.NewDefault(q)
+	w := objective.UniformWeights(threeObjs)
+	opts := smallOpts(threeObjs)
+	opts.Alpha = 1.5
+	scalar, err := RTA(m, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := RTAVector(m, w, objective.UniformPrecision(1.5, threeObjs), smallOpts(threeObjs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Best.Signature(q) != vec.Best.Signature(q) {
+		t.Errorf("uniform RTAVector differs from RTA:\n%s\nvs\n%s",
+			vec.Best.Signature(q), scalar.Best.Signature(q))
+	}
+	if scalar.Frontier.Len() != vec.Frontier.Len() {
+		t.Errorf("frontier sizes differ: %d vs %d", vec.Frontier.Len(), scalar.Frontier.Len())
+	}
+}
+
+func TestRTAVectorGuarantee(t *testing.T) {
+	// The weighted cost stays within max precision over the weighted
+	// objectives, and exactly-tracked objectives (precision 1) are never
+	// worse than the exact frontier's best on that objective... the
+	// per-objective guarantee: for every exact Pareto vector there is a
+	// frontier vector within the per-objective factors.
+	q := starQuery(t)
+	m := costmodel.NewDefault(q)
+	r := rand.New(rand.NewSource(91))
+	opts := smallOpts(threeObjs)
+	exact, err := EXA(m, objective.UniformWeights(threeObjs), objective.NoBounds(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec := objective.UniformPrecision(1, threeObjs).
+		With(objective.TotalTime, 1.2).
+		With(objective.BufferFootprint, 3) // coarse where tolerant
+	for trial := 0; trial < 10; trial++ {
+		w := randomWeights(r, threeObjs)
+		res, err := RTAVector(m, w, prec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-objective cover of the exact frontier.
+		for _, ev := range exact.Frontier.Frontier() {
+			covered := false
+			for _, av := range res.Frontier.Frontier() {
+				if av.ApproxDominatesBy(ev, prec, threeObjs) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("exact vector %v not covered within per-objective precisions",
+					ev.FormatOn(threeObjs))
+			}
+		}
+		// Scalar guarantee with the max precision over weighted objectives.
+		bound := prec.Max(w.Active())
+		exactBest, err := EXA(m, w, objective.NoBounds(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, opt := w.Cost(res.Best.Cost), w.Cost(exactBest.Best.Cost); got > opt*bound*(1+1e-9) {
+			t.Fatalf("trial %d: cost %v beyond %v * optimum %v", trial, got, bound, opt)
+		}
+	}
+}
+
+func TestRTAVectorCoarserObjectivesShrinkArchives(t *testing.T) {
+	q := starQuery(t)
+	m := costmodel.NewDefault(q)
+	w := objective.UniformWeights(threeObjs)
+	opts := smallOpts(threeObjs)
+
+	tight, err := RTAVector(m, w, objective.UniformPrecision(1.1, threeObjs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := RTAVector(m, w,
+		objective.UniformPrecision(1.1, threeObjs).With(objective.BufferFootprint, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Stats.Stored >= tight.Stats.Stored {
+		t.Errorf("coarsening one objective should shrink storage: %d vs %d",
+			loose.Stats.Stored, tight.Stats.Stored)
+	}
+}
+
+func TestRTAVectorValidation(t *testing.T) {
+	q := chainQuery(t)
+	m := costmodel.NewDefault(q)
+	bad := objective.UniformPrecision(1.5, threeObjs).With(objective.TotalTime, 0.5)
+	if _, err := RTAVector(m, objective.Weights{}, bad, smallOpts(threeObjs)); err == nil {
+		t.Error("precision < 1 accepted")
+	}
+	var w objective.Weights
+	w[objective.TotalTime] = -1
+	if _, err := RTAVector(m, w, objective.UniformPrecision(1.5, threeObjs), smallOpts(threeObjs)); err == nil {
+		t.Error("negative weights accepted")
+	}
+}

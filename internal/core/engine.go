@@ -1,0 +1,387 @@
+package core
+
+import (
+	"math"
+
+	"time"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/pareto"
+	"moqo/internal/plan"
+	"moqo/internal/query"
+)
+
+// engine is the shared bushy dynamic program over table-set bitsets. It
+// implements FindParetoPlans of Algorithms 1 and 2: archives with pruning
+// precision 1 yield the EXA, precision > 1 the RTA.
+type engine struct {
+	q    *query.Query
+	m    *costmodel.Model
+	opts Options
+
+	// alphaInternal is the pruning precision αi used by the archives.
+	alphaInternal float64
+
+	// precInternal, when non-nil, replaces alphaInternal with a
+	// per-objective internal precision vector (RTAVector extension).
+	precInternal *objective.Precision
+
+	// weights steer the degraded single-plan mode after a timeout.
+	weights objective.Weights
+
+	archives map[query.TableSet]*pareto.Archive
+
+	deadline   time.Time
+	hasTimeout bool
+	timedOut   bool
+
+	considered int
+	paretoLast int
+	checkTick  int
+}
+
+// newEngine prepares an engine run. alphaInternal >= 1 is the archive
+// pruning precision (1 = exact).
+func newEngine(m *costmodel.Model, opts Options, alphaInternal float64, w objective.Weights) *engine {
+	e := &engine{
+		q:             m.Query(),
+		m:             m,
+		opts:          opts,
+		alphaInternal: alphaInternal,
+		weights:       w,
+		archives:      make(map[query.TableSet]*pareto.Archive),
+	}
+	if opts.Timeout > 0 {
+		e.deadline = time.Now().Add(opts.Timeout)
+		e.hasTimeout = true
+	}
+	return e
+}
+
+// newArchive constructs an archive with the engine's pruning precision.
+func (e *engine) newArchive() *pareto.Archive {
+	if e.precInternal != nil {
+		return pareto.NewPrecisionArchive(e.opts.Objectives, *e.precInternal)
+	}
+	return pareto.NewArchive(e.opts.Objectives, e.alphaInternal)
+}
+
+// expired checks the deadline (amortized: every 1024 calls).
+func (e *engine) expired() bool {
+	if !e.hasTimeout || e.timedOut {
+		return e.timedOut
+	}
+	e.checkTick++
+	if e.checkTick&1023 != 0 {
+		return false
+	}
+	if time.Now().After(e.deadline) {
+		e.timedOut = true
+	}
+	return e.timedOut
+}
+
+// run executes the dynamic program and returns the archive of the full
+// table set. It mirrors FindParetoPlans of Algorithm 1/2: plans for
+// singleton sets first, then table sets of increasing cardinality.
+func (e *engine) run() *pareto.Archive {
+	n := e.q.NumRelations()
+	all := e.q.AllTables()
+	graphConnected := e.q.Connected(all)
+
+	// Access paths for single tables.
+	for r := 0; r < n; r++ {
+		s := query.Singleton(r)
+		a := e.newArchive()
+		for _, p := range e.m.ScanAlternatives(r, e.opts.sampling()) {
+			e.considered++
+			a.Insert(p)
+		}
+		e.archives[s] = a
+		e.paretoLast = a.Len()
+	}
+
+	// Table sets of increasing cardinality. Subsets of each cardinality
+	// are enumerated with Gosper's hack.
+	for k := 2; k <= n; k++ {
+		first := query.TableSet(1)<<uint(k) - 1
+		for s := first; s < query.TableSet(1)<<uint(n); s = nextSameCard(s) {
+			if graphConnected && !e.q.Connected(s) {
+				// Standard connected-subgraph restriction: with a
+				// connected join graph, optimal plans never join
+				// disconnected intermediate results (Postgres
+				// heuristic (i) never takes Cartesian products then).
+				continue
+			}
+			if e.expired() {
+				e.degradedSet(s)
+			} else {
+				e.fullSet(s)
+			}
+			if s == all {
+				break
+			}
+		}
+	}
+	return e.archives[all]
+}
+
+// fullSet treats one table set exhaustively, inserting every candidate
+// into its archive. If the timeout fires mid-set, the set's archive is
+// kept as-is and completion is not recorded.
+func (e *engine) fullSet(s query.TableSet) {
+	a := e.newArchive()
+	e.archives[s] = a
+	complete := e.forEachCandidate(s, func(p *plan.Node) bool {
+		a.Insert(p)
+		return !e.expired()
+	})
+	if complete {
+		e.paretoLast = a.Len()
+	}
+}
+
+// degradedSet implements the paper's timeout handling (Section 5.1): table
+// sets not treated before the timeout get only one plan — the best by
+// weighted cost — so that optimization finishes quickly. To keep the
+// degraded mode cheap even when the pre-timeout archives are large, each
+// split only combines the weighted-best plan of either side rather than
+// every stored pair. Degraded sets do not update the "last table set
+// treated completely" metric.
+func (e *engine) degradedSet(s query.TableSet) {
+	scalar := func(v objective.Vector) float64 { return e.weights.Cost(v) }
+	reduced := e.reducedArchives(s, scalar)
+	var best *plan.Node
+	bestCost := math.Inf(1)
+	e.forEachCandidateFrom(s, reduced, func(p *plan.Node) bool {
+		if c := scalar(p.Cost); c < bestCost {
+			best, bestCost = p, c
+		}
+		return true
+	})
+	a := e.newArchive()
+	if best != nil {
+		a.Insert(best)
+	}
+	e.archives[s] = a
+}
+
+// reducedArchives builds a one-plan-per-subset view of the stored archives
+// (keeping the scalar-best plan of each), used by the degraded mode.
+func (e *engine) reducedArchives(s query.TableSet, scalar func(objective.Vector) float64) map[query.TableSet]*pareto.Archive {
+	reduced := make(map[query.TableSet]*pareto.Archive)
+	s.EachSubset(func(sub, _ query.TableSet) bool {
+		if _, done := reduced[sub]; done {
+			return true
+		}
+		full := e.archives[sub]
+		if full == nil || full.Len() == 0 {
+			return true
+		}
+		var best *plan.Node
+		bestCost := math.Inf(1)
+		for _, p := range full.Plans() {
+			if c := scalar(p.Cost); c < bestCost {
+				best, bestCost = p, c
+			}
+		}
+		a := e.newArchive()
+		a.Insert(best)
+		reduced[sub] = a
+		return true
+	})
+	return reduced
+}
+
+// bestOnlySet stores a single plan for table set s: the candidate
+// minimizing the given scalar metric. Used by the scalar (single-
+// objective) dynamic program, whose archives already hold one plan each.
+func (e *engine) bestOnlySet(s query.TableSet, scalar func(objective.Vector) float64) {
+	var best *plan.Node
+	bestCost := math.Inf(1)
+	e.forEachCandidate(s, func(p *plan.Node) bool {
+		if c := scalar(p.Cost); c < bestCost {
+			best, bestCost = p, c
+		}
+		return true
+	})
+	a := e.newArchive()
+	if best != nil {
+		a.Insert(best)
+	}
+	e.archives[s] = a
+}
+
+// runScalar executes a single-objective (scalar-pruned) dynamic program:
+// every table set keeps exactly one plan, the one minimizing the scalar
+// metric. With a scalar that reads one objective this is Selinger's
+// algorithm generalized to bushy plans; with a weighted sum over multiple
+// diverse objectives it is the unsound baseline of the paper's Example 1.
+// Returns the best plan for the full table set.
+func (e *engine) runScalar(scalar func(objective.Vector) float64) *plan.Node {
+	n := e.q.NumRelations()
+	all := e.q.AllTables()
+	graphConnected := e.q.Connected(all)
+
+	for r := 0; r < n; r++ {
+		s := query.Singleton(r)
+		var best *plan.Node
+		bestCost := math.Inf(1)
+		for _, p := range e.m.ScanAlternatives(r, e.opts.sampling()) {
+			e.considered++
+			if c := scalar(p.Cost); c < bestCost {
+				best, bestCost = p, c
+			}
+		}
+		a := pareto.NewArchive(e.opts.Objectives, 1)
+		if best != nil {
+			a.Insert(best)
+		}
+		e.archives[s] = a
+		e.paretoLast = a.Len()
+	}
+	for k := 2; k <= n; k++ {
+		first := query.TableSet(1)<<uint(k) - 1
+		for s := first; s < query.TableSet(1)<<uint(n); s = nextSameCard(s) {
+			if !graphConnected || e.q.Connected(s) {
+				e.bestOnlySet(s, scalar)
+				e.paretoLast = e.archives[s].Len()
+			}
+			if s == all {
+				break
+			}
+		}
+	}
+	a := e.archives[all]
+	if a == nil || a.Len() == 0 {
+		return nil
+	}
+	return a.Plans()[0]
+}
+
+// forEachCandidate constructs every candidate plan for table set s —
+// all splits into two non-empty subsets, all join operators and DOPs, all
+// combinations of stored sub-plans — and yields each to fn. It returns
+// false if fn aborted the enumeration.
+//
+// Cartesian-product splits are considered only when s has no
+// predicate-connected split (Postgres heuristic (i), kept in place by the
+// paper); in that fallback case only nested-loop joins apply, since hash
+// and sort-merge joins need an equi-join predicate.
+func (e *engine) forEachCandidate(s query.TableSet, fn func(*plan.Node) bool) bool {
+	return e.forEachCandidateFrom(s, e.archives, fn)
+}
+
+// forEachCandidateFrom is forEachCandidate over an explicit sub-plan store
+// (the degraded mode passes a reduced one-plan-per-subset view).
+func (e *engine) forEachCandidateFrom(s query.TableSet, store map[query.TableSet]*pareto.Archive, fn func(*plan.Node) bool) bool {
+	hasEdgeSplit := false
+	abort := false
+	s.EachSubset(func(left, right query.TableSet) bool {
+		if e.opts.LeftDeepOnly && !right.Single() {
+			return true
+		}
+		if !splitStored(store, left, right) {
+			return true
+		}
+		if len(e.q.CrossingEdges(left, right)) > 0 {
+			hasEdgeSplit = true
+			if !e.edgeSplit(store, left, right, fn) {
+				abort = true
+				return false
+			}
+		}
+		return true
+	})
+	if abort {
+		return false
+	}
+	if hasEdgeSplit {
+		return true
+	}
+	// Cartesian fallback: no predicate-connected split exists.
+	s.EachSubset(func(left, right query.TableSet) bool {
+		if e.opts.LeftDeepOnly && !right.Single() {
+			return true
+		}
+		if !splitStored(store, left, right) {
+			return true
+		}
+		for _, pl := range store[left].Plans() {
+			for _, pr := range store[right].Plans() {
+				for dop := 1; dop <= e.opts.MaxDOP; dop++ {
+					e.considered++
+					if !fn(e.m.NewJoin(plan.BlockNLJoin, dop, pl, pr)) {
+						abort = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return !abort
+}
+
+// splitStored reports whether both sides of a split have stored plans.
+func splitStored(store map[query.TableSet]*pareto.Archive, left, right query.TableSet) bool {
+	al, ar := store[left], store[right]
+	return al != nil && ar != nil && al.Len() > 0 && ar.Len() > 0
+}
+
+// edgeSplit enumerates the candidates of one predicate-connected split.
+func (e *engine) edgeSplit(store map[query.TableSet]*pareto.Archive, left, right query.TableSet, fn func(*plan.Node) bool) bool {
+	// Index-nested-loop: inner side must be a single base relation with an
+	// index on the join column; the inner lookup replaces a stored inner
+	// plan, so it is generated once per outer plan.
+	if right.Single() {
+		if rel := right.First(); e.m.InnerIndexColumn(left, rel) != "" {
+			for _, pl := range store[left].Plans() {
+				e.considered++
+				if !fn(e.m.NewIndexNL(pl, rel)) {
+					return false
+				}
+			}
+		}
+	}
+	for _, pl := range store[left].Plans() {
+		for _, pr := range store[right].Plans() {
+			for _, alg := range []plan.JoinAlg{plan.HashJoin, plan.SortMergeJoin, plan.BlockNLJoin} {
+				for dop := 1; dop <= e.opts.MaxDOP; dop++ {
+					e.considered++
+					if !fn(e.m.NewJoin(alg, dop, pl, pr)) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// stats summarizes the run.
+func (e *engine) stats(start time.Time) Stats {
+	stored := 0
+	for _, a := range e.archives {
+		stored += a.Len()
+	}
+	return Stats{
+		Duration:    time.Since(start),
+		Considered:  e.considered,
+		Stored:      stored,
+		MemoryBytes: int64(stored) * planBytes,
+		ParetoLast:  e.paretoLast,
+		TimedOut:    e.timedOut,
+		Iterations:  1,
+	}
+}
+
+// nextSameCard returns the next larger bitset with the same population
+// count (Gosper's hack).
+func nextSameCard(s query.TableSet) query.TableSet {
+	v := uint64(s)
+	c := v & (^v + 1)
+	r := v + c
+	return query.TableSet(r | (((v ^ r) >> 2) / c))
+}

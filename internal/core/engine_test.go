@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"moqo/internal/catalog"
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+	"moqo/internal/query"
+)
+
+// TestCartesianFallback: a query whose join graph is disconnected forces
+// Cartesian products, which the engine supports via block-nested-loop
+// joins only (Postgres heuristic (i): products only when no other join
+// applies). query.Validate rejects such queries for the public API, but
+// the engine must handle them for generality.
+func TestCartesianFallback(t *testing.T) {
+	cat := catalog.TPCH(0.01)
+	q := query.New("cross", cat)
+	q.AddRelation(catalog.Region, "r", 1)
+	q.AddRelation(catalog.Nation, "n", 1)
+	// No join edge: the only way to combine is a Cartesian product.
+	m := costmodel.NewDefault(q)
+	objs := objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+	res, err := EXA(m, objective.UniformWeights(objs), objective.NoBounds(), Options{Objectives: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no plan for Cartesian query")
+	}
+	if res.Best.IsScan() {
+		t.Fatal("expected a join plan")
+	}
+	if res.Best.Join != plan.BlockNLJoin {
+		t.Errorf("Cartesian product should use nested loops, got %v", res.Best.Join)
+	}
+	for _, p := range res.Frontier.Plans() {
+		if !p.IsScan() && p.Join != plan.BlockNLJoin {
+			t.Errorf("non-NL operator %v on a Cartesian product", p.Join)
+		}
+	}
+}
+
+// TestMixedCartesian: a three-relation query where two relations are
+// joined by a predicate and the third is disconnected. Plans must join
+// the connected pair with any operator but attach the third via nested
+// loops only.
+func TestMixedCartesian(t *testing.T) {
+	cat := catalog.TPCH(0.01)
+	q := query.New("mixed", cat)
+	a := q.AddRelation(catalog.Customer, "c", 0.1)
+	b := q.AddRelation(catalog.Orders, "o", 0.1)
+	q.AddRelation(catalog.Region, "r", 1)
+	q.AddFKJoin(b, "o_custkey", a, "c_custkey")
+	m := costmodel.NewDefault(q)
+	objs := objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+	res, err := EXA(m, objective.UniformWeights(objs), objective.NoBounds(), Options{Objectives: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no plan")
+	}
+	if res.Best.Tables != q.AllTables() {
+		t.Fatalf("plan covers %v, want all tables", res.Best.Tables)
+	}
+	if err := res.Best.Validate(q); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism: the dynamic program must be fully deterministic — same
+// query, same options, same plan and stats (modulo wall-clock duration).
+func TestDeterminism(t *testing.T) {
+	q := starQuery(t)
+	m := costmodel.NewDefault(q)
+	w := objective.UniformWeights(threeObjs)
+	opts := smallOpts(threeObjs)
+	opts.Alpha = 1.3
+
+	var sigs []string
+	var considered []int
+	for i := 0; i < 3; i++ {
+		res, err := RTA(m, w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, res.Best.Signature(q))
+		considered = append(considered, res.Stats.Considered)
+	}
+	for i := 1; i < 3; i++ {
+		if sigs[i] != sigs[0] {
+			t.Errorf("run %d produced different plan:\n%s\nvs\n%s", i, sigs[i], sigs[0])
+		}
+		if considered[i] != considered[0] {
+			t.Errorf("run %d considered %d plans vs %d", i, considered[i], considered[0])
+		}
+	}
+}
+
+// TestFrontierPlansAreValid: every plan the optimizer stores must pass
+// structural validation and cover exactly the query's tables.
+func TestFrontierPlansAreValid(t *testing.T) {
+	q := starQuery(t)
+	m := costmodel.NewDefault(q)
+	res, err := EXA(m, objective.UniformWeights(threeObjs), objective.NoBounds(), smallOpts(threeObjs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Frontier.Plans() {
+		if p.Tables != q.AllTables() {
+			t.Errorf("frontier plan covers %v", p.Tables)
+		}
+		if err := p.Validate(q); err != nil {
+			t.Errorf("invalid frontier plan: %v", err)
+		}
+	}
+}
+
+// TestConsideredCountsGrowWithDOP: widening the operator space must
+// enlarge the number of considered plans.
+func TestConsideredCountsGrowWithDOP(t *testing.T) {
+	q := chainQuery(t)
+	m := costmodel.NewDefault(q)
+	w := objective.UniformWeights(threeObjs)
+	prev := 0
+	for _, dop := range []int{1, 2, 4} {
+		opts := Options{Objectives: threeObjs, MaxDOP: dop}
+		res, err := EXA(m, w, objective.NoBounds(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Considered <= prev {
+			t.Errorf("MaxDOP=%d considered %d plans, not more than %d", dop, res.Stats.Considered, prev)
+		}
+		prev = res.Stats.Considered
+	}
+}
+
+// TestGosperEnumeration: nextSameCard visits every subset of each
+// cardinality exactly once, in increasing order.
+func TestGosperEnumeration(t *testing.T) {
+	n := 6
+	for k := 1; k <= n; k++ {
+		seen := map[query.TableSet]bool{}
+		first := query.TableSet(1)<<uint(k) - 1
+		count := 0
+		for s := first; s < query.TableSet(1)<<uint(n); s = nextSameCard(s) {
+			if s.Len() != k {
+				t.Fatalf("k=%d: set %v has wrong cardinality", k, s)
+			}
+			if seen[s] {
+				t.Fatalf("k=%d: set %v visited twice", k, s)
+			}
+			seen[s] = true
+			count++
+			if s == query.TableSet(1)<<uint(n)-1 {
+				break
+			}
+		}
+		want := binomial(n, k)
+		if count != want {
+			t.Errorf("k=%d: visited %d sets, want C(%d,%d)=%d", k, count, n, k, want)
+		}
+	}
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+)
+
+func TestLeftDeepOnlyProducesLeftDeepPlans(t *testing.T) {
+	q := starQuery(t)
+	m := costmodel.NewDefault(q)
+	opts := smallOpts(threeObjs)
+	opts.LeftDeepOnly = true
+	res, err := EXA(m, objective.UniformWeights(threeObjs), objective.NoBounds(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Frontier.Plans() {
+		if !p.LeftDeep() {
+			t.Fatalf("left-deep search produced bushy plan:\n%s", p.Signature(q))
+		}
+	}
+}
+
+func TestLeftDeepSearchesStrictSubspace(t *testing.T) {
+	// The left-deep optimum can never beat the bushy optimum (it searches
+	// a subset of the plan space), and it considers fewer plans.
+	q := starQuery(t)
+	m := costmodel.NewDefault(q)
+	w := objective.UniformWeights(threeObjs)
+
+	bushy, err := EXA(m, w, objective.NoBounds(), smallOpts(threeObjs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldOpts := smallOpts(threeObjs)
+	ldOpts.LeftDeepOnly = true
+	ld, err := EXA(m, w, objective.NoBounds(), ldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cost(ld.Best.Cost) < w.Cost(bushy.Best.Cost)*(1-1e-9) {
+		t.Errorf("left-deep optimum %v beats bushy optimum %v",
+			w.Cost(ld.Best.Cost), w.Cost(bushy.Best.Cost))
+	}
+	if ld.Stats.Considered >= bushy.Stats.Considered {
+		t.Errorf("left-deep considered %d plans, bushy %d — not a smaller space",
+			ld.Stats.Considered, bushy.Stats.Considered)
+	}
+	// Every left-deep frontier vector is dominated-or-covered by the
+	// bushy frontier (the bushy space is a superset).
+	for _, p := range ld.Frontier.Plans() {
+		covered := false
+		for _, bp := range bushy.Frontier.Plans() {
+			if bp.Cost.Dominates(p.Cost, threeObjs) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("left-deep frontier vector %v not covered by bushy frontier",
+				p.Cost.FormatOn(threeObjs))
+		}
+	}
+}
+
+func TestLeftDeepRTAGuaranteeStillHolds(t *testing.T) {
+	// Within the restricted space, the RTA guarantee is preserved: the
+	// left-deep RTA is within alpha of the left-deep EXA.
+	q := chainQuery(t)
+	m := costmodel.NewDefault(q)
+	w := objective.UniformWeights(threeObjs)
+	opts := smallOpts(threeObjs)
+	opts.LeftDeepOnly = true
+	exact, err := EXA(m, w, objective.NoBounds(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Alpha = 1.5
+	approx, err := RTA(m, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, opt := w.Cost(approx.Best.Cost), w.Cost(exact.Best.Cost); got > opt*1.5*(1+1e-9) {
+		t.Errorf("left-deep RTA cost %v beyond guarantee vs %v", got, opt)
+	}
+}

@@ -1,0 +1,152 @@
+// Package core implements the multi-objective query optimization algorithms
+// the paper studies:
+//
+//   - EXA — the exact multi-objective dynamic program of Ganguly et al.
+//     (paper Algorithm 1): Selinger-style bushy DP with Pareto-set pruning.
+//   - RTA — the representative-tradeoffs algorithm (Algorithm 2): the same
+//     DP with approximate-dominance pruning at internal precision
+//     αi = αU^(1/|Q|); an approximation scheme for weighted MOQO.
+//   - IRA — the iterative-refinement algorithm (Algorithm 3): repeated RTA
+//     runs at geometrically refined precision with a stopping condition
+//     that certifies αU-approximation for bounded-weighted MOQO.
+//   - Single-objective baselines: a Selinger-style DP (used for the
+//     paper's single-objective measurements and for deriving per-objective
+//     minima when generating bounds) and the unsound weighted-sum DP that
+//     the paper's Example 1 rules out.
+//
+// All algorithms share one enumeration engine that implements the Postgres
+// search-space heuristic the paper kept in place: Cartesian products are
+// considered only when no predicate-connected split exists.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+)
+
+// Options configures an optimization run.
+type Options struct {
+	// Objectives is the set of active cost objectives (required).
+	Objectives objective.Set
+
+	// Alpha is the user-defined approximation precision αU for RTA and
+	// IRA (>= 1). Ignored by the exact algorithms.
+	Alpha float64
+
+	// Timeout bounds the optimization time; zero means no timeout. When
+	// the timeout fires, the optimizer degrades as described in paper
+	// Section 5.1: every table set not yet treated gets only a single
+	// (best-weighted) plan, so optimization finishes quickly.
+	Timeout time.Duration
+
+	// AllowSampling includes the sampling scan operators in the plan
+	// space. Defaults (via Normalize) to whether tuple loss is an active
+	// objective: without loss as an objective nothing penalizes sampling,
+	// and a result-discarding plan would trivially win every other
+	// objective.
+	AllowSampling *bool
+
+	// MaxDOP caps the degree of parallelism of parallel operators.
+	// Defaults to plan.MaxDOP (4 cores, as in the paper).
+	MaxDOP int
+
+	// LeftDeepOnly restricts the search to left-deep trees (every join's
+	// inner operand is a base relation). The original algorithm of
+	// Ganguly et al. generated left-deep plans; the paper extended it to
+	// bushy plans (Section 5). This option is the corresponding ablation:
+	// a smaller search space that can miss better bushy plans.
+	LeftDeepOnly bool
+}
+
+// Normalize validates the options and fills in defaults.
+func (o Options) Normalize() (Options, error) {
+	if o.Objectives.Len() == 0 {
+		return o, fmt.Errorf("core: no active objectives")
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 1
+	}
+	if o.Alpha < 1 {
+		return o, fmt.Errorf("core: approximation precision %v < 1", o.Alpha)
+	}
+	if o.MaxDOP == 0 {
+		o.MaxDOP = plan.MaxDOP
+	}
+	if o.MaxDOP < 1 || o.MaxDOP > plan.MaxDOP {
+		return o, fmt.Errorf("core: MaxDOP %d out of range [1,%d]", o.MaxDOP, plan.MaxDOP)
+	}
+	if o.AllowSampling == nil {
+		v := o.Objectives.Contains(objective.TupleLoss)
+		o.AllowSampling = &v
+	}
+	return o, nil
+}
+
+// sampling reports whether sampling scans are in the plan space.
+func (o Options) sampling() bool { return o.AllowSampling != nil && *o.AllowSampling }
+
+// Bool returns a pointer to b, for filling Options.AllowSampling.
+func Bool(b bool) *bool { return &b }
+
+// planBytes is the estimated memory footprint of one stored plan node with
+// its cost vector, used for the paper's memory-consumption metric. A stored
+// plan is an operator descriptor plus two child pointers plus the
+// nine-dimensional cost vector — O(1) space, as in the proof of Theorem 1.
+const planBytes = 184
+
+// Stats reports the effort of one optimization run, mirroring the metrics
+// of the paper's Figures 5, 9 and 10.
+type Stats struct {
+	// Duration is the wall-clock optimization time.
+	Duration time.Duration
+	// Considered counts constructed candidate plans (Combine calls).
+	Considered int
+	// Stored counts plans stored in archives at the end of the run,
+	// summed over all table sets.
+	Stored int
+	// MemoryBytes estimates the memory allocated for stored plans.
+	MemoryBytes int64
+	// ParetoLast is the archive size of the last table set that was
+	// treated completely (the full query's set when no timeout fired) —
+	// the "number of Pareto plans" metric of Figures 5 and 9.
+	ParetoLast int
+	// TimedOut reports whether the run hit its timeout and degraded.
+	TimedOut bool
+	// Iterations counts IRA iterations (1 for non-iterative algorithms).
+	Iterations int
+	// IterationDetail records one entry per IRA iteration (empty for
+	// non-iterative algorithms): the precision used, the iteration's
+	// duration, and the size of the approximate Pareto set it produced.
+	// It documents the geometric refinement policy of Theorem 7 — each
+	// iteration should dominate the cost of all previous ones.
+	IterationDetail []IterationInfo
+}
+
+// IterationInfo describes one IRA refinement iteration.
+type IterationInfo struct {
+	// Alpha is the Pareto-set precision α(i) of the iteration.
+	Alpha float64
+	// Duration is the iteration's wall-clock time.
+	Duration time.Duration
+	// Considered counts the plans constructed in this iteration.
+	Considered int
+	// FrontierSize is the approximate Pareto set size for the full query.
+	FrontierSize int
+}
+
+// merge folds the stats of one IRA iteration into the accumulated stats.
+func (s *Stats) merge(it Stats) {
+	s.Duration += it.Duration
+	s.Considered += it.Considered
+	// Memory is reported for the last iteration only: earlier iterations'
+	// memory is reused (paper Section 8: "the reported numbers for memory
+	// consumption refer to the memory reserved in the last iteration").
+	s.Stored = it.Stored
+	s.MemoryBytes = it.MemoryBytes
+	s.ParetoLast = it.ParetoLast
+	s.TimedOut = s.TimedOut || it.TimedOut
+	s.Iterations++
+}

@@ -1,0 +1,310 @@
+// Package costmodel implements the nine-objective cost model of the
+// reproduction (paper Section 4): total execution time, startup time, IO
+// load, CPU load, number of used cores, hard-disk footprint, buffer
+// footprint, energy consumption, and tuple loss ratio.
+//
+// Every recursive cost formula is composed exclusively of the function
+// family the paper's PONO analysis covers (Section 6.1): sums, maxima,
+// minima, multiplication by per-table-set constants, and the tuple-loss
+// formula 1-(1-a)(1-b). Structural induction over these formulas yields the
+// principle of near-optimality, which the RTA's correctness proof
+// (Theorem 3) rests on; the property-based tests of this package verify
+// PONO empirically for every operator.
+//
+// Cardinalities entering the formulas are table-set constants supplied by
+// the query's estimator, never plan-dependent values — the premise of the
+// paper's Observation 2 (see DESIGN.md §2 for why sampling must not change
+// downstream cardinality estimates if the approximation guarantee is to
+// hold).
+package costmodel
+
+import (
+	"math"
+
+	"moqo/internal/catalog"
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+	"moqo/internal/query"
+)
+
+// Params holds the calibration constants of the cost model. The absolute
+// values are representative, not measured — the paper's conclusions depend
+// on the formulas' structure, not on Postgres's calibration (DESIGN.md §2).
+type Params struct {
+	SeqPageMs  float64 // sequential page read (ms)
+	RandPageMs float64 // random page read (ms)
+	CPUTupleMs float64 // per-tuple processing (ms per work unit)
+
+	TupleWork  float64 // CPU work units per emitted/filtered tuple
+	HashBuild  float64 // CPU work units per build tuple
+	HashProbe  float64 // CPU work units per probe tuple
+	SortFactor float64 // CPU work units per tuple per log2(tuples)
+	MergeWork  float64 // CPU work units per merged tuple
+	PairWork   float64 // CPU work units per tuple pair (block nested loop)
+	LookupWork float64 // CPU work units per index lookup
+
+	WorkMemBytes  float64 // hash-table memory budget before spilling
+	SortMemBytes  float64 // sort memory budget (external merge beyond it)
+	ScanBufBytes  float64 // buffer pages pinned by a sequential scan
+	IndexBufBytes float64 // buffer pinned by an index (re)scan
+	BNLBufBytes   float64 // block buffer of a block-nested-loop join
+
+	CPUCoordination    float64 // extra CPU fraction per additional core
+	EnergyCoordination float64 // extra energy fraction per additional core
+	CPUEnergyJ         float64 // Joule per CPU work unit
+	IOEnergyJ          float64 // Joule per page access
+
+	StartupMs float64 // fixed operator startup latency (ms)
+}
+
+// Default returns the default calibration.
+func Default() Params {
+	return Params{
+		SeqPageMs:  0.05,
+		RandPageMs: 0.5,
+		CPUTupleMs: 0.0005,
+
+		TupleWork:  1,
+		HashBuild:  2.0,
+		HashProbe:  1.2,
+		SortFactor: 0.35,
+		MergeWork:  0.6,
+		PairWork:   0.01,
+		LookupWork: 3.0,
+
+		WorkMemBytes:  64 << 20, // 64 MB work_mem for hash tables
+		SortMemBytes:  4 << 20,  // 4 MB sort memory (external merge beyond)
+		ScanBufBytes:  32 * catalog.PageSize,
+		IndexBufBytes: 8 * catalog.PageSize,
+		BNLBufBytes:   64 * catalog.PageSize,
+
+		CPUCoordination:    0.25,
+		EnergyCoordination: 0.20,
+		CPUEnergyJ:         0.000002,
+		IOEnergyJ:          0.0002,
+
+		StartupMs: 0.1,
+	}
+}
+
+// Model computes cost vectors for plan operators over one query.
+type Model struct {
+	q *query.Query
+	p Params
+}
+
+// New creates a cost model for the given query with the given calibration.
+func New(q *query.Query, p Params) *Model {
+	return &Model{q: q, p: p}
+}
+
+// NewDefault creates a cost model with the default calibration.
+func NewDefault(q *query.Query) *Model { return New(q, Default()) }
+
+// Query returns the query the model estimates for.
+func (m *Model) Query() *query.Query { return m.q }
+
+// rows returns the estimated output cardinality of a table set.
+func (m *Model) rows(s query.TableSet) float64 { return m.q.EstimateRows(s) }
+
+// bytes returns the estimated output size in bytes of a table set.
+func (m *Model) bytes(s query.TableSet) float64 {
+	return m.rows(s) * float64(m.q.EstimateWidth(s))
+}
+
+// pages returns the estimated output size in pages of a table set.
+func (m *Model) pages(s query.TableSet) float64 {
+	p := m.bytes(s) / catalog.PageSize
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// baseTable returns the catalog statistics of a relation's base table.
+func (m *Model) baseTable(rel int) *catalog.Table {
+	return m.q.Catalog().Table(m.q.Relations[rel].Table)
+}
+
+// coordCPU returns the CPU work for w units at the given DOP, including the
+// coordination overhead that makes more cores cost more total work.
+func (m *Model) coordCPU(w float64, dop int) float64 {
+	return w * (1 + m.p.CPUCoordination*float64(dop-1))
+}
+
+// ScanCost returns the cost vector of scanning relation rel with the given
+// algorithm; rate is the sampling rate for SampleScan and ignored otherwise.
+func (m *Model) ScanCost(rel int, alg plan.ScanAlg, rate float64) objective.Vector {
+	t := m.baseTable(rel)
+	sel := m.q.Relations[rel].FilterSel
+	outRows := t.Rows * sel
+	tuplesPerPage := math.Max(1, catalog.PageSize/float64(t.Width))
+
+	var v objective.Vector
+	switch alg {
+	case plan.SeqScan:
+		io := t.Pages()
+		cpu := t.Rows * m.p.TupleWork
+		v[objective.IOLoad] = io
+		v[objective.CPULoad] = cpu
+		v[objective.TotalTime] = io*m.p.SeqPageMs + cpu*m.p.CPUTupleMs + m.p.StartupMs
+		v[objective.StartupTime] = m.p.StartupMs + m.p.SeqPageMs
+		v[objective.BufferFootprint] = m.p.ScanBufBytes
+	case plan.IndexScan:
+		// Range scan over the qualifying fraction; random page accesses.
+		matchPages := math.Max(1, outRows/tuplesPerPage)
+		io := 2 + matchPages // descent + leaf/heap pages
+		cpu := outRows*m.p.TupleWork + m.p.LookupWork
+		v[objective.IOLoad] = io
+		v[objective.CPULoad] = cpu
+		v[objective.TotalTime] = io*m.p.RandPageMs + cpu*m.p.CPUTupleMs + m.p.StartupMs
+		v[objective.StartupTime] = m.p.StartupMs + 3*m.p.RandPageMs
+		v[objective.BufferFootprint] = m.p.IndexBufBytes
+	case plan.SampleScan:
+		// Block sampling: read and process a fraction of the table.
+		io := math.Max(1, t.Pages()*rate)
+		cpu := t.Rows * rate * m.p.TupleWork
+		v[objective.IOLoad] = io
+		v[objective.CPULoad] = cpu
+		v[objective.TotalTime] = io*m.p.SeqPageMs + cpu*m.p.CPUTupleMs + m.p.StartupMs
+		v[objective.StartupTime] = m.p.StartupMs + m.p.SeqPageMs
+		v[objective.BufferFootprint] = m.p.ScanBufBytes
+		v[objective.TupleLoss] = 1 - rate
+	default:
+		panic("costmodel: unknown scan algorithm")
+	}
+	v[objective.Cores] = 1
+	v[objective.Energy] = v[objective.CPULoad]*m.p.CPUEnergyJ + v[objective.IOLoad]*m.p.IOEnergyJ
+	return v
+}
+
+// JoinCost returns the cost vector of joining the results of left and right
+// with the given algorithm and degree of parallelism. For IndexNLJoin use
+// IndexNLCost instead (its inner operand is an index lookup, not a stored
+// sub-plan).
+func (m *Model) JoinCost(alg plan.JoinAlg, dop int, left, right *plan.Node) objective.Vector {
+	lt, rt := left.Tables, right.Tables
+	out := lt.Union(rt)
+	lRows, rRows := m.rows(lt), m.rows(rt)
+	oRows := m.rows(out)
+	cl, cr := left.Cost, right.Cost
+	d := float64(dop)
+
+	var v objective.Vector
+	switch alg {
+	case plan.HashJoin:
+		build := rRows * m.p.HashBuild
+		probe := lRows*m.p.HashProbe + oRows*m.p.TupleWork
+		spillPages := math.Max(0, (m.bytes(rt)-m.p.WorkMemBytes)/catalog.PageSize)
+		ownIO := 2 * spillPages // write + read spilled partitions
+		buildTime := m.coordCPU(build, dop) / d * m.p.CPUTupleMs
+		probeTime := (m.coordCPU(probe, dop)/d)*m.p.CPUTupleMs + ownIO*m.p.SeqPageMs
+
+		v[objective.TotalTime] = math.Max(cl[objective.TotalTime], cr[objective.TotalTime]+buildTime) + probeTime + m.p.StartupMs
+		v[objective.StartupTime] = math.Max(cl[objective.StartupTime], cr[objective.TotalTime]+buildTime) + m.p.StartupMs
+		v[objective.IOLoad] = cl[objective.IOLoad] + cr[objective.IOLoad] + ownIO
+		v[objective.CPULoad] = cl[objective.CPULoad] + cr[objective.CPULoad] + m.coordCPU(build+probe, dop)
+		v[objective.Cores] = math.Max(d, cl[objective.Cores]+cr[objective.Cores])
+		v[objective.DiskFootprint] = cl[objective.DiskFootprint] + cr[objective.DiskFootprint] + spillPages*catalog.PageSize
+		v[objective.BufferFootprint] = cl[objective.BufferFootprint] + cr[objective.BufferFootprint] +
+			math.Min(m.bytes(rt), m.p.WorkMemBytes)
+		v[objective.Energy] = cl[objective.Energy] + cr[objective.Energy] + m.ownEnergy(build+probe, ownIO, dop)
+
+	case plan.SortMergeJoin:
+		sortL := m.sortWork(lRows)
+		sortR := m.sortWork(rRows)
+		merge := (lRows+rRows)*m.p.MergeWork + oRows*m.p.TupleWork
+		spillL := math.Max(0, (m.bytes(lt)-m.p.SortMemBytes)/catalog.PageSize)
+		spillR := math.Max(0, (m.bytes(rt)-m.p.SortMemBytes)/catalog.PageSize)
+		ownIO := 2 * (spillL + spillR) // external sort run write + read
+		sortLTime := m.coordCPU(sortL, dop)/d*m.p.CPUTupleMs + 2*spillL*m.p.SeqPageMs
+		sortRTime := m.coordCPU(sortR, dop)/d*m.p.CPUTupleMs + 2*spillR*m.p.SeqPageMs
+		mergeTime := m.coordCPU(merge, dop) / d * m.p.CPUTupleMs
+		sortedBy := math.Max(cl[objective.TotalTime]+sortLTime, cr[objective.TotalTime]+sortRTime)
+
+		v[objective.TotalTime] = sortedBy + mergeTime + m.p.StartupMs
+		v[objective.StartupTime] = sortedBy + m.p.StartupMs
+		v[objective.IOLoad] = cl[objective.IOLoad] + cr[objective.IOLoad] + ownIO
+		v[objective.CPULoad] = cl[objective.CPULoad] + cr[objective.CPULoad] + m.coordCPU(sortL+sortR+merge, dop)
+		v[objective.Cores] = math.Max(d, cl[objective.Cores]+cr[objective.Cores])
+		v[objective.DiskFootprint] = cl[objective.DiskFootprint] + cr[objective.DiskFootprint] +
+			(spillL+spillR)*catalog.PageSize
+		v[objective.BufferFootprint] = cl[objective.BufferFootprint] + cr[objective.BufferFootprint] +
+			math.Min(m.bytes(lt), m.p.SortMemBytes) + math.Min(m.bytes(rt), m.p.SortMemBytes)
+		v[objective.Energy] = cl[objective.Energy] + cr[objective.Energy] + m.ownEnergy(sortL+sortR+merge, ownIO, dop)
+
+	case plan.BlockNLJoin:
+		// The inner sub-plan is re-evaluated once per block of the outer —
+		// a child cost multiplied by a per-table-set constant, the t_L*c_R
+		// term of the paper's Observation 2.
+		blocks := math.Max(1, math.Ceil(m.bytes(lt)/m.p.BNLBufBytes))
+		pairs := lRows*rRows*m.p.PairWork + oRows*m.p.TupleWork
+		pairTime := m.coordCPU(pairs, dop) / d * m.p.CPUTupleMs
+
+		v[objective.TotalTime] = cl[objective.TotalTime] + blocks*cr[objective.TotalTime] + pairTime + m.p.StartupMs
+		v[objective.StartupTime] = cl[objective.StartupTime] + cr[objective.StartupTime] + m.p.StartupMs
+		v[objective.IOLoad] = cl[objective.IOLoad] + blocks*cr[objective.IOLoad]
+		v[objective.CPULoad] = cl[objective.CPULoad] + blocks*cr[objective.CPULoad] + m.coordCPU(pairs, dop)
+		v[objective.Cores] = math.Max(d, math.Max(cl[objective.Cores], cr[objective.Cores]))
+		v[objective.DiskFootprint] = cl[objective.DiskFootprint] + cr[objective.DiskFootprint]
+		v[objective.BufferFootprint] = math.Max(cl[objective.BufferFootprint], cr[objective.BufferFootprint]) +
+			m.p.BNLBufBytes
+		v[objective.Energy] = cl[objective.Energy] + blocks*cr[objective.Energy] + m.ownEnergy(pairs, 0, dop)
+
+	default:
+		panic("costmodel: JoinCost does not handle " + alg.String())
+	}
+	// Tuple loss composes multiplicatively: 1-(1-a)(1-b).
+	a, b := cl[objective.TupleLoss], cr[objective.TupleLoss]
+	v[objective.TupleLoss] = 1 - (1-a)*(1-b)
+	return v
+}
+
+// IndexNLCost returns the cost vector of an index-nested-loop join: for
+// every outer tuple from left, one index lookup on the inner base relation
+// innerRel. The inner side is never sampled, so it contributes no tuple
+// loss; the join is inherently sequential (DOP 1).
+func (m *Model) IndexNLCost(left *plan.Node, innerRel int) objective.Vector {
+	lt := left.Tables
+	out := lt.Add(innerRel)
+	lRows := m.rows(lt)
+	oRows := m.rows(out)
+	t := m.baseTable(innerRel)
+	tuplesPerPage := math.Max(1, catalog.PageSize/float64(t.Width))
+	// Matching inner tuples per outer tuple determine pages per lookup.
+	matchPerLookup := oRows / math.Max(1, lRows)
+	pagesPerLookup := 1 + matchPerLookup/tuplesPerPage // descent amortized into 1
+	cl := left.Cost
+
+	lookupIO := lRows * pagesPerLookup
+	lookupCPU := lRows*m.p.LookupWork + oRows*m.p.TupleWork
+	lookupTime := lookupIO*m.p.RandPageMs + lookupCPU*m.p.CPUTupleMs
+
+	var v objective.Vector
+	v[objective.TotalTime] = cl[objective.TotalTime] + lookupTime + m.p.StartupMs
+	v[objective.StartupTime] = cl[objective.StartupTime] + pagesPerLookup*m.p.RandPageMs +
+		m.p.LookupWork*m.p.CPUTupleMs + m.p.StartupMs
+	v[objective.IOLoad] = cl[objective.IOLoad] + lookupIO
+	v[objective.CPULoad] = cl[objective.CPULoad] + lookupCPU
+	v[objective.Cores] = math.Max(1, cl[objective.Cores])
+	v[objective.DiskFootprint] = cl[objective.DiskFootprint]
+	v[objective.BufferFootprint] = cl[objective.BufferFootprint] + m.p.IndexBufBytes
+	v[objective.Energy] = cl[objective.Energy] + m.ownEnergy(lookupCPU, lookupIO, 1)
+	v[objective.TupleLoss] = cl[objective.TupleLoss] // inner side is loss-free
+	return v
+}
+
+// sortWork returns the CPU work units to sort n tuples.
+func (m *Model) sortWork(n float64) float64 {
+	if n < 2 {
+		return m.p.SortFactor
+	}
+	return m.p.SortFactor * n * math.Log2(n)
+}
+
+// ownEnergy returns the energy of an operator's own work at the given DOP.
+// Energy grows with DOP (coordination overhead) while time shrinks — the
+// time/energy anti-correlation the paper points out in Section 4.
+func (m *Model) ownEnergy(cpu, io float64, dop int) float64 {
+	return cpu*(1+m.p.EnergyCoordination*float64(dop-1))*m.p.CPUEnergyJ + io*m.p.IOEnergyJ
+}

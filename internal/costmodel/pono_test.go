@@ -1,0 +1,141 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+	"moqo/internal/query"
+)
+
+// These tests verify the Principle of Near-Optimality (paper Definition 7)
+// for every join operator of the cost model: if each sub-plan's cost vector
+// is degraded by at most factor alpha in every objective, the combined
+// plan's cost vector is degraded by at most factor alpha too. PONO is the
+// property Theorem 3 (RTA near-optimality) rests on, so the cost model must
+// uphold it by construction.
+
+// perturb returns a random cost vector that c* such that c* approximately
+// dominates c with the given alpha: every entry scaled by a random factor
+// in [lo, alpha] (tuple loss clamped into its [0,1] domain, as the PONO
+// proof for the loss formula requires).
+func perturb(r *rand.Rand, c objective.Vector, alpha float64) objective.Vector {
+	var out objective.Vector
+	for i := range c {
+		f := alpha * (0.2 + 0.8*r.Float64()) // in [0.2*alpha, alpha]
+		if f > alpha {
+			f = alpha
+		}
+		out[i] = c[i] * f
+	}
+	if out[objective.TupleLoss] > 1 {
+		out[objective.TupleLoss] = 1
+	}
+	return out
+}
+
+// fakeNode builds a plan node with the given table set and cost vector; the
+// join cost formulas only look at Tables and Cost of their children.
+func fakeNode(s query.TableSet, c objective.Vector) *plan.Node {
+	return &plan.Node{Tables: s, Scan: plan.SeqScan, Relation: s.First(), Cost: c}
+}
+
+func TestPONOJoinOperators(t *testing.T) {
+	q := testQuery(t)
+	m := NewDefault(q)
+	r := rand.New(rand.NewSource(42))
+	objs := objective.AllSet()
+
+	baseL := m.ScanCost(0, plan.SeqScan, 0)
+	baseR := m.ScanCost(1, plan.SeqScan, 0)
+
+	for trial := 0; trial < 2000; trial++ {
+		alpha := 1 + 2*r.Float64()
+		// Random baseline children costs (scaled scans keep magnitudes
+		// realistic), with random loss in [0,1].
+		cl := perturb(r, baseL, 1+r.Float64())
+		cr := perturb(r, baseR, 1+r.Float64())
+		cl[objective.TupleLoss] = r.Float64()
+		cr[objective.TupleLoss] = r.Float64()
+		clStar := perturb(r, cl, alpha)
+		crStar := perturb(r, cr, alpha)
+
+		l, lStar := fakeNode(query.Singleton(0), cl), fakeNode(query.Singleton(0), clStar)
+		rn, rStar := fakeNode(query.Singleton(1), cr), fakeNode(query.Singleton(1), crStar)
+
+		for _, alg := range []plan.JoinAlg{plan.HashJoin, plan.SortMergeJoin, plan.BlockNLJoin} {
+			for _, dop := range []int{1, 2, 4} {
+				c := m.JoinCost(alg, dop, l, rn)
+				cStar := m.JoinCost(alg, dop, lStar, rStar)
+				if !cStar.ApproxDominates(c, alpha*(1+1e-12), objs) {
+					t.Fatalf("PONO violated for %v dop=%d alpha=%v:\n child degradation leads to %v\n vs baseline %v",
+						alg, dop, alpha, cStar, c)
+				}
+			}
+		}
+
+		// Index-nested-loop: only the outer child varies.
+		c := m.IndexNLCost(l, 1)
+		cStar := m.IndexNLCost(lStar, 1)
+		if !cStar.ApproxDominates(c, alpha*(1+1e-12), objs) {
+			t.Fatalf("PONO violated for IdxNL alpha=%v:\n %v\n vs %v", alpha, cStar, c)
+		}
+	}
+}
+
+// TestPONOTupleLossFormula checks the paper's algebraic argument for the
+// loss formula directly: F(a*,b*) <= alpha*F(a,b) whenever a* <= alpha*a,
+// b* <= alpha*b and all values stay in [0,1].
+func TestPONOTupleLossFormula(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	F := func(a, b float64) float64 { return 1 - (1-a)*(1-b) }
+	for trial := 0; trial < 100000; trial++ {
+		a, b := r.Float64(), r.Float64()
+		alpha := 1 + 3*r.Float64()
+		aStar := a * alpha * r.Float64()
+		bStar := b * alpha * r.Float64()
+		if aStar > 1 {
+			aStar = 1
+		}
+		if bStar > 1 {
+			bStar = 1
+		}
+		if F(aStar, bStar) > alpha*F(a, b)+1e-12 {
+			t.Fatalf("loss PONO violated: a=%v b=%v alpha=%v a*=%v b*=%v F*=%v alphaF=%v",
+				a, b, alpha, aStar, bStar, F(aStar, bStar), alpha*F(a, b))
+		}
+	}
+}
+
+// TestPOOJoinOperators checks the plain principle of optimality (paper
+// Definition 6): improving sub-plans never worsens the combined plan. This
+// is the property the EXA's exactness rests on (alpha = 1 special case).
+func TestPOOJoinOperators(t *testing.T) {
+	q := testQuery(t)
+	m := NewDefault(q)
+	r := rand.New(rand.NewSource(11))
+	objs := objective.AllSet()
+	baseL := m.ScanCost(0, plan.SeqScan, 0)
+	baseR := m.ScanCost(1, plan.SeqScan, 0)
+
+	for trial := 0; trial < 2000; trial++ {
+		cl := perturb(r, baseL, 1+r.Float64())
+		cr := perturb(r, baseR, 1+r.Float64())
+		cl[objective.TupleLoss] = r.Float64()
+		cr[objective.TupleLoss] = r.Float64()
+		// Improved children: scaled down.
+		clBetter := cl.Scale(r.Float64())
+		crBetter := cr.Scale(r.Float64())
+
+		l, lB := fakeNode(query.Singleton(0), cl), fakeNode(query.Singleton(0), clBetter)
+		rn, rB := fakeNode(query.Singleton(1), cr), fakeNode(query.Singleton(1), crBetter)
+		for _, alg := range []plan.JoinAlg{plan.HashJoin, plan.SortMergeJoin, plan.BlockNLJoin} {
+			c := m.JoinCost(alg, 2, l, rn)
+			cBetter := m.JoinCost(alg, 2, lB, rB)
+			if !cBetter.Dominates(c, objs) {
+				t.Fatalf("POO violated for %v:\n better children give %v\n vs %v", alg, cBetter, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+)
+
+var testObjs = objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+
+// node wraps a cost vector in a minimal plan node (archives only inspect
+// the Cost field).
+func node(time, buf float64) *plan.Node {
+	return &plan.Node{
+		Cost: objective.Vector{}.
+			With(objective.TotalTime, time).
+			With(objective.BufferFootprint, buf),
+	}
+}
+
+// runningExample returns plan cost vectors shaped like the paper's running
+// example (Figures 1-2): a (buffer space, time) frontier of four Pareto
+// points plus dominated points.
+func runningExample() []*plan.Node {
+	return []*plan.Node{
+		node(3, 0.5), // Pareto
+		node(2, 1),   // Pareto
+		node(1, 2.5), // Pareto
+		node(0.5, 4), // Pareto
+		node(3, 2),   // dominated by (2,1)
+		node(2.5, 3), // dominated by (1,2.5)
+		node(3.5, 1), // dominated by (3,0.5) and (2,1)
+		node(2, 1),   // duplicate of a Pareto point
+	}
+}
+
+func TestExactArchiveKeepsParetoSet(t *testing.T) {
+	a := NewArchive(testObjs, 1)
+	for _, p := range runningExample() {
+		a.Insert(p)
+	}
+	if a.Len() != 4 {
+		t.Fatalf("archive holds %d plans, want the 4 Pareto plans", a.Len())
+	}
+	// No stored plan may dominate another (mutual non-domination).
+	for _, p := range a.Plans() {
+		for _, q := range a.Plans() {
+			if p != q && p.Cost.StrictlyDominates(q.Cost, testObjs) {
+				t.Errorf("stored plan %v strictly dominates stored plan %v", p.Cost, q.Cost)
+			}
+		}
+	}
+}
+
+func TestExactArchiveOrderIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	want := map[[2]float64]bool{
+		{3, 0.5}: true, {2, 1}: true, {1, 2.5}: true, {0.5, 4}: true,
+	}
+	for trial := 0; trial < 50; trial++ {
+		ps := runningExample()
+		r.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+		a := NewArchive(testObjs, 1)
+		for _, p := range ps {
+			a.Insert(p)
+		}
+		if a.Len() != 4 {
+			t.Fatalf("trial %d: %d plans, want 4", trial, a.Len())
+		}
+		for _, p := range a.Plans() {
+			key := [2]float64{p.Cost[objective.TotalTime], p.Cost[objective.BufferFootprint]}
+			if !want[key] {
+				t.Errorf("trial %d: unexpected stored vector %v", trial, key)
+			}
+		}
+	}
+}
+
+func TestApproximateArchiveRejectsNearDuplicates(t *testing.T) {
+	a := NewArchive(testObjs, 1.5)
+	if !a.Insert(node(2, 2)) {
+		t.Fatal("first plan must be stored")
+	}
+	// (1.6, 1.6) is NOT approximately dominated... check: stored (2,2)
+	// approx-dominates (1.6,1.6) iff 2 <= 1.6*1.5 = 2.4 — yes. Rejected.
+	if a.Insert(node(1.6, 1.6)) {
+		t.Error("near-duplicate within factor 1.5 must be rejected")
+	}
+	// (1.2, 1.2): 2 <= 1.8 fails, so it is inserted and evicts nothing
+	// ((1.2,1.2) dominates (2,2), so (2,2) is evicted).
+	if !a.Insert(node(1.2, 1.2)) {
+		t.Error("clearly better plan must be stored")
+	}
+	if a.Len() != 1 {
+		t.Errorf("dominated plan should have been evicted; len = %d", a.Len())
+	}
+}
+
+func TestApproximateArchiveIsAlphaCover(t *testing.T) {
+	// Stream random vectors into an approximate archive and verify the
+	// result approximately dominates the exact Pareto set of the stream —
+	// the invariant behind Theorem 3's base case.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		alpha := 1 + r.Float64()
+		a := NewArchive(testObjs, alpha)
+		var all []objective.Vector
+		for i := 0; i < 200; i++ {
+			p := node(0.1+10*r.Float64(), 0.1+10*r.Float64())
+			all = append(all, p.Cost)
+			a.Insert(p)
+		}
+		exact := FilterPareto(all, testObjs)
+		if !IsAlphaCover(a.Frontier(), exact, alpha, testObjs) {
+			t.Fatalf("trial %d: archive (alpha=%v) is not an alpha-cover", trial, alpha)
+		}
+	}
+}
+
+// TestApproximateEvictionWouldDrift demonstrates why the RTA must evict
+// only exactly dominated plans (paper, end of Section 6.2): with
+// approximate eviction, a chain of mutually incomparable inserts — each
+// within alpha of the last in one objective, much better in the other —
+// evicts its predecessor at every step, and after a few steps the archive
+// no longer alpha-covers the earlier Pareto points. The correct archive
+// keeps every incomparable plan and its cover never drifts.
+func TestApproximateEvictionWouldDrift(t *testing.T) {
+	alpha := 1.5
+
+	// Broken variant: evicts approximately dominated plans too.
+	var brokenPlans []*plan.Node
+	insertBroken := func(p *plan.Node) {
+		for _, q := range brokenPlans {
+			if q.Cost.ApproxDominates(p.Cost, alpha, testObjs) {
+				return
+			}
+		}
+		keep := brokenPlans[:0]
+		for _, q := range brokenPlans {
+			if p.Cost.ApproxDominates(q.Cost, alpha, testObjs) { // WRONG: approximate eviction
+				continue
+			}
+			keep = append(keep, q)
+		}
+		brokenPlans = append(keep, p)
+	}
+
+	good := NewArchive(testObjs, alpha)
+	var seen []objective.Vector
+	// Chain p_i = (1.4^i, 10 * 0.6^i): each step trades a 1.4x time
+	// increase (within alpha) for a big buffer win, so each insert
+	// approx-dominates — and under the broken rule evicts — the previous.
+	x, y := 1.0, 10.0
+	for i := 0; i < 10; i++ {
+		p := node(x, y)
+		seen = append(seen, p.Cost)
+		good.Insert(p)
+		insertBroken(p)
+		x *= 1.4
+		y *= 0.6
+	}
+	exact := FilterPareto(seen, testObjs)
+	if len(exact) != 10 {
+		t.Fatalf("chain points should be mutually incomparable, got %d Pareto points", len(exact))
+	}
+	if !IsAlphaCover(good.Frontier(), exact, alpha, testObjs) {
+		t.Error("correct archive lost its alpha-cover")
+	}
+	var brokenFrontier []objective.Vector
+	for _, p := range brokenPlans {
+		brokenFrontier = append(brokenFrontier, p.Cost)
+	}
+	if IsAlphaCover(brokenFrontier, exact, alpha, testObjs) {
+		t.Error("broken archive still alpha-covers; the test no longer demonstrates the drift failure mode")
+	}
+	if cf := CoverFactor(brokenFrontier, exact, testObjs); cf < 2*alpha {
+		t.Errorf("broken archive drifted only to %v, expected far beyond alpha=%v", cf, alpha)
+	}
+}
+
+func TestSelectBestRespectsBounds(t *testing.T) {
+	// Figure 1(b): with bounds, a different plan becomes optimal.
+	a := NewArchive(testObjs, 1)
+	for _, p := range runningExample() {
+		a.Insert(p)
+	}
+	var w objective.Weights
+	w[objective.TotalTime] = 1
+	w[objective.BufferFootprint] = 1
+
+	unbounded := a.SelectBest(w, objective.NoBounds())
+	if unbounded == nil {
+		t.Fatal("no plan selected")
+	}
+	// Weighted costs: (3,.5)=3.5 (2,1)=3 (1,2.5)=3.5 (.5,4)=4.5 → (2,1).
+	if unbounded.Cost[objective.TotalTime] != 2 {
+		t.Errorf("unbounded optimum = %v, want the (2,1) plan", unbounded.Cost.FormatOn(testObjs))
+	}
+	// Bound buffer space below 1 → only (3,0.5) qualifies.
+	b := objective.NoBounds().With(objective.BufferFootprint, 0.9)
+	bounded := a.SelectBest(w, b)
+	if bounded.Cost[objective.BufferFootprint] != 0.5 {
+		t.Errorf("bounded optimum = %v, want the (3,0.5) plan", bounded.Cost.FormatOn(testObjs))
+	}
+}
+
+func TestSelectBestFallbackWhenInfeasible(t *testing.T) {
+	// Definition 2: if no plan respects the bounds, minimize weighted cost
+	// over all plans.
+	plans := []*plan.Node{node(5, 5), node(4, 6)}
+	var w objective.Weights
+	w[objective.TotalTime] = 1
+	b := objective.NoBounds().With(objective.TotalTime, 1)
+	got := SelectBest(plans, w, b, testObjs)
+	if got.Cost[objective.TotalTime] != 4 {
+		t.Errorf("fallback selected %v, want the weighted minimum", got.Cost.FormatOn(testObjs))
+	}
+	if SelectBest(nil, w, b, testObjs) != nil {
+		t.Error("empty plan list must select nil")
+	}
+}
+
+func TestArchiveStats(t *testing.T) {
+	a := NewArchive(testObjs, 1)
+	a.Insert(node(2, 2))
+	a.Insert(node(3, 3)) // rejected (dominated)
+	a.Insert(node(1, 1)) // inserted, evicts (2,2)
+	ins, rej, ev := a.Stats()
+	if ins != 2 || rej != 1 || ev != 1 {
+		t.Errorf("stats = (%d,%d,%d), want (2,1,1)", ins, rej, ev)
+	}
+}
+
+func TestNewArchivePanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha < 1 did not panic")
+		}
+	}()
+	NewArchive(testObjs, 0.5)
+}

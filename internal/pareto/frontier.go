@@ -1,0 +1,129 @@
+package pareto
+
+import (
+	"math"
+	"sort"
+
+	"moqo/internal/objective"
+)
+
+// FilterPareto returns the Pareto-optimal vectors of a set: those not
+// strictly dominated by any other vector. Duplicate cost vectors are kept
+// once. Useful as an oracle in tests and for frontier exports.
+func FilterPareto(vs []objective.Vector, objs objective.Set) []objective.Vector {
+	var out []objective.Vector
+	for i, v := range vs {
+		dominated := false
+		duplicate := false
+		for j, w := range vs {
+			if w.StrictlyDominates(v, objs) {
+				dominated = true
+				break
+			}
+			if j < i && w.EqualOn(v, objs) {
+				duplicate = true
+				break
+			}
+		}
+		if !dominated && !duplicate {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsAlphaCover reports whether the candidate frontier is an α-approximate
+// Pareto frontier for the reference set: for every reference vector some
+// candidate approximately dominates it with precision alpha (paper's
+// definition of an α-approximate Pareto set).
+func IsAlphaCover(candidate, reference []objective.Vector, alpha float64, objs objective.Set) bool {
+	for _, ref := range reference {
+		covered := false
+		for _, c := range candidate {
+			if c.ApproxDominates(ref, alpha, objs) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverFactor returns the smallest alpha such that candidate is an
+// alpha-cover of reference (infinity when some reference vector has a zero
+// component that no candidate matches). It quantifies how far an
+// approximate frontier drifted from the exact one.
+func CoverFactor(candidate, reference []objective.Vector, objs objective.Set) float64 {
+	worst := 1.0
+	for _, ref := range reference {
+		best := math.Inf(1)
+		for _, c := range candidate {
+			f := 1.0
+			ok := true
+			for _, o := range objs.IDs() {
+				switch {
+				case c[o] <= ref[o]:
+					// no degradation on this objective
+				case ref[o] == 0:
+					ok = false
+				default:
+					f = math.Max(f, c[o]/ref[o])
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok && f < best {
+				best = f
+			}
+		}
+		worst = math.Max(worst, best)
+	}
+	return worst
+}
+
+// Hypervolume computes the dominated hypervolume of a two-dimensional
+// frontier with respect to a reference point (larger is better). Only the
+// two given objectives are considered. It is the standard quality
+// indicator for Pareto approximations and is used by tests to compare the
+// RTA frontier against the exact one.
+func Hypervolume(vs []objective.Vector, o1, o2 objective.ID, ref [2]float64) float64 {
+	type pt struct{ x, y float64 }
+	var pts []pt
+	for _, v := range vs {
+		if v[o1] <= ref[0] && v[o2] <= ref[1] {
+			pts = append(pts, pt{v[o1], v[o2]})
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].x != pts[j].x {
+			return pts[i].x < pts[j].x
+		}
+		return pts[i].y < pts[j].y
+	})
+	// Build the non-dominated staircase (x ascending, y strictly
+	// decreasing), then integrate the strip under each step.
+	var stair []pt
+	bestY := math.Inf(1)
+	for _, p := range pts {
+		if p.y < bestY {
+			stair = append(stair, p)
+			bestY = p.y
+		}
+	}
+	vol := 0.0
+	for i, p := range stair {
+		xRight := ref[0]
+		if i+1 < len(stair) {
+			xRight = stair[i+1].x
+		}
+		vol += (xRight - p.x) * (ref[1] - p.y)
+	}
+	return vol
+}

@@ -1,0 +1,149 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"moqo/internal/objective"
+)
+
+func vec(time, buf float64) objective.Vector {
+	return objective.Vector{}.
+		With(objective.TotalTime, time).
+		With(objective.BufferFootprint, buf)
+}
+
+func TestFilterPareto(t *testing.T) {
+	vs := []objective.Vector{
+		vec(3, 0.5), vec(2, 1), vec(1, 2.5), vec(0.5, 4),
+		vec(3, 2), vec(2.5, 3), vec(3.5, 1), vec(2, 1), // dominated + dup
+	}
+	got := FilterPareto(vs, testObjs)
+	if len(got) != 4 {
+		t.Fatalf("Pareto frontier has %d points, want 4: %v", len(got), got)
+	}
+	for _, v := range got {
+		for _, w := range vs {
+			if w.StrictlyDominates(v, testObjs) {
+				t.Errorf("%v is dominated by %v", v, w)
+			}
+		}
+	}
+	if FilterPareto(nil, testObjs) != nil {
+		t.Error("empty input should give empty frontier")
+	}
+}
+
+func TestIsAlphaCover(t *testing.T) {
+	ref := []objective.Vector{vec(1, 4), vec(2, 2), vec(4, 1)}
+	// The reference covers itself at alpha 1.
+	if !IsAlphaCover(ref, ref, 1, testObjs) {
+		t.Error("a frontier must cover itself")
+	}
+	cand := []objective.Vector{vec(1.2, 4.8), vec(4.8, 1.2)}
+	if !IsAlphaCover(cand, ref, 2.4, testObjs) {
+		t.Error("candidate should cover at alpha 2.4 (vec(2,2) covered by (1.2,4.8)? 1.2<=2*2.4 and 4.8<=2*2.4)")
+	}
+	if IsAlphaCover(cand, ref, 1.1, testObjs) {
+		t.Error("candidate should not cover at alpha 1.1")
+	}
+	if !IsAlphaCover(cand, nil, 1, testObjs) {
+		t.Error("empty reference is always covered")
+	}
+	if IsAlphaCover(nil, ref, 100, testObjs) {
+		t.Error("empty candidate covers nothing")
+	}
+}
+
+func TestCoverFactor(t *testing.T) {
+	ref := []objective.Vector{vec(1, 4), vec(4, 1)}
+	cand := []objective.Vector{vec(1.5, 4), vec(4, 1)}
+	got := CoverFactor(cand, ref, testObjs)
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("CoverFactor = %v, want 1.5", got)
+	}
+	// Self-cover has factor 1.
+	if got := CoverFactor(ref, ref, testObjs); got != 1 {
+		t.Errorf("self CoverFactor = %v, want 1", got)
+	}
+	// Consistency with IsAlphaCover.
+	if !IsAlphaCover(cand, ref, 1.5+1e-9, testObjs) {
+		t.Error("cover factor inconsistent with IsAlphaCover")
+	}
+	if IsAlphaCover(cand, ref, 1.5-1e-3, testObjs) {
+		t.Error("cover factor not tight")
+	}
+}
+
+func TestCoverFactorZeroComponent(t *testing.T) {
+	ref := []objective.Vector{vec(0, 1)}
+	cand := []objective.Vector{vec(1, 1)}
+	if got := CoverFactor(cand, ref, testObjs); !math.IsInf(got, 1) {
+		t.Errorf("zero component not matchable: CoverFactor = %v, want +Inf", got)
+	}
+	// A candidate that matches the zero exactly works.
+	cand2 := []objective.Vector{vec(0, 2)}
+	if got := CoverFactor(cand2, ref, testObjs); got != 2 {
+		t.Errorf("CoverFactor = %v, want 2", got)
+	}
+}
+
+func TestHypervolumeKnownValues(t *testing.T) {
+	// Single point (1,1) with reference (3,3): area 2x2 = 4.
+	vs := []objective.Vector{vec(1, 1)}
+	if got := Hypervolume(vs, objective.TotalTime, objective.BufferFootprint, [2]float64{3, 3}); got != 4 {
+		t.Errorf("hypervolume = %v, want 4", got)
+	}
+	// Staircase (1,2),(2,1) with ref (3,3): 2x1 + 1x2 - overlap... compute:
+	// strip for (1,2): width (2-1)=1 * height (3-2)=1 => 1
+	// strip for (2,1): width (3-2)=1 * height (3-1)=2 => 2
+	// plus (1,2) strip from x=1..2 only, total = 1 + 2 = 3... but area
+	// dominated by (1,2) alone is (3-1)*(3-2)=2; union = 2+ (3-2)*(2-1)=1
+	// => 3. Wait union of both rectangles: rect1 = [1,3]x[2,3] area 2;
+	// rect2 = [2,3]x[1,3] area 2; overlap [2,3]x[2,3] = 1 → union 3.
+	vs = []objective.Vector{vec(1, 2), vec(2, 1)}
+	if got := Hypervolume(vs, objective.TotalTime, objective.BufferFootprint, [2]float64{3, 3}); got != 3 {
+		t.Errorf("hypervolume = %v, want 3", got)
+	}
+	// Points outside the reference box contribute nothing.
+	vs = []objective.Vector{vec(5, 5)}
+	if got := Hypervolume(vs, objective.TotalTime, objective.BufferFootprint, [2]float64{3, 3}); got != 0 {
+		t.Errorf("hypervolume = %v, want 0", got)
+	}
+	if got := Hypervolume(nil, objective.TotalTime, objective.BufferFootprint, [2]float64{3, 3}); got != 0 {
+		t.Errorf("empty hypervolume = %v, want 0", got)
+	}
+}
+
+func TestHypervolumeDominatedPointsIrrelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		var vs []objective.Vector
+		for i := 0; i < 20; i++ {
+			vs = append(vs, vec(r.Float64()*3, r.Float64()*3))
+		}
+		ref := [2]float64{3, 3}
+		all := Hypervolume(vs, objective.TotalTime, objective.BufferFootprint, ref)
+		frontier := Hypervolume(FilterPareto(vs, testObjs), objective.TotalTime, objective.BufferFootprint, ref)
+		if math.Abs(all-frontier) > 1e-9 {
+			t.Fatalf("trial %d: hypervolume differs with dominated points: %v vs %v", trial, all, frontier)
+		}
+	}
+}
+
+func TestHypervolumeMonotoneInPoints(t *testing.T) {
+	// Adding a point never decreases the hypervolume.
+	r := rand.New(rand.NewSource(17))
+	ref := [2]float64{10, 10}
+	var vs []objective.Vector
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		vs = append(vs, vec(r.Float64()*10, r.Float64()*10))
+		hv := Hypervolume(vs, objective.TotalTime, objective.BufferFootprint, ref)
+		if hv < prev-1e-9 {
+			t.Fatalf("hypervolume decreased: %v -> %v", prev, hv)
+		}
+		prev = hv
+	}
+}

@@ -1,0 +1,114 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+
+	"moqo/internal/objective"
+)
+
+func TestPrecisionArchiveAsymmetricPruning(t *testing.T) {
+	// Exact on time, coarse (x4) on buffer: a plan slightly better on
+	// buffer but equal on time is rejected; a plan better on time is
+	// always kept.
+	prec := objective.UniformPrecision(1, testObjs).
+		With(objective.BufferFootprint, 4)
+	a := NewPrecisionArchive(testObjs, prec)
+	if !a.Insert(node(10, 100)) {
+		t.Fatal("first insert rejected")
+	}
+	// Buffer 30 is within factor 4 of 100... stored (10,100) approx-
+	// dominates (10,30): time 10<=10, buffer 100<=30*4=120. Rejected.
+	if a.Insert(node(10, 30)) {
+		t.Error("buffer-only improvement within slack should be rejected")
+	}
+	// Buffer 20: 100 <= 80 fails — kept.
+	if !a.Insert(node(10, 20)) {
+		t.Error("buffer improvement beyond slack should be kept")
+	}
+	// Any strict time improvement is kept (exact precision on time).
+	if !a.Insert(node(9.99, 100)) {
+		t.Error("time improvement should always be kept")
+	}
+}
+
+func TestPrecisionArchiveUniformMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		alpha := 1 + r.Float64()
+		scalar := NewArchive(testObjs, alpha)
+		vector := NewPrecisionArchive(testObjs, objective.UniformPrecision(alpha, testObjs))
+		for i := 0; i < 100; i++ {
+			p := node(0.1+10*r.Float64(), 0.1+10*r.Float64())
+			if scalar.Insert(p) != vector.Insert(p) {
+				t.Fatalf("trial %d: uniform precision archive diverged from scalar archive", trial)
+			}
+		}
+		if scalar.Len() != vector.Len() {
+			t.Fatalf("trial %d: sizes diverged: %d vs %d", trial, scalar.Len(), vector.Len())
+		}
+	}
+}
+
+func TestPrecisionArchiveCover(t *testing.T) {
+	// The archive must cover every seen Pareto point within the
+	// per-objective precisions.
+	r := rand.New(rand.NewSource(37))
+	prec := objective.UniformPrecision(1.2, testObjs).
+		With(objective.BufferFootprint, 3)
+	a := NewPrecisionArchive(testObjs, prec)
+	var seen []objective.Vector
+	for i := 0; i < 300; i++ {
+		p := node(0.1+10*r.Float64(), 0.1+10*r.Float64())
+		seen = append(seen, p.Cost)
+		a.Insert(p)
+	}
+	for _, ref := range FilterPareto(seen, testObjs) {
+		covered := false
+		for _, v := range a.Frontier() {
+			if v.ApproxDominatesBy(ref, prec, testObjs) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("Pareto point %v not covered within per-objective precisions",
+				ref.FormatOn(testObjs))
+		}
+	}
+}
+
+func TestPrecisionArchivePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("precision < 1 did not panic")
+		}
+	}()
+	NewPrecisionArchive(testObjs, objective.UniformPrecision(0.9, testObjs))
+}
+
+func TestPrecisionHelpers(t *testing.T) {
+	p := objective.UniformPrecision(2, testObjs)
+	if p.Max(testObjs) != 2 {
+		t.Errorf("Max = %v", p.Max(testObjs))
+	}
+	if !p.Valid() {
+		t.Error("valid precision rejected")
+	}
+	r := p.Root(2)
+	for _, o := range testObjs.IDs() {
+		if r[o] < 1.41 || r[o] > 1.42 {
+			t.Errorf("Root(2) = %v", r[o])
+		}
+	}
+	// Root never dips below 1 for exact entries.
+	exact := objective.UniformPrecision(1, testObjs).Root(5)
+	for _, o := range testObjs.IDs() {
+		if exact[o] != 1 {
+			t.Errorf("Root of exact precision = %v", exact[o])
+		}
+	}
+	if p.With(objective.TotalTime, 0.5).Valid() {
+		t.Error("precision below 1 accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"moqo/internal/objective"
+	"moqo/internal/query"
+)
+
+// Description is a serialization-friendly view of a plan node, produced by
+// Describe. It is the stable machine-readable plan format of the library
+// (CLI -json output, tooling integrations).
+type Description struct {
+	Operator string  `json:"operator"`
+	Relation string  `json:"relation,omitempty"`
+	Sample   float64 `json:"sample_rate,omitempty"`
+	DOP      int     `json:"dop,omitempty"`
+	// Rows is the estimated output cardinality of the node.
+	Rows float64 `json:"rows"`
+	// Cost maps objective names to estimated costs.
+	Cost map[string]float64 `json:"cost"`
+	// Children are the operand sub-plans (empty for scans).
+	Children []*Description `json:"children,omitempty"`
+}
+
+// Describe converts the plan into its serialization-friendly form. Only
+// the objectives of objs appear in the per-node cost maps.
+func (n *Node) Describe(q *query.Query, objs objective.Set) *Description {
+	d := &Description{
+		Operator: n.OperatorLabel(),
+		Rows:     q.EstimateRows(n.Tables),
+		Cost:     make(map[string]float64, objs.Len()),
+	}
+	for _, o := range objs.IDs() {
+		d.Cost[o.String()] = n.Cost[o]
+	}
+	if n.IsScan() {
+		d.Relation = q.Relations[n.Relation].Alias
+		if n.Scan == SampleScan {
+			d.Sample = n.SampleRate
+		}
+		return d
+	}
+	if n.DOP > 1 {
+		d.DOP = n.DOP
+	}
+	d.Children = []*Description{
+		n.Left.Describe(q, objs),
+		n.Right.Describe(q, objs),
+	}
+	return d
+}
+
+// JSON renders the plan as indented JSON.
+func (n *Node) JSON(q *query.Query, objs objective.Set) ([]byte, error) {
+	return json.MarshalIndent(n.Describe(q, objs), "", "  ")
+}
+
+// Explain renders the plan as an EXPLAIN-style indented tree with
+// estimated cardinalities and per-node costs for the active objectives —
+// the human-facing counterpart of JSON.
+func (n *Node) Explain(q *query.Query, objs objective.Set) string {
+	var b strings.Builder
+	n.explain(q, objs, &b, 0)
+	return b.String()
+}
+
+func (n *Node) explain(q *query.Query, objs objective.Set, b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if n.IsScan() {
+		fmt.Fprintf(b, "%s %s", n.OperatorLabel(), q.Relations[n.Relation].Alias)
+	} else {
+		b.WriteString(n.OperatorLabel())
+	}
+	fmt.Fprintf(b, "  (rows=%.4g)", q.EstimateRows(n.Tables))
+	fmt.Fprintf(b, " %s\n", n.Cost.FormatOn(objs))
+	if !n.IsScan() {
+		n.Left.explain(q, objs, b, depth+1)
+		n.Right.explain(q, objs, b, depth+1)
+	}
+}

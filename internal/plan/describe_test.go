@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"moqo/internal/objective"
+	"moqo/internal/query"
+)
+
+var describeObjs = objective.NewSet(objective.TotalTime, objective.TupleLoss)
+
+func describedPlan(t *testing.T) (*Node, *query.Query) {
+	t.Helper()
+	q := testQuery(t)
+	sample := &Node{Tables: query.Singleton(2), Scan: SampleScan, Relation: 2, SampleRate: 0.03}
+	sample.Cost = objective.Vector{}.With(objective.TupleLoss, 0.97)
+	inner := join(HashJoin, 2, scan(0, SeqScan), scan(1, IndexScan))
+	inner.Cost = objective.Vector{}.With(objective.TotalTime, 40)
+	root := join(SortMergeJoin, 1, inner, sample)
+	root.Cost = objective.Vector{}.With(objective.TotalTime, 123.5).With(objective.TupleLoss, 0.97)
+	return root, q
+}
+
+func TestDescribe(t *testing.T) {
+	p, q := describedPlan(t)
+	d := p.Describe(q, describeObjs)
+	if d.Operator != "SMJ" {
+		t.Errorf("root operator = %q", d.Operator)
+	}
+	if d.Cost["total_time"] != 123.5 || d.Cost["tuple_loss"] != 0.97 {
+		t.Errorf("root cost map wrong: %v", d.Cost)
+	}
+	if _, present := d.Cost["energy"]; present {
+		t.Error("inactive objective leaked into cost map")
+	}
+	if len(d.Children) != 2 {
+		t.Fatalf("root children = %d", len(d.Children))
+	}
+	hash := d.Children[0]
+	if hash.Operator != "HashJ(dop=2)" || hash.DOP != 2 {
+		t.Errorf("hash child = %+v", hash)
+	}
+	smp := d.Children[1]
+	if smp.Relation != "l" || smp.Sample != 0.03 {
+		t.Errorf("sample child = %+v", smp)
+	}
+	if d.Rows <= 0 || smp.Rows <= 0 {
+		t.Error("estimated rows missing")
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	p, q := describedPlan(t)
+	raw, err := p.JSON(q, describeObjs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Description
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if back.Operator != "SMJ" || len(back.Children) != 2 {
+		t.Errorf("round trip lost structure: %+v", back)
+	}
+	if !strings.Contains(string(raw), "\"sample_rate\": 0.03") {
+		t.Errorf("JSON missing sample rate:\n%s", raw)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	p, q := describedPlan(t)
+	out := p.Explain(q, describeObjs)
+	for _, want := range []string{"SMJ", "HashJ(dop=2)", "SampleScan(3%)", "rows=", "total_time=123.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Children indented below parents.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "  ") {
+		t.Error("child not indented")
+	}
+}

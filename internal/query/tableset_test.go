@@ -1,0 +1,152 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableSetBasics(t *testing.T) {
+	s := NewTableSet(0, 2, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, r := range []int{0, 2, 5} {
+		if !s.Contains(r) {
+			t.Errorf("set should contain %d", r)
+		}
+	}
+	if s.Contains(1) {
+		t.Error("set should not contain 1")
+	}
+	if got := s.Relations(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("Relations = %v", got)
+	}
+	if s.First() != 0 {
+		t.Errorf("First = %d", s.First())
+	}
+	if TableSet(0).First() != -1 {
+		t.Error("First of empty set should be -1")
+	}
+	if s.String() != "{0,2,5}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestTableSetAlgebra(t *testing.T) {
+	a := NewTableSet(0, 1, 2)
+	b := NewTableSet(2, 3)
+	if a.Union(b) != NewTableSet(0, 1, 2, 3) {
+		t.Error("Union wrong")
+	}
+	if a.Intersect(b) != NewTableSet(2) {
+		t.Error("Intersect wrong")
+	}
+	if a.Minus(b) != NewTableSet(0, 1) {
+		t.Error("Minus wrong")
+	}
+	if a.Disjoint(b) {
+		t.Error("a and b share relation 2")
+	}
+	if !NewTableSet(0).Disjoint(NewTableSet(1)) {
+		t.Error("disjoint sets reported overlapping")
+	}
+	if !NewTableSet(1).SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b is not a subset of a")
+	}
+}
+
+func TestSingleEmpty(t *testing.T) {
+	if !Singleton(3).Single() {
+		t.Error("singleton not Single")
+	}
+	if NewTableSet(1, 2).Single() {
+		t.Error("two-element set reported Single")
+	}
+	if !TableSet(0).Empty() {
+		t.Error("zero set not Empty")
+	}
+	if Singleton(0).Empty() {
+		t.Error("singleton reported Empty")
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	if FullSet(3) != NewTableSet(0, 1, 2) {
+		t.Errorf("FullSet(3) = %v", FullSet(3))
+	}
+	if FullSet(0) != 0 {
+		t.Error("FullSet(0) should be empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FullSet(64) did not panic")
+		}
+	}()
+	FullSet(64)
+}
+
+func TestEachSubsetCoversAllSplits(t *testing.T) {
+	s := NewTableSet(0, 1, 3)
+	seen := map[TableSet]TableSet{}
+	s.EachSubset(func(sub, rest TableSet) bool {
+		if sub.Empty() || rest.Empty() {
+			t.Errorf("split produced empty side: %v | %v", sub, rest)
+		}
+		if sub.Union(rest) != s || !sub.Disjoint(rest) {
+			t.Errorf("split is not a partition: %v | %v", sub, rest)
+		}
+		if _, dup := seen[sub]; dup {
+			t.Errorf("subset %v visited twice", sub)
+		}
+		seen[sub] = rest
+		return true
+	})
+	// A k-element set has 2^k - 2 proper non-empty subsets.
+	if len(seen) != 6 {
+		t.Errorf("visited %d splits, want 6", len(seen))
+	}
+	// Both orders of each unordered split must appear.
+	for sub, rest := range seen {
+		if got, ok := seen[rest]; !ok || got != sub {
+			t.Errorf("mirror split of %v missing", sub)
+		}
+	}
+}
+
+func TestEachSubsetEarlyStop(t *testing.T) {
+	s := FullSet(4)
+	n := 0
+	s.EachSubset(func(sub, rest TableSet) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+	TableSet(0).EachSubset(func(sub, rest TableSet) bool {
+		t.Error("empty set must have no splits")
+		return true
+	})
+}
+
+func TestPropertySubsetEnumerationCount(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := 1 + r.Intn(10)
+		s := FullSet(n)
+		count := 0
+		s.EachSubset(func(sub, rest TableSet) bool {
+			count++
+			return true
+		})
+		want := (1 << uint(n)) - 2
+		return count == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package synthetic generates parameterized join queries — chains, stars,
+// cliques, and random connected graphs — against synthetic catalogs. The
+// paper's complexity analysis (Theorems 1-5, Figure 7) is stated in terms
+// of the number of joined tables n and the maximal cardinality m; this
+// package provides workloads in which those parameters can be varied
+// freely, supporting the empirical scaling experiments that complement the
+// analytic curves and the randomized cross-algorithm invariant tests.
+package synthetic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"moqo/internal/catalog"
+	"moqo/internal/query"
+)
+
+// Shape enumerates join-graph topologies.
+type Shape int
+
+// Available topologies.
+const (
+	// Chain joins R1-R2-...-Rn along a path (the classical join-order
+	// worst case for left-deep optimizers).
+	Chain Shape = iota
+	// Star joins a central fact relation to n-1 dimension relations.
+	Star
+	// Clique joins every relation to every other (maximal split count).
+	Clique
+	// RandomTree joins along a random spanning tree.
+	RandomTree
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	case Clique:
+		return "clique"
+	case RandomTree:
+		return "randomtree"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// Spec parameterizes one synthetic query.
+type Spec struct {
+	Shape Shape
+	// Tables is the number of relations n (>= 1).
+	Tables int
+	// MaxRows is the maximal base-table cardinality m; individual table
+	// sizes are drawn log-uniformly from [MinRows, MaxRows].
+	MaxRows float64
+	// MinRows defaults to 100 when zero.
+	MinRows float64
+	// Width is the tuple width in bytes (default 100).
+	Width int
+	// Seed drives table sizes, filter selectivities, and (for
+	// RandomTree) the topology.
+	Seed int64
+}
+
+// Build materializes the spec into a catalog and query. Every relation
+// gets a primary-key index; join edges are key/foreign-key edges with
+// selectivity 1/rows(PK side), and the PK side is indexed so index-
+// nested-loop joins are applicable, matching the TPC-H workload's
+// physical design.
+func Build(spec Spec) (*catalog.Catalog, *query.Query, error) {
+	if spec.Tables < 1 {
+		return nil, nil, fmt.Errorf("synthetic: need at least one table, got %d", spec.Tables)
+	}
+	if spec.Tables > 20 {
+		return nil, nil, fmt.Errorf("synthetic: %d tables is beyond any tractable plan space", spec.Tables)
+	}
+	if spec.MaxRows <= 0 {
+		spec.MaxRows = 1e6
+	}
+	if spec.MinRows <= 0 {
+		spec.MinRows = 100
+	}
+	if spec.MinRows > spec.MaxRows {
+		return nil, nil, fmt.Errorf("synthetic: MinRows %v > MaxRows %v", spec.MinRows, spec.MaxRows)
+	}
+	if spec.Width <= 0 {
+		spec.Width = 100
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+
+	cat := catalog.New()
+	q := query.New(fmt.Sprintf("%s-%d", spec.Shape, spec.Tables), cat)
+	for i := 0; i < spec.Tables; i++ {
+		rows := logUniform(r, spec.MinRows, spec.MaxRows)
+		if i == 0 {
+			// The first relation is the largest — the fact table of a
+			// star, the head of a chain — pinning m = MaxRows exactly.
+			rows = spec.MaxRows
+		}
+		name := fmt.Sprintf("t%d", i)
+		cat.AddTable(name, rows, spec.Width, "pk")
+		cat.AddIndex(catalog.TableID(i), "fk", false)
+		sel := 0.05 + 0.95*r.Float64() // filters in [0.05, 1]
+		q.AddRelation(name, name, sel)
+	}
+
+	addEdge := func(fk, pk int) {
+		q.AddFKJoin(fk, "fk", pk, "pk")
+	}
+	switch spec.Shape {
+	case Chain:
+		for i := 1; i < spec.Tables; i++ {
+			addEdge(i-1, i)
+		}
+	case Star:
+		for i := 1; i < spec.Tables; i++ {
+			addEdge(0, i)
+		}
+	case Clique:
+		for i := 0; i < spec.Tables; i++ {
+			for j := i + 1; j < spec.Tables; j++ {
+				addEdge(i, j)
+			}
+		}
+	case RandomTree:
+		for i := 1; i < spec.Tables; i++ {
+			addEdge(i, r.Intn(i)) // attach to a random earlier relation
+		}
+	default:
+		return nil, nil, fmt.Errorf("synthetic: unknown shape %v", spec.Shape)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("synthetic: %w", err)
+	}
+	return cat, q, nil
+}
+
+// MustBuild is Build, panicking on error.
+func MustBuild(spec Spec) (*catalog.Catalog, *query.Query) {
+	cat, q, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return cat, q
+}
+
+// logUniform draws from [lo, hi] log-uniformly.
+func logUniform(r *rand.Rand, lo, hi float64) float64 {
+	if lo >= hi {
+		return lo
+	}
+	return lo * math.Pow(hi/lo, r.Float64())
+}

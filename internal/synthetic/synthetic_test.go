@@ -1,0 +1,134 @@
+package synthetic
+
+import (
+	"testing"
+
+	"moqo/internal/catalog"
+	"moqo/internal/query"
+)
+
+func TestShapes(t *testing.T) {
+	for _, shape := range []Shape{Chain, Star, Clique, RandomTree} {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			cat, q, err := Build(Spec{Shape: shape, Tables: n, MaxRows: 1e5, Seed: 7})
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", shape, n, err)
+			}
+			if q.NumRelations() != n {
+				t.Errorf("%v n=%d: %d relations", shape, n, q.NumRelations())
+			}
+			if cat.NumTables() != n {
+				t.Errorf("%v n=%d: %d tables", shape, n, cat.NumTables())
+			}
+			if err := q.Validate(); err != nil {
+				t.Errorf("%v n=%d: %v", shape, n, err)
+			}
+			wantEdges := n - 1
+			if shape == Clique {
+				wantEdges = n * (n - 1) / 2
+			}
+			if len(q.Edges) != wantEdges {
+				t.Errorf("%v n=%d: %d edges, want %d", shape, n, len(q.Edges), wantEdges)
+			}
+		}
+	}
+}
+
+func TestChainTopology(t *testing.T) {
+	_, q := MustBuild(Spec{Shape: Chain, Tables: 4, Seed: 1})
+	// Interior subsets along the path are connected; skips are not.
+	if !q.Connected(query.NewTableSet(1, 2)) {
+		t.Error("adjacent chain relations must be connected")
+	}
+	if q.Connected(query.NewTableSet(0, 2)) {
+		t.Error("non-adjacent chain relations must be disconnected")
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	_, q := MustBuild(Spec{Shape: Star, Tables: 5, Seed: 1})
+	// Any two dimensions are only connected through the center.
+	if q.Connected(query.NewTableSet(1, 2)) {
+		t.Error("dimensions must not be directly connected")
+	}
+	if !q.Connected(query.NewTableSet(0, 1, 2)) {
+		t.Error("center plus dimensions must be connected")
+	}
+}
+
+func TestCliqueTopology(t *testing.T) {
+	_, q := MustBuild(Spec{Shape: Clique, Tables: 4, Seed: 1})
+	// Every subset of a clique is connected.
+	for s := query.TableSet(1); s < 16; s++ {
+		if !q.Connected(s) {
+			t.Errorf("clique subset %v disconnected", s)
+		}
+	}
+}
+
+func TestMaxRowsPinned(t *testing.T) {
+	cat, _ := MustBuild(Spec{Shape: Chain, Tables: 5, MaxRows: 12345, Seed: 3})
+	if got := cat.MaxRows(); got != 12345 {
+		t.Errorf("MaxRows = %v, want pinned 12345", got)
+	}
+}
+
+func TestRowBounds(t *testing.T) {
+	cat, _ := MustBuild(Spec{Shape: Star, Tables: 8, MinRows: 1000, MaxRows: 1e6, Seed: 4})
+	for i := 0; i < cat.NumTables(); i++ {
+		r := cat.Table(catalog.TableID(i))
+		if r.Rows < 1000 || r.Rows > 1e6 {
+			t.Errorf("table %d rows %v outside [1000, 1e6]", i, r.Rows)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	catA, qA := MustBuild(Spec{Shape: RandomTree, Tables: 6, Seed: 42})
+	catB, qB := MustBuild(Spec{Shape: RandomTree, Tables: 6, Seed: 42})
+	if qA.String() != qB.String() {
+		t.Error("same seed must produce the same query")
+	}
+	for i := 0; i < catA.NumTables(); i++ {
+		if catA.Table(0).Rows != catB.Table(0).Rows {
+			t.Error("same seed must produce the same catalog")
+		}
+	}
+	_, qC := MustBuild(Spec{Shape: RandomTree, Tables: 6, Seed: 43})
+	if qA.String() == qC.String() {
+		t.Error("different seeds should (generically) differ")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []Spec{
+		{Shape: Chain, Tables: 0},
+		{Shape: Chain, Tables: 21},
+		{Shape: Shape(99), Tables: 3},
+		{Shape: Chain, Tables: 3, MinRows: 100, MaxRows: 10},
+	}
+	for _, spec := range cases {
+		if _, _, err := Build(spec); err == nil {
+			t.Errorf("spec %+v: no error", spec)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if Chain.String() != "chain" || Clique.String() != "clique" {
+		t.Error("shape names wrong")
+	}
+	if Shape(99).String() != "shape(99)" {
+		t.Error("unknown shape name")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cat, q := MustBuild(Spec{Shape: Chain, Tables: 2})
+	if cat.MaxRows() != 1e6 {
+		t.Errorf("default MaxRows = %v", cat.MaxRows())
+	}
+	if q.EstimateWidth(query.Singleton(0)) != 100 {
+		t.Errorf("default width = %d", q.EstimateWidth(query.Singleton(0)))
+	}
+}

@@ -1,0 +1,250 @@
+// Package workload provides the experimental workload of the paper: the 22
+// TPC-H queries encoded as join graphs (each query is the largest
+// from-clause of its TPC-H statement, with filter selectivities for the
+// query's predicates), and the random test-case generator of Section 8
+// (random objective subsets, uniform weights, bounds drawn from the
+// objective's domain or relative to the per-query minimum).
+package workload
+
+import (
+	"fmt"
+
+	"moqo/internal/catalog"
+	"moqo/internal/query"
+)
+
+// PaperOrder lists the TPC-H query numbers in the order of the x-axis of
+// the paper's Figures 5, 9 and 10: ascending by the maximal number of
+// tables in any from-clause.
+var PaperOrder = []int{1, 4, 6, 22, 12, 13, 14, 15, 16, 17, 19, 20, 3, 11, 18, 10, 21, 2, 5, 7, 9, 8}
+
+// NumQueries is the number of TPC-H queries.
+const NumQueries = 22
+
+// Query builds TPC-H query num (1-22) against the given catalog. The join
+// graph covers the largest from-clause of the query; filter selectivities
+// approximate the TPC-H predicates' selectivities. Self-joined tables
+// (nation in Q7/Q8) appear as separate aliased relations.
+func Query(num int, cat *catalog.Catalog) (*query.Query, error) {
+	builder, ok := builders[num]
+	if !ok {
+		return nil, fmt.Errorf("workload: no TPC-H query %d", num)
+	}
+	q := query.New(fmt.Sprintf("tpch-q%d", num), cat)
+	builder(q)
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: q%d: %w", num, err)
+	}
+	return q, nil
+}
+
+// MustQuery is Query, panicking on error (the shipped queries always
+// validate; errors indicate a catalog mismatch).
+func MustQuery(num int, cat *catalog.Catalog) *query.Query {
+	q, err := Query(num, cat)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// All returns the 22 TPC-H queries in paper order.
+func All(cat *catalog.Catalog) []*query.Query {
+	out := make([]*query.Query, 0, NumQueries)
+	for _, num := range PaperOrder {
+		out = append(out, MustQuery(num, cat))
+	}
+	return out
+}
+
+// NumTables returns the number of relations in the largest from-clause of
+// TPC-H query num, the x-axis grouping key of the paper's figures.
+func NumTables(num int, cat *catalog.Catalog) int {
+	return MustQuery(num, cat).NumRelations()
+}
+
+var builders = map[int]func(*query.Query){
+	// Q1: pricing summary report — lineitem only.
+	1: func(q *query.Query) {
+		q.AddRelation(catalog.Lineitem, "lineitem", 0.95) // l_shipdate <= date - 90 days
+	},
+	// Q2: minimum cost supplier.
+	2: func(q *query.Query) {
+		p := q.AddRelation(catalog.Part, "part", 0.004) // p_size = X and p_type like '%Y'
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		ps := q.AddRelation(catalog.PartSupp, "partsupp", 1)
+		n := q.AddRelation(catalog.Nation, "nation", 1)
+		r := q.AddRelation(catalog.Region, "region", 0.2) // r_name = X
+		q.AddFKJoin(ps, "ps_partkey", p, "p_partkey")
+		q.AddFKJoin(ps, "ps_suppkey", s, "s_suppkey")
+		q.AddFKJoin(s, "s_nationkey", n, "n_nationkey")
+		q.AddFKJoin(n, "n_regionkey", r, "r_regionkey")
+	},
+	// Q3: shipping priority.
+	3: func(q *query.Query) {
+		c := q.AddRelation(catalog.Customer, "customer", 0.2)  // c_mktsegment = X
+		o := q.AddRelation(catalog.Orders, "orders", 0.48)     // o_orderdate < date
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 0.54) // l_shipdate > date
+		q.AddFKJoin(o, "o_custkey", c, "c_custkey")
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+	},
+	// Q4: order priority checking — orders (EXISTS on lineitem handled as
+	// a subquery by Postgres; the outer from-clause has one table).
+	4: func(q *query.Query) {
+		q.AddRelation(catalog.Orders, "orders", 0.038) // quarter of the 7-year span
+	},
+	// Q5: local supplier volume.
+	5: func(q *query.Query) {
+		c := q.AddRelation(catalog.Customer, "customer", 1)
+		o := q.AddRelation(catalog.Orders, "orders", 0.14) // one year
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 1)
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		n := q.AddRelation(catalog.Nation, "nation", 1)
+		r := q.AddRelation(catalog.Region, "region", 0.2) // r_name = X
+		q.AddFKJoin(o, "o_custkey", c, "c_custkey")
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+		q.AddFKJoin(l, "l_suppkey", s, "s_suppkey")
+		q.AddFKJoin(s, "s_nationkey", n, "n_nationkey")
+		q.AddFKJoin(c, "c_nationkey", n, "n_nationkey")
+		q.AddFKJoin(n, "n_regionkey", r, "r_regionkey")
+	},
+	// Q6: forecasting revenue change — lineitem only.
+	6: func(q *query.Query) {
+		q.AddRelation(catalog.Lineitem, "lineitem", 0.019) // year, discount and quantity band
+	},
+	// Q7: volume shipping — nation joined twice.
+	7: func(q *query.Query) {
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 0.29) // two ship years
+		o := q.AddRelation(catalog.Orders, "orders", 1)
+		c := q.AddRelation(catalog.Customer, "customer", 1)
+		n1 := q.AddRelation(catalog.Nation, "n1", 0.08) // two-nation pair
+		n2 := q.AddRelation(catalog.Nation, "n2", 0.08)
+		q.AddFKJoin(l, "l_suppkey", s, "s_suppkey")
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+		q.AddFKJoin(o, "o_custkey", c, "c_custkey")
+		q.AddFKJoin(s, "s_nationkey", n1, "n_nationkey")
+		q.AddFKJoin(c, "c_nationkey", n2, "n_nationkey")
+	},
+	// Q8: national market share — eight relations, nation twice.
+	8: func(q *query.Query) {
+		p := q.AddRelation(catalog.Part, "part", 0.0067) // p_type = X
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 1)
+		o := q.AddRelation(catalog.Orders, "orders", 0.29) // two order years
+		c := q.AddRelation(catalog.Customer, "customer", 1)
+		n1 := q.AddRelation(catalog.Nation, "n1", 1)
+		n2 := q.AddRelation(catalog.Nation, "n2", 1)
+		r := q.AddRelation(catalog.Region, "region", 0.2)
+		q.AddFKJoin(l, "l_partkey", p, "p_partkey")
+		q.AddFKJoin(l, "l_suppkey", s, "s_suppkey")
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+		q.AddFKJoin(o, "o_custkey", c, "c_custkey")
+		q.AddFKJoin(c, "c_nationkey", n1, "n_nationkey")
+		q.AddFKJoin(n1, "n_regionkey", r, "r_regionkey")
+		q.AddFKJoin(s, "s_nationkey", n2, "n_nationkey")
+	},
+	// Q9: product type profit measure.
+	9: func(q *query.Query) {
+		p := q.AddRelation(catalog.Part, "part", 0.055) // p_name like
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 1)
+		ps := q.AddRelation(catalog.PartSupp, "partsupp", 1)
+		o := q.AddRelation(catalog.Orders, "orders", 1)
+		n := q.AddRelation(catalog.Nation, "nation", 1)
+		q.AddFKJoin(l, "l_partkey", p, "p_partkey")
+		q.AddFKJoin(l, "l_suppkey", s, "s_suppkey")
+		q.AddFKJoin(l, "l_partsuppkey", ps, "ps_partkey") // composite FK on leading column
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+		q.AddFKJoin(s, "s_nationkey", n, "n_nationkey")
+	},
+	// Q10: returned item reporting.
+	10: func(q *query.Query) {
+		c := q.AddRelation(catalog.Customer, "customer", 1)
+		o := q.AddRelation(catalog.Orders, "orders", 0.033)    // one quarter
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 0.25) // l_returnflag = 'R'
+		n := q.AddRelation(catalog.Nation, "nation", 1)
+		q.AddFKJoin(o, "o_custkey", c, "c_custkey")
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+		q.AddFKJoin(c, "c_nationkey", n, "n_nationkey")
+	},
+	// Q11: important stock identification.
+	11: func(q *query.Query) {
+		ps := q.AddRelation(catalog.PartSupp, "partsupp", 1)
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		n := q.AddRelation(catalog.Nation, "nation", 0.04) // n_name = X
+		q.AddFKJoin(ps, "ps_suppkey", s, "s_suppkey")
+		q.AddFKJoin(s, "s_nationkey", n, "n_nationkey")
+	},
+	// Q12: shipping modes and order priority.
+	12: func(q *query.Query) {
+		o := q.AddRelation(catalog.Orders, "orders", 1)
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 0.01) // shipmode + date window
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+	},
+	// Q13: customer distribution.
+	13: func(q *query.Query) {
+		c := q.AddRelation(catalog.Customer, "customer", 1)
+		o := q.AddRelation(catalog.Orders, "orders", 0.98) // o_comment not like
+		q.AddFKJoin(o, "o_custkey", c, "c_custkey")
+	},
+	// Q14: promotion effect.
+	14: func(q *query.Query) {
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 0.0125) // one ship month
+		p := q.AddRelation(catalog.Part, "part", 1)
+		q.AddFKJoin(l, "l_partkey", p, "p_partkey")
+	},
+	// Q15: top supplier (revenue view inlined as filtered lineitem).
+	15: func(q *query.Query) {
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 0.036) // three ship months
+		q.AddFKJoin(l, "l_suppkey", s, "s_suppkey")
+	},
+	// Q16: parts/supplier relationship.
+	16: func(q *query.Query) {
+		ps := q.AddRelation(catalog.PartSupp, "partsupp", 1)
+		p := q.AddRelation(catalog.Part, "part", 0.16) // brand<>, type not like, 8 sizes
+		q.AddFKJoin(ps, "ps_partkey", p, "p_partkey")
+	},
+	// Q17: small-quantity-order revenue.
+	17: func(q *query.Query) {
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 1)
+		p := q.AddRelation(catalog.Part, "part", 0.001) // brand + container
+		q.AddFKJoin(l, "l_partkey", p, "p_partkey")
+	},
+	// Q18: large volume customer.
+	18: func(q *query.Query) {
+		c := q.AddRelation(catalog.Customer, "customer", 1)
+		o := q.AddRelation(catalog.Orders, "orders", 1) // HAVING filter, not a scan predicate
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 1)
+		q.AddFKJoin(o, "o_custkey", c, "c_custkey")
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+	},
+	// Q19: discounted revenue.
+	19: func(q *query.Query) {
+		l := q.AddRelation(catalog.Lineitem, "lineitem", 0.02) // shipmode/instruct + quantity
+		p := q.AddRelation(catalog.Part, "part", 0.003)        // brand + container + size
+		q.AddFKJoin(l, "l_partkey", p, "p_partkey")
+	},
+	// Q20: potential part promotion — supplier and nation in the outer
+	// from-clause (part/partsupp/lineitem live in subqueries).
+	20: func(q *query.Query) {
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		n := q.AddRelation(catalog.Nation, "nation", 0.04) // n_name = X
+		q.AddFKJoin(s, "s_nationkey", n, "n_nationkey")
+	},
+	// Q21: suppliers who kept orders waiting.
+	21: func(q *query.Query) {
+		s := q.AddRelation(catalog.Supplier, "supplier", 1)
+		l := q.AddRelation(catalog.Lineitem, "l1", 0.5)    // receiptdate > commitdate
+		o := q.AddRelation(catalog.Orders, "orders", 0.49) // o_orderstatus = 'F'
+		n := q.AddRelation(catalog.Nation, "nation", 0.04)
+		q.AddFKJoin(l, "l_suppkey", s, "s_suppkey")
+		q.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+		q.AddFKJoin(s, "s_nationkey", n, "n_nationkey")
+	},
+	// Q22: global sales opportunity — customer only.
+	22: func(q *query.Query) {
+		q.AddRelation(catalog.Customer, "customer", 0.09) // country codes + acctbal
+	},
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"moqo/internal/catalog"
+	"moqo/internal/objective"
+)
+
+func TestAllQueriesValidate(t *testing.T) {
+	cat := catalog.TPCH(1)
+	for num := 1; num <= NumQueries; num++ {
+		q, err := Query(num, cat)
+		if err != nil {
+			t.Errorf("q%d: %v", num, err)
+			continue
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("q%d: %v", num, err)
+		}
+	}
+	if _, err := Query(23, cat); err == nil {
+		t.Error("query 23 should not exist")
+	}
+	if _, err := Query(0, cat); err == nil {
+		t.Error("query 0 should not exist")
+	}
+}
+
+func TestPaperOrderCoversAllQueries(t *testing.T) {
+	if len(PaperOrder) != NumQueries {
+		t.Fatalf("PaperOrder has %d entries, want %d", len(PaperOrder), NumQueries)
+	}
+	seen := map[int]bool{}
+	for _, n := range PaperOrder {
+		if seen[n] {
+			t.Errorf("q%d appears twice in PaperOrder", n)
+		}
+		seen[n] = true
+		if n < 1 || n > NumQueries {
+			t.Errorf("q%d out of range", n)
+		}
+	}
+}
+
+func TestPaperOrderSortedByTableCount(t *testing.T) {
+	cat := catalog.TPCH(1)
+	prev := 0
+	for _, num := range PaperOrder {
+		n := NumTables(num, cat)
+		if n < prev {
+			t.Errorf("q%d has %d tables, after a query with %d — PaperOrder not ascending", num, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestQueryTableCounts(t *testing.T) {
+	cat := catalog.TPCH(1)
+	want := map[int]int{
+		1: 1, 4: 1, 6: 1, 22: 1,
+		12: 2, 13: 2, 14: 2, 15: 2, 16: 2, 17: 2, 19: 2, 20: 2,
+		3: 3, 11: 3, 18: 3,
+		10: 4, 21: 4,
+		2: 5,
+		5: 6, 7: 6, 9: 6,
+		8: 8,
+	}
+	for num, n := range want {
+		if got := NumTables(num, cat); got != n {
+			t.Errorf("q%d: %d tables, want %d", num, got, n)
+		}
+	}
+}
+
+func TestSelfJoinAliases(t *testing.T) {
+	cat := catalog.TPCH(1)
+	for _, num := range []int{7, 8} {
+		q := MustQuery(num, cat)
+		nation := cat.MustLookup(catalog.Nation)
+		count := 0
+		for _, r := range q.Relations {
+			if r.Table == nation {
+				count++
+			}
+		}
+		if count != 2 {
+			t.Errorf("q%d: nation appears %d times, want 2", num, count)
+		}
+	}
+}
+
+func TestAllReturnsPaperOrder(t *testing.T) {
+	cat := catalog.TPCH(1)
+	qs := All(cat)
+	if len(qs) != NumQueries {
+		t.Fatalf("All returned %d queries", len(qs))
+	}
+	if qs[0].Name != "tpch-q1" || qs[len(qs)-1].Name != "tpch-q8" {
+		t.Errorf("order wrong: first=%s last=%s", qs[0].Name, qs[len(qs)-1].Name)
+	}
+}
+
+func TestJoinSelectivitiesAreFKDerived(t *testing.T) {
+	cat := catalog.TPCH(1)
+	q := MustQuery(3, cat)
+	// orders ⋈ customer: 1/|customer| = 1/150000.
+	for _, e := range q.Edges {
+		if e.RightCol == "c_custkey" || e.LeftCol == "c_custkey" {
+			if e.Selectivity != 1.0/150000 {
+				t.Errorf("c_custkey join selectivity = %v, want 1/150000", e.Selectivity)
+			}
+		}
+	}
+}
+
+func TestWeightedCase(t *testing.T) {
+	cat := catalog.TPCH(1)
+	q := MustQuery(5, cat)
+	r := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 3, 6, 9} {
+		tc := WeightedCase(q, k, r)
+		if tc.Objectives.Len() != k {
+			t.Errorf("k=%d: got %d objectives", k, tc.Objectives.Len())
+		}
+		if tc.Bounded() {
+			t.Errorf("weighted case must carry no bounds")
+		}
+		for _, o := range tc.Objectives.IDs() {
+			if tc.Weights[o] < 0 || tc.Weights[o] > 1 {
+				t.Errorf("weight out of [0,1]: %v", tc.Weights[o])
+			}
+		}
+		for _, o := range objective.All() {
+			if !tc.Objectives.Contains(o) && tc.Weights[o] != 0 {
+				t.Errorf("weight on inactive objective %v", o)
+			}
+		}
+	}
+}
+
+func TestWeightedCaseObjectiveDistribution(t *testing.T) {
+	// Objective subsets must be drawn uniformly: over many draws each
+	// objective should appear roughly k/9 of the time.
+	cat := catalog.TPCH(1)
+	q := MustQuery(1, cat)
+	r := rand.New(rand.NewSource(2))
+	counts := map[objective.ID]int{}
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		tc := WeightedCase(q, 3, r)
+		for _, o := range tc.Objectives.IDs() {
+			counts[o]++
+		}
+	}
+	want := float64(trials) * 3 / 9
+	for _, o := range objective.All() {
+		got := float64(counts[o])
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("objective %v drawn %v times, want about %v", o, got, want)
+		}
+	}
+}
+
+func TestBoundedCase(t *testing.T) {
+	cat := catalog.TPCH(1)
+	q := MustQuery(3, cat)
+	r := rand.New(rand.NewSource(3))
+	var minima objective.Vector
+	for i := range minima {
+		minima[i] = 10
+	}
+	for _, k := range []int{3, 6, 9} {
+		tc := BoundedCase(q, k, minima, r)
+		if tc.Objectives.Len() != int(objective.NumObjectives) {
+			t.Errorf("bounded case must activate all objectives")
+		}
+		bounded := tc.Bounds.BoundedObjectives(tc.Objectives)
+		if len(bounded) != k {
+			t.Errorf("k=%d: got %d bounds", k, len(bounded))
+		}
+		for _, o := range bounded {
+			b := tc.Bounds[o]
+			if o.Bounded() {
+				if b < 0 || b > o.DomainMax() {
+					t.Errorf("%v bound %v outside domain", o, b)
+				}
+			} else if b < minima[o] || b > 2*minima[o] {
+				t.Errorf("%v bound %v outside [1,2]*minimum", o, b)
+			}
+		}
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	cat := catalog.TPCH(1)
+	q := MustQuery(1, cat)
+	r := rand.New(rand.NewSource(4))
+	tc := WeightedCase(q, 2, r)
+	if tc.String() == "" {
+		t.Error("empty String")
+	}
+	var minima objective.Vector
+	btc := BoundedCase(q, 3, minima, r)
+	if btc.String() == tc.String() {
+		t.Error("bounded and weighted cases should render differently")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cat := catalog.TPCH(1)
+	q := MustQuery(1, cat)
+	r := rand.New(rand.NewSource(5))
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero objectives", func() { WeightedCase(q, 0, r) })
+	mustPanic("too many objectives", func() { WeightedCase(q, 10, r) })
+	mustPanic("zero bounds", func() { BoundedCase(q, 0, objective.Vector{}, r) })
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	cat := catalog.TPCH(1)
+	q := MustQuery(5, cat)
+	a := WeightedCase(q, 6, rand.New(rand.NewSource(99)))
+	b := WeightedCase(q, 6, rand.New(rand.NewSource(99)))
+	if a.Objectives != b.Objectives || a.Weights != b.Weights {
+		t.Error("same seed must generate identical test cases")
+	}
+}

@@ -1,0 +1,356 @@
+// Package moqo is a multi-objective query optimizer library reproducing
+// "Approximation Schemes for Many-Objective Query Optimization" (Trummer &
+// Koch, SIGMOD 2014). It finds join query plans that minimize a weighted
+// sum of up to nine cost objectives — execution time, startup time, IO
+// load, CPU load, used cores, disk footprint, buffer footprint, energy,
+// and tuple loss — optionally under per-objective upper bounds.
+//
+// Three multi-objective algorithms are provided:
+//
+//   - EXA: the exact Pareto-set dynamic program of Ganguly et al. —
+//     optimal but exponential in the number of possible plans.
+//   - RTA: the representative-tradeoffs approximation scheme for weighted
+//     MOQO — guarantees a plan within factor Alpha of the weighted optimum
+//     at a fraction of EXA's cost.
+//   - IRA: the iterative-refinement approximation scheme for
+//     bounded-weighted MOQO — guarantees an Alpha-approximate plan among
+//     those respecting the bounds whenever such plans exist.
+//
+// The quickest way in:
+//
+//	cat := moqo.TPCHCatalog(1)
+//	q, _ := moqo.TPCHQuery(3, cat)
+//	res, err := moqo.Optimize(moqo.Request{
+//		Query:      q,
+//		Algorithm:  moqo.AlgoRTA,
+//		Alpha:      1.5,
+//		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy, moqo.TupleLoss},
+//		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.Energy: 0.2, moqo.TupleLoss: 10},
+//	})
+//
+// Custom schemas and queries are built with NewCatalog/NewQuery; see the
+// examples directory for complete programs, including the paper's Cloud
+// provider and multi-user server scenarios.
+package moqo
+
+import (
+	"fmt"
+	"time"
+
+	"moqo/internal/catalog"
+	"moqo/internal/core"
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+	"moqo/internal/query"
+)
+
+// Objective identifies one cost objective.
+type Objective = objective.ID
+
+// The nine cost objectives.
+const (
+	TotalTime       = objective.TotalTime
+	StartupTime     = objective.StartupTime
+	IOLoad          = objective.IOLoad
+	CPULoad         = objective.CPULoad
+	Cores           = objective.Cores
+	DiskFootprint   = objective.DiskFootprint
+	BufferFootprint = objective.BufferFootprint
+	Energy          = objective.Energy
+	TupleLoss       = objective.TupleLoss
+)
+
+// AllObjectives returns the nine objectives in declaration order.
+func AllObjectives() []Objective { return objective.All() }
+
+// CostVector is a nine-dimensional plan cost vector.
+type CostVector = objective.Vector
+
+// ObjectiveSet is a set of objectives (used by CostVector formatting and
+// comparison helpers).
+type ObjectiveSet = objective.Set
+
+// NewObjectiveSet builds an ObjectiveSet from objectives.
+func NewObjectiveSet(ids ...Objective) ObjectiveSet { return objective.NewSet(ids...) }
+
+// Catalog holds base-table statistics and indexes.
+type Catalog = catalog.Catalog
+
+// Query is a join query: base-table references plus equi-join edges.
+type Query = query.Query
+
+// Plan is an operator tree with its cost vector.
+type Plan = plan.Node
+
+// Stats reports optimization effort (time, considered/stored plans,
+// memory, Pareto-set size, timeout flag, IRA iterations).
+type Stats = core.Stats
+
+// CostParams are the calibration constants of the cost model.
+type CostParams = costmodel.Params
+
+// DefaultCostParams returns the default cost model calibration.
+func DefaultCostParams() CostParams { return costmodel.Default() }
+
+// TPCHCatalog builds the TPC-H catalog at the given scale factor.
+func TPCHCatalog(scaleFactor float64) *Catalog { return catalog.TPCH(scaleFactor) }
+
+// NewCatalog creates an empty catalog; add tables with AddTable and
+// indexes with AddIndex.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// NewQuery creates an empty query against a catalog; add relations with
+// AddRelation and join predicates with AddJoin/AddFKJoin.
+func NewQuery(name string, cat *Catalog) *Query { return query.New(name, cat) }
+
+// Algorithm selects the optimization algorithm.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// AlgoEXA is the exact multi-objective dynamic program.
+	AlgoEXA Algorithm = iota
+	// AlgoRTA is the approximation scheme for weighted MOQO.
+	AlgoRTA
+	// AlgoIRA is the approximation scheme for bounded-weighted MOQO.
+	AlgoIRA
+	// AlgoSelinger is the single-objective baseline; it optimizes the
+	// first objective listed in the request and ignores the others.
+	AlgoSelinger
+	// AlgoWeightedSum prunes on the scalar weighted cost. It is unsound
+	// for objectives with diverse cost formulas (paper Example 1) and is
+	// provided as an ablation baseline.
+	AlgoWeightedSum
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoEXA:
+		return "exa"
+	case AlgoRTA:
+		return "rta"
+	case AlgoIRA:
+		return "ira"
+	case AlgoSelinger:
+		return "selinger"
+	case AlgoWeightedSum:
+		return "weightedsum"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts an algorithm name (as produced by String) back
+// to its identifier.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range []Algorithm{AlgoEXA, AlgoRTA, AlgoIRA, AlgoSelinger, AlgoWeightedSum} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("moqo: unknown algorithm %q", s)
+}
+
+// Request describes one optimization problem.
+type Request struct {
+	// Query to optimize (required).
+	Query *Query
+
+	// Algorithm to run; defaults to AlgoRTA for unbounded requests and
+	// AlgoIRA when bounds are present.
+	Algorithm Algorithm
+	// HasAlgorithm marks Algorithm as explicitly chosen (set
+	// automatically by the Algorithm field being non-zero, or use this
+	// to force AlgoEXA, which is the zero value).
+	HasAlgorithm bool
+
+	// Objectives to optimize (required: at least one). Weights on
+	// objectives outside this set are rejected.
+	Objectives []Objective
+
+	// Weights assigns relative importance; objectives without an entry
+	// get weight zero (they still constrain pruning as Pareto dimensions).
+	Weights map[Objective]float64
+
+	// Bounds sets upper bounds on objectives; omitted objectives are
+	// unbounded. Bounds require AlgoIRA or AlgoEXA.
+	Bounds map[Objective]float64
+
+	// Alpha is the approximation precision for RTA/IRA (>= 1; default 1.2).
+	Alpha float64
+
+	// Precisions optionally sets a per-objective approximation precision
+	// (>= 1) instead of the uniform Alpha: coarse on tolerant objectives,
+	// exact (1) on strict ones. Active objectives without an entry are
+	// tracked exactly. Only supported by AlgoRTA (unbounded requests);
+	// the weighted-cost guarantee is the maximum precision over the
+	// weighted objectives.
+	Precisions map[Objective]float64
+
+	// Timeout caps optimization time (0 = none). On timeout the
+	// optimizer degrades gracefully and flags Stats.TimedOut.
+	Timeout time.Duration
+
+	// CostParams overrides the cost model calibration (nil = defaults).
+	CostParams *CostParams
+
+	// MaxDOP caps operator parallelism (default 4).
+	MaxDOP int
+
+	// AllowSampling overrides whether sampling scans are in the plan
+	// space (default: only when TupleLoss is an active objective).
+	AllowSampling *bool
+}
+
+// Result is the outcome of an optimization.
+type Result struct {
+	// Plan is the selected plan.
+	Plan *Plan
+	// Frontier holds the plans of the (approximate) Pareto frontier of
+	// the full query, a byproduct of optimization usable for tradeoff
+	// visualization.
+	Frontier []*Plan
+	// Stats reports the optimization effort.
+	Stats Stats
+
+	objs objective.Set
+	q    *Query
+}
+
+// Objectives returns the active objective set of the run.
+func (r *Result) Objectives() []Objective { return r.objs.IDs() }
+
+// PlanText renders the selected plan as an indented operator tree.
+func (r *Result) PlanText() string { return r.Plan.Format(r.q) }
+
+// Explain renders the selected plan as an EXPLAIN-style tree with
+// estimated cardinalities and per-node costs for the active objectives.
+func (r *Result) Explain() string { return r.Plan.Explain(r.q, r.objs) }
+
+// PlanJSON renders the selected plan as indented JSON (operators,
+// parameters, estimated rows, per-node costs).
+func (r *Result) PlanJSON() ([]byte, error) { return r.Plan.JSON(r.q, r.objs) }
+
+// Cost returns the selected plan's cost for one objective.
+func (r *Result) Cost(o Objective) float64 { return r.Plan.Cost[o] }
+
+// FrontierVectors returns the cost vectors of the frontier plans.
+func (r *Result) FrontierVectors() []CostVector {
+	out := make([]CostVector, len(r.Frontier))
+	for i, p := range r.Frontier {
+		out[i] = p.Cost
+	}
+	return out
+}
+
+// Optimize solves one MOQO problem.
+func Optimize(req Request) (*Result, error) {
+	if req.Query == nil {
+		return nil, fmt.Errorf("moqo: no query")
+	}
+	if err := req.Query.Validate(); err != nil {
+		return nil, fmt.Errorf("moqo: %w", err)
+	}
+	if len(req.Objectives) == 0 {
+		return nil, fmt.Errorf("moqo: no objectives")
+	}
+	objs := objective.NewSet(req.Objectives...)
+
+	var w objective.Weights
+	for o, x := range req.Weights {
+		if !objs.Contains(o) {
+			return nil, fmt.Errorf("moqo: weight on inactive objective %v", o)
+		}
+		w[o] = x
+	}
+	b := objective.NoBounds()
+	for o, x := range req.Bounds {
+		if !objs.Contains(o) {
+			return nil, fmt.Errorf("moqo: bound on inactive objective %v", o)
+		}
+		b[o] = x
+	}
+
+	alg := req.Algorithm
+	if alg == AlgoEXA && !req.HasAlgorithm {
+		if b.Unbounded(objs) {
+			alg = AlgoRTA
+		} else {
+			alg = AlgoIRA
+		}
+	}
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = 1.2
+	}
+
+	params := costmodel.Default()
+	if req.CostParams != nil {
+		params = *req.CostParams
+	}
+	m := costmodel.New(req.Query, params)
+	opts := core.Options{
+		Objectives:    objs,
+		Alpha:         alpha,
+		Timeout:       req.Timeout,
+		MaxDOP:        req.MaxDOP,
+		AllowSampling: req.AllowSampling,
+	}
+
+	if len(req.Precisions) > 0 && alg != AlgoRTA {
+		return nil, fmt.Errorf("moqo: Precisions requires AlgoRTA, got %v", alg)
+	}
+
+	var res core.Result
+	var err error
+	switch alg {
+	case AlgoEXA:
+		res, err = core.EXA(m, w, b, opts)
+	case AlgoRTA:
+		if !b.Unbounded(objs) {
+			return nil, fmt.Errorf("moqo: RTA does not support bounds; use AlgoIRA")
+		}
+		if len(req.Precisions) > 0 {
+			prec := objective.UniformPrecision(1, objs)
+			for o, x := range req.Precisions {
+				if !objs.Contains(o) {
+					return nil, fmt.Errorf("moqo: precision on inactive objective %v", o)
+				}
+				prec = prec.With(o, x)
+			}
+			res, err = core.RTAVector(m, w, prec, opts)
+		} else {
+			res, err = core.RTA(m, w, opts)
+		}
+	case AlgoIRA:
+		res, err = core.IRA(m, w, b, opts)
+	case AlgoSelinger:
+		res, err = core.Selinger(m, req.Objectives[0], opts)
+	case AlgoWeightedSum:
+		res, err = core.WeightedSumDP(m, w, opts)
+	default:
+		return nil, fmt.Errorf("moqo: unknown algorithm %v", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Plan:     res.Best,
+		Frontier: res.Frontier.Plans(),
+		Stats:    res.Stats,
+		objs:     objs,
+		q:        req.Query,
+	}
+	if out.Plan == nil {
+		return nil, fmt.Errorf("moqo: no plan found")
+	}
+	return out, nil
+}
+
+// TPCHQuery builds TPC-H query num (1-22) against the catalog. The query
+// covers the largest from-clause of the TPC-H statement with approximate
+// filter selectivities (see internal/workload).
+func TPCHQuery(num int, cat *Catalog) (*Query, error) {
+	return tpchQuery(num, cat)
+}

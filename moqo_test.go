@@ -1,0 +1,338 @@
+package moqo_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"moqo"
+)
+
+func smallCatalog(t testing.TB) *moqo.Catalog {
+	t.Helper()
+	return moqo.TPCHCatalog(0.01)
+}
+
+func TestOptimizeQuickstart(t *testing.T) {
+	cat := smallCatalog(t)
+	q, err := moqo.TPCHQuery(3, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy, moqo.TupleLoss},
+		Weights: map[moqo.Objective]float64{
+			moqo.TotalTime: 1, moqo.Energy: 0.2, moqo.TupleLoss: 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || len(res.Frontier) == 0 {
+		t.Fatal("empty result")
+	}
+	if err := res.Plan.Validate(q); err != nil {
+		t.Errorf("invalid plan: %v", err)
+	}
+	if !strings.Contains(res.PlanText(), "customer") {
+		t.Errorf("plan text missing relation:\n%s", res.PlanText())
+	}
+	if res.Cost(moqo.TotalTime) <= 0 {
+		t.Error("non-positive time cost")
+	}
+	if got := len(res.Objectives()); got != 3 {
+		t.Errorf("Objectives() returned %d entries", got)
+	}
+	if len(res.FrontierVectors()) != len(res.Frontier) {
+		t.Error("FrontierVectors length mismatch")
+	}
+}
+
+func TestOptimizeDefaultsToRTAOrIRA(t *testing.T) {
+	cat := smallCatalog(t)
+	q, _ := moqo.TPCHQuery(12, cat)
+	// Unbounded: defaults to RTA (one iteration, no bounds).
+	res, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != 1 {
+		t.Errorf("default unbounded run iterations = %d", res.Stats.Iterations)
+	}
+	// Bounded: defaults to IRA and respects a generous bound.
+	bound := res.Cost(moqo.TotalTime) * 10
+	res2, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint},
+		Bounds:     map[moqo.Objective]float64{moqo.TotalTime: bound},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cost(moqo.TotalTime) > bound {
+		t.Error("bounded default run violates a satisfiable bound")
+	}
+}
+
+func TestOptimizeEXAExplicit(t *testing.T) {
+	cat := smallCatalog(t)
+	q, _ := moqo.TPCHQuery(14, cat)
+	res, err := moqo.Optimize(moqo.Request{
+		Query:        q,
+		Algorithm:    moqo.AlgoEXA,
+		HasAlgorithm: true,
+		Objectives:   []moqo.Objective{moqo.TotalTime, moqo.Energy},
+		Weights:      map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.Energy: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rta, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Alpha:      2,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.Energy: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exaCost := res.Cost(moqo.TotalTime) + res.Cost(moqo.Energy)
+	rtaCost := rta.Cost(moqo.TotalTime) + rta.Cost(moqo.Energy)
+	if rtaCost > exaCost*2.000001 {
+		t.Errorf("RTA(2) cost %v beyond guarantee vs EXA %v", rtaCost, exaCost)
+	}
+	if rtaCost < exaCost*0.999999 {
+		t.Errorf("RTA beat EXA: %v < %v", rtaCost, exaCost)
+	}
+}
+
+func TestOptimizeSelingerAndWeightedSum(t *testing.T) {
+	cat := smallCatalog(t)
+	q, _ := moqo.TPCHQuery(3, cat)
+	res, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoSelinger,
+		Objectives: []moqo.Objective{moqo.TotalTime},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) != 1 {
+		t.Errorf("Selinger frontier size = %d, want 1", len(res.Frontier))
+	}
+	ws, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoWeightedSum,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.Energy: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Plan == nil {
+		t.Error("weighted-sum baseline returned no plan")
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	cat := smallCatalog(t)
+	q, _ := moqo.TPCHQuery(1, cat)
+	cases := map[string]moqo.Request{
+		"no query":      {Objectives: []moqo.Objective{moqo.TotalTime}},
+		"no objectives": {Query: q},
+		"weight on inactive objective": {
+			Query:      q,
+			Objectives: []moqo.Objective{moqo.TotalTime},
+			Weights:    map[moqo.Objective]float64{moqo.Energy: 1},
+		},
+		"bound on inactive objective": {
+			Query:      q,
+			Objectives: []moqo.Objective{moqo.TotalTime},
+			Bounds:     map[moqo.Objective]float64{moqo.Energy: 1},
+		},
+		"RTA with bounds": {
+			Query:      q,
+			Algorithm:  moqo.AlgoRTA,
+			Objectives: []moqo.Objective{moqo.TotalTime},
+			Bounds:     map[moqo.Objective]float64{moqo.TotalTime: 1},
+		},
+		"bad alpha": {
+			Query:      q,
+			Algorithm:  moqo.AlgoRTA,
+			Alpha:      0.3,
+			Objectives: []moqo.Objective{moqo.TotalTime},
+		},
+		"unknown algorithm": {
+			Query:        q,
+			Algorithm:    moqo.Algorithm(42),
+			HasAlgorithm: true,
+			Objectives:   []moqo.Objective{moqo.TotalTime},
+		},
+	}
+	for name, req := range cases {
+		if _, err := moqo.Optimize(req); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestOptimizeTimeout(t *testing.T) {
+	cat := moqo.TPCHCatalog(1)
+	q, _ := moqo.TPCHQuery(8, cat)
+	start := time.Now()
+	res, err := moqo.Optimize(moqo.Request{
+		Query:        q,
+		Algorithm:    moqo.AlgoEXA,
+		HasAlgorithm: true,
+		Objectives:   moqo.AllObjectives(),
+		Weights:      map[moqo.Objective]float64{moqo.TotalTime: 1},
+		Timeout:      200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("timeout run took %v", elapsed)
+	}
+	if !res.Stats.TimedOut {
+		t.Error("q8 with 9 objectives in 200ms should time out")
+	}
+	if err := res.Plan.Validate(q); err != nil {
+		t.Errorf("degraded plan invalid: %v", err)
+	}
+}
+
+func TestCustomCatalogAndQuery(t *testing.T) {
+	cat := moqo.NewCatalog()
+	cat.AddTable("users", 10000, 64, "id")
+	cat.AddTable("events", 500000, 128, "event_id")
+	events := cat.MustLookup("events")
+	cat.AddIndex(events, "user_id", false)
+
+	q := moqo.NewQuery("user-events", cat)
+	u := q.AddRelation("users", "u", 0.5)
+	e := q.AddRelation("events", "e", 0.1)
+	q.AddFKJoin(e, "user_id", u, "id")
+
+	res, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(q); err != nil {
+		t.Errorf("invalid plan: %v", err)
+	}
+}
+
+func TestAlgorithmStringRoundTrip(t *testing.T) {
+	for _, a := range []moqo.Algorithm{moqo.AlgoEXA, moqo.AlgoRTA, moqo.AlgoIRA, moqo.AlgoSelinger, moqo.AlgoWeightedSum} {
+		got, err := moqo.ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip failed for %v: %v %v", a, got, err)
+		}
+	}
+	if _, err := moqo.ParseAlgorithm("bogus"); err == nil {
+		t.Error("ParseAlgorithm(bogus) succeeded")
+	}
+	if moqo.Algorithm(42).String() != "algorithm(42)" {
+		t.Error("unknown algorithm String")
+	}
+}
+
+func TestTPCHQueryNumbers(t *testing.T) {
+	nums := moqo.TPCHQueryNumbers()
+	if len(nums) != 22 {
+		t.Fatalf("got %d query numbers", len(nums))
+	}
+	nums[0] = 99 // must not corrupt the library's copy
+	if moqo.TPCHQueryNumbers()[0] == 99 {
+		t.Error("TPCHQueryNumbers exposes internal state")
+	}
+}
+
+func TestPerObjectivePrecisions(t *testing.T) {
+	cat := smallCatalog(t)
+	q, _ := moqo.TPCHQuery(3, cat)
+	res, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1},
+		Precisions: map[moqo.Objective]float64{moqo.BufferFootprint: 4},
+		// TotalTime has no entry: tracked exactly.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := moqo.Optimize(moqo.Request{
+		Query:        q,
+		Algorithm:    moqo.AlgoEXA,
+		HasAlgorithm: true,
+		Objectives:   []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint},
+		Weights:      map[moqo.Objective]float64{moqo.TotalTime: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time carries all the weight and is tracked exactly, so the result
+	// must match the exact optimum on time.
+	if got, want := res.Cost(moqo.TotalTime), exact.Cost(moqo.TotalTime); got > want*1.000001 {
+		t.Errorf("exact-precision objective drifted: %v vs %v", got, want)
+	}
+	// Validation paths.
+	if _, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Objectives: []moqo.Objective{moqo.TotalTime},
+		Precisions: map[moqo.Objective]float64{moqo.Energy: 2},
+	}); err == nil {
+		t.Error("precision on inactive objective accepted")
+	}
+	if _, err := moqo.Optimize(moqo.Request{
+		Query:        q,
+		Algorithm:    moqo.AlgoEXA,
+		HasAlgorithm: true,
+		Objectives:   []moqo.Objective{moqo.TotalTime},
+		Precisions:   map[moqo.Objective]float64{moqo.TotalTime: 2},
+	}); err == nil {
+		t.Error("precisions with EXA accepted")
+	}
+}
+
+func TestCostParamsOverride(t *testing.T) {
+	cat := smallCatalog(t)
+	q, _ := moqo.TPCHQuery(6, cat)
+	slow := moqo.DefaultCostParams()
+	slow.SeqPageMs *= 100
+	slow.RandPageMs *= 100 // keep index scans from absorbing the change
+	fast, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Objectives: []moqo.Objective{moqo.TotalTime},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower, err := moqo.Optimize(moqo.Request{
+		Query:      q,
+		Objectives: []moqo.Objective{moqo.TotalTime},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1},
+		CostParams: &slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slower.Cost(moqo.TotalTime) <= fast.Cost(moqo.TotalTime) {
+		t.Error("100x IO cost should increase estimated time")
+	}
+}

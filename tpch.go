@@ -1,0 +1,21 @@
+package moqo
+
+import (
+	"moqo/internal/catalog"
+	"moqo/internal/query"
+	"moqo/internal/workload"
+)
+
+// tpchQuery adapts the internal workload package for the public API.
+func tpchQuery(num int, cat *catalog.Catalog) (*query.Query, error) {
+	return workload.Query(num, cat)
+}
+
+// TPCHQueryNumbers returns the 22 TPC-H query numbers ordered as on the
+// x-axis of the paper's evaluation figures: ascending by the number of
+// tables in the query's largest from-clause.
+func TPCHQueryNumbers() []int {
+	out := make([]int, len(workload.PaperOrder))
+	copy(out, workload.PaperOrder)
+	return out
+}
