@@ -11,6 +11,7 @@ package moqo_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"moqo/internal/core"
 	"moqo/internal/costmodel"
 	"moqo/internal/objective"
+	"moqo/internal/synthetic"
 	"moqo/internal/workload"
 )
 
@@ -191,3 +193,51 @@ func BenchmarkAlgorithms(b *testing.B) {
 }
 
 func benchCatalog() *catalog.Catalog { return catalog.TPCH(1) }
+
+// BenchmarkParallelRTA measures the level-synchronized parallel engine on
+// 10–14 relation synthetic queries: Workers=1 against Workers=NumCPU on
+// the identical plan space. On a multi-core machine the parallel arm
+// should approach a NumCPU-fold speedup on the larger queries (levels
+// with many table sets shard evenly); on one core both arms coincide.
+func BenchmarkParallelRTA(b *testing.B) {
+	objs := objective.NewSet(objective.TotalTime, objective.BufferFootprint, objective.Energy)
+	w := objective.UniformWeights(objs)
+	cases := []struct {
+		shape  synthetic.Shape
+		tables int
+	}{
+		{synthetic.Chain, 10},
+		{synthetic.Chain, 12},
+		{synthetic.Star, 12},
+		{synthetic.Chain, 14},
+	}
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, tc := range cases {
+		_, q := synthetic.MustBuild(synthetic.Spec{
+			Shape: tc.shape, Tables: tc.tables, MaxRows: 1e5, Seed: 1,
+		})
+		m := costmodel.NewDefault(q)
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("%s%d/workers=%d", tc.shape, tc.tables, workers), func(b *testing.B) {
+				opts := core.Options{
+					Objectives: objs,
+					Alpha:      1.5,
+					Timeout:    time.Minute,
+					Workers:    workers,
+				}
+				for i := 0; i < b.N; i++ {
+					res, err := core.RTA(m, w, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Best == nil {
+						b.Fatal("no plan")
+					}
+				}
+			})
+		}
+	}
+}

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	experiments [-fig all|1|2|3|4|5|7|9|10] [-timeout 2s] [-cases 3]
-//	            [-sf 1] [-seed 1] [-queries 1,12,3] [-out dir]
+//	experiments [-fig all|1|2|3|4|5|7|9|10|scaling|parallel] [-timeout 2s]
+//	            [-cases 3] [-sf 1] [-seed 1] [-queries 1,12,3] [-out dir]
+//	            [-workers N] [-tables 10,12,14]
 //
 // The defaults are scaled down from the paper's setup (two-hour timeout,
 // 20 test cases per configuration) so the full run finishes in minutes;
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -29,13 +31,15 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
 		seed    = flag.Int64("seed", 1, "workload random seed")
 		queries = flag.String("queries", "", "comma-separated TPC-H query numbers (default: all 22)")
 		outDir  = flag.String("out", "", "directory for CSV output (optional)")
+		workers = flag.Int("workers", 1, "optimizer worker goroutines per run (default 1 keeps the figure experiments paper-faithful sequential; -fig parallel defaults its parallel arm to NumCPU)")
+		tables  = flag.String("tables", "", "comma-separated query sizes for -fig parallel (default 10,12,14)")
 	)
 	flag.Parse()
 
@@ -44,14 +48,13 @@ func main() {
 	cfg.CasesPerConfig = *cases
 	cfg.ScaleFactor = *sf
 	cfg.Seed = *seed
-	if *queries != "" {
-		for _, part := range strings.Split(*queries, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				fatalf("bad -queries entry %q: %v", part, err)
-			}
-			cfg.Queries = append(cfg.Queries, n)
+	cfg.EngineWorkers = *workers
+	for _, part := range splitArg(*queries) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fatalf("bad -queries entry %q: %v", part, err)
 		}
+		cfg.Queries = append(cfg.Queries, n)
 	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -84,6 +87,9 @@ func main() {
 	}
 	if *fig == "scaling" || *fig == "all" {
 		scaling(cfg)
+	}
+	if *fig == "parallel" || *fig == "all" {
+		parallelScaling(cfg, *workers, *tables, *outDir)
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
@@ -150,13 +156,67 @@ func figure4(cfg bench.Config, outDir string) {
 
 func scaling(cfg bench.Config) {
 	header("Empirical scaling (companion to Figure 7): optimization time vs #tables")
-	spec := bench.ScalingSpec{Timeout: cfg.Timeout, Seed: cfg.Seed}
+	spec := bench.ScalingSpec{Timeout: cfg.Timeout, Seed: cfg.Seed, Workers: cfg.EngineWorkers}
 	pts, err := bench.Scaling(spec)
 	if err != nil {
 		fatalf("scaling: %v", err)
 	}
 	fmt.Println("synthetic chain queries, m=1e5, three objectives; '>' marks timeout (lower bound):")
 	fmt.Print(bench.RenderScaling(pts, spec))
+}
+
+// parallelScaling measures the level-synchronized engine's Workers=1 vs
+// Workers=N speedup and always emits BENCH_parallel.json (into -out when
+// set, the working directory otherwise) for the CI pipeline to archive.
+// A -workers value of 1 (the flag default, chosen for the sequential
+// figure experiments) means "let the parallel arm default to NumCPU".
+func parallelScaling(cfg bench.Config, workers int, tables, outDir string) {
+	header("Engine parallelism: RTA wall-clock, Workers=1 vs Workers=N")
+	if workers <= 1 {
+		workers = 0 // ParallelSpec defaults 0 to NumCPU
+	}
+	spec := bench.ParallelSpec{
+		Workers: workers,
+		Timeout: cfg.Timeout,
+		Seed:    cfg.Seed,
+	}
+	for _, part := range splitArg(tables) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fatalf("bad -tables entry %q: %v", part, err)
+		}
+		spec.Tables = append(spec.Tables, n)
+	}
+	pts, err := bench.ParallelScaling(spec)
+	if err != nil {
+		fatalf("parallel: %v", err)
+	}
+	fmt.Printf("synthetic chain queries, three objectives, alpha=1.5, NumCPU=%d; '>' marks timeout:\n", runtime.NumCPU())
+	fmt.Print(bench.RenderParallel(pts))
+
+	raw, err := bench.ParallelJSON(pts)
+	if err != nil {
+		fatalf("parallel: %v", err)
+	}
+	path := "BENCH_parallel.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// splitArg splits a comma-separated flag value, dropping blanks.
+func splitArg(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func quality(cfg bench.Config) {

@@ -8,7 +8,7 @@
 //	moqo -query 3 [-algorithm rta] [-alpha 1.5] [-sf 1] [-timeout 10s]
 //	     [-objectives total_time,energy,tuple_loss]
 //	     [-weights total_time=1,energy=0.2] [-bounds tuple_loss=0]
-//	     [-frontier]
+//	     [-workers N] [-frontier]
 //
 // Examples:
 //
@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +42,7 @@ func main() {
 		objectives = flag.String("objectives", "total_time,buffer_footprint,tuple_loss", "comma-separated objectives")
 		weights    = flag.String("weights", "total_time=1", "comma-separated objective=weight pairs")
 		bounds     = flag.String("bounds", "", "comma-separated objective=bound pairs")
+		workers    = flag.Int("workers", runtime.NumCPU(), "optimizer worker goroutines (1 = sequential)")
 		frontier   = flag.Bool("frontier", false, "print the full Pareto frontier")
 		explain    = flag.Bool("explain", false, "print per-node cardinalities and costs")
 		asJSON     = flag.Bool("json", false, "print the plan as JSON and exit")
@@ -57,6 +59,7 @@ func main() {
 		Query:   q,
 		Alpha:   *alpha,
 		Timeout: *timeout,
+		Workers: *workers,
 	}
 	for _, name := range splitList(*objectives) {
 		o, err := parseObjective(name)
@@ -79,7 +82,9 @@ func main() {
 			fatalf("%v", err)
 		}
 		req.Algorithm = alg
-		req.HasAlgorithm = true
+		// Not set for "auto": HasAlgorithm with a zero Algorithm is the
+		// legacy combination that forces AlgoEXA.
+		req.HasAlgorithm = alg != moqo.AlgoAuto
 	}
 
 	res, err := moqo.Optimize(req)
@@ -126,7 +131,7 @@ func main() {
 }
 
 func algName(req moqo.Request) string {
-	if req.HasAlgorithm {
+	if req.Algorithm != moqo.AlgoAuto {
 		return req.Algorithm.String()
 	}
 	if len(req.Bounds) > 0 {

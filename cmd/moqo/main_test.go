@@ -64,4 +64,9 @@ func TestAlgName(t *testing.T) {
 	if got := algName(moqo.Request{HasAlgorithm: true, Algorithm: moqo.AlgoEXA}); got != "exa" {
 		t.Errorf("algName explicit = %q", got)
 	}
+	// An explicit algorithm is honored even without HasAlgorithm — the
+	// zero value of Algorithm is AlgoAuto, not AlgoEXA.
+	if got := algName(moqo.Request{Algorithm: moqo.AlgoEXA}); got != "exa" {
+		t.Errorf("algName explicit without HasAlgorithm = %q", got)
+	}
 }

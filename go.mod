@@ -1,0 +1,3 @@
+module moqo
+
+go 1.24

@@ -64,6 +64,11 @@ type Config struct {
 	// Concurrent cells contend for CPU, so per-run times are inflated
 	// under load, exactly as in the paper's setup.
 	Workers int
+	// EngineWorkers shards each optimizer run's dynamic program across
+	// this many goroutines (core.Options.Workers). 0 or 1 = sequential.
+	// Unlike Workers, this parallelizes within a single optimization, so
+	// measured per-run times genuinely shrink.
+	EngineWorkers int
 }
 
 // DefaultConfig returns the scaled-down default setup.
@@ -194,36 +199,36 @@ type namedAlgo struct {
 }
 
 // exaAlgo builds the EXA comparator.
-func exaAlgo(timeout time.Duration) namedAlgo {
+func exaAlgo(cfg Config) namedAlgo {
 	return namedAlgo{
 		name: "EXA",
 		run: func(m *costmodel.Model, tc workload.TestCase) (core.Result, error) {
 			return core.EXA(m, tc.Weights, tc.Bounds, core.Options{
-				Objectives: tc.Objectives, Timeout: timeout,
+				Objectives: tc.Objectives, Timeout: cfg.Timeout, Workers: cfg.EngineWorkers,
 			})
 		},
 	}
 }
 
 // rtaAlgo builds an RTA comparator at the given precision.
-func rtaAlgo(alpha float64, timeout time.Duration) namedAlgo {
+func rtaAlgo(alpha float64, cfg Config) namedAlgo {
 	return namedAlgo{
 		name: fmt.Sprintf("RTA(%.4g)", alpha),
 		run: func(m *costmodel.Model, tc workload.TestCase) (core.Result, error) {
 			return core.RTA(m, tc.Weights, core.Options{
-				Objectives: tc.Objectives, Alpha: alpha, Timeout: timeout,
+				Objectives: tc.Objectives, Alpha: alpha, Timeout: cfg.Timeout, Workers: cfg.EngineWorkers,
 			})
 		},
 	}
 }
 
 // iraAlgo builds an IRA comparator at the given precision.
-func iraAlgo(alpha float64, timeout time.Duration) namedAlgo {
+func iraAlgo(alpha float64, cfg Config) namedAlgo {
 	return namedAlgo{
 		name: fmt.Sprintf("IRA(%.4g)", alpha),
 		run: func(m *costmodel.Model, tc workload.TestCase) (core.Result, error) {
 			return core.IRA(m, tc.Weights, tc.Bounds, core.Options{
-				Objectives: tc.Objectives, Alpha: alpha, Timeout: timeout,
+				Objectives: tc.Objectives, Alpha: alpha, Timeout: cfg.Timeout, Workers: cfg.EngineWorkers,
 			})
 		},
 	}
@@ -303,9 +308,10 @@ func (c Config) catalog() *catalog.Catalog { return catalog.TPCH(c.ScaleFactor) 
 // minimaFor computes per-objective minima (all nine objectives) for bounds
 // generation; sampling availability must match the bounded runs, where all
 // nine objectives (including tuple loss) are active.
-func minimaFor(m *costmodel.Model, timeout time.Duration) (objective.Vector, error) {
+func minimaFor(m *costmodel.Model, cfg Config) (objective.Vector, error) {
 	return core.ObjectiveMinima(m, core.Options{
 		Objectives: objective.AllSet(),
-		Timeout:    timeout,
+		Timeout:    cfg.Timeout,
+		Workers:    cfg.EngineWorkers,
 	})
 }

@@ -19,9 +19,9 @@ func Figure10(cfg Config) ([]Row, error) {
 	if len(counts) == 0 {
 		counts = []int{3, 6, 9}
 	}
-	algs := []namedAlgo{exaAlgo(cfg.Timeout)}
+	algs := []namedAlgo{exaAlgo(cfg)}
 	for _, a := range cfg.Alphas {
-		algs = append(algs, iraAlgo(a, cfg.Timeout))
+		algs = append(algs, iraAlgo(a, cfg))
 	}
 	var jobs []func() (Row, error)
 	for _, qn := range cfg.queries() {
@@ -30,7 +30,7 @@ func Figure10(cfg Config) ([]Row, error) {
 			jobs = append(jobs, func() (Row, error) {
 				q := workload.MustQuery(qn, cfg.catalog())
 				m := costmodel.NewDefault(q)
-				minima, err := minimaFor(m, cfg.Timeout)
+				minima, err := minimaFor(m, cfg)
 				if err != nil {
 					return Row{}, err
 				}

@@ -39,7 +39,7 @@ func Figure3(cfg Config) ([]EvolutionStep, error) {
 	m := costmodel.NewDefault(q)
 
 	minima, err := core.ObjectiveMinima(m, core.Options{
-		Objectives: Figure3Objectives, Timeout: cfg.Timeout,
+		Objectives: Figure3Objectives, Timeout: cfg.Timeout, Workers: cfg.EngineWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -77,7 +77,7 @@ func Figure3(cfg Config) ([]EvolutionStep, error) {
 	}
 	for i := range steps {
 		res, err := core.EXA(m, steps[i].Weights, steps[i].Bounds, core.Options{
-			Objectives: Figure3Objectives, Timeout: cfg.Timeout,
+			Objectives: Figure3Objectives, Timeout: cfg.Timeout, Workers: cfg.EngineWorkers,
 		})
 		if err != nil {
 			return nil, err

@@ -46,6 +46,7 @@ func Figure4(cfg Config, alphas ...float64) ([]Figure4Result, error) {
 			Objectives: Figure4Objectives,
 			Alpha:      alpha,
 			Timeout:    cfg.Timeout,
+			Workers:    cfg.EngineWorkers,
 		})
 		if err != nil {
 			return nil, err

@@ -33,7 +33,7 @@ func Figure5(cfg Config) ([]Row, error) {
 				var perCase [][]caseRun
 				for i := 0; i < cfg.CasesPerConfig; i++ {
 					tc := workload.WeightedCase(q, k, r)
-					runs, err := runAlgorithms(tc, m, []namedAlgo{exaAlgo(cfg.Timeout)})
+					runs, err := runAlgorithms(tc, m, []namedAlgo{exaAlgo(cfg)})
 					if err != nil {
 						return Row{}, err
 					}

@@ -17,9 +17,9 @@ func Figure9(cfg Config) ([]Row, error) {
 	if len(counts) == 0 {
 		counts = []int{3, 6, 9}
 	}
-	algs := []namedAlgo{exaAlgo(cfg.Timeout)}
+	algs := []namedAlgo{exaAlgo(cfg)}
 	for _, a := range cfg.Alphas {
-		algs = append(algs, rtaAlgo(a, cfg.Timeout))
+		algs = append(algs, rtaAlgo(a, cfg))
 	}
 	var jobs []func() (Row, error)
 	for _, qn := range cfg.queries() {

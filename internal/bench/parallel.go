@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"moqo/internal/core"
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/synthetic"
+)
+
+// ParallelSpec parameterizes the engine-parallelism scaling experiment:
+// the same RTA runs with Workers=1 and Workers=N, on synthetic queries
+// large enough that the dynamic program dominates wall-clock time.
+type ParallelSpec struct {
+	// Shape of the synthetic join graph (default Chain).
+	Shape synthetic.Shape
+	// Tables lists the query sizes measured (default {10, 12, 14}).
+	Tables []int
+	// MaxRows is the maximal base-table cardinality (default 1e5).
+	MaxRows float64
+	// Objectives of the RTA runs (default: the three-objective set the
+	// scaling experiment uses).
+	Objectives objective.Set
+	// Alpha is the RTA precision (default 1.5).
+	Alpha float64
+	// Workers is the parallel arm's worker count (default NumCPU).
+	Workers int
+	// Repeats averages each point over several seeds (default 3).
+	Repeats int
+	// Timeout per run (default 30s — generous, so both arms measure the
+	// full dynamic program rather than the degraded mode).
+	Timeout time.Duration
+	// Seed of the synthetic workload.
+	Seed int64
+}
+
+// withDefaults fills in the defaults.
+func (s ParallelSpec) withDefaults() ParallelSpec {
+	if len(s.Tables) == 0 {
+		s.Tables = []int{10, 12, 14}
+	}
+	if s.MaxRows == 0 {
+		s.MaxRows = 1e5
+	}
+	if s.Objectives.Len() == 0 {
+		s.Objectives = objective.NewSet(objective.TotalTime, objective.BufferFootprint, objective.Energy)
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 1.5
+	}
+	if s.Workers == 0 {
+		s.Workers = runtime.NumCPU()
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 3
+	}
+	if s.Timeout == 0 {
+		s.Timeout = 30 * time.Second
+	}
+	return s
+}
+
+// ParallelPoint is one measured query size of the engine-parallelism
+// experiment.
+type ParallelPoint struct {
+	Shape   string `json:"shape"`
+	N       int    `json:"tables"`
+	Workers int    `json:"workers"`
+	// SerialMs and ParallelMs are average wall-clock optimization times
+	// with Workers=1 and Workers=spec.Workers.
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	// Speedup is SerialMs / ParallelMs.
+	Speedup float64 `json:"speedup"`
+	// Considered plans must agree between the arms (the parallel engine
+	// searches the identical plan space); both are recorded so a report
+	// can show the equivalence.
+	SerialConsidered   int  `json:"serial_considered"`
+	ParallelConsidered int  `json:"parallel_considered"`
+	TimedOut           bool `json:"timed_out"`
+}
+
+// ParallelScaling measures the wall-clock speedup of the level-
+// synchronized parallel engine: for each query size it runs the RTA with
+// Workers=1 and Workers=spec.Workers on identical synthetic queries and
+// reports the average times of both arms. Besides the speedup itself the
+// experiment double-checks the engine's determinism claim: both arms must
+// consider exactly the same number of candidate plans.
+func ParallelScaling(spec ParallelSpec) ([]ParallelPoint, error) {
+	spec = spec.withDefaults()
+	var out []ParallelPoint
+	for _, n := range spec.Tables {
+		pt := ParallelPoint{Shape: spec.Shape.String(), N: n, Workers: spec.Workers}
+		for rep := 0; rep < spec.Repeats; rep++ {
+			_, q, err := synthetic.Build(synthetic.Spec{
+				Shape:   spec.Shape,
+				Tables:  n,
+				MaxRows: spec.MaxRows,
+				Seed:    spec.Seed + int64(rep),
+			})
+			if err != nil {
+				return nil, err
+			}
+			m := costmodel.NewDefault(q)
+			w := objective.UniformWeights(spec.Objectives)
+			opts := core.Options{
+				Objectives: spec.Objectives,
+				Alpha:      spec.Alpha,
+				Timeout:    spec.Timeout,
+			}
+
+			opts.Workers = 1
+			serial, err := core.RTA(m, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			opts.Workers = spec.Workers
+			parallel, err := core.RTA(m, w, opts)
+			if err != nil {
+				return nil, err
+			}
+
+			pt.SerialMs += float64(serial.Stats.Duration) / float64(time.Millisecond) / float64(spec.Repeats)
+			pt.ParallelMs += float64(parallel.Stats.Duration) / float64(time.Millisecond) / float64(spec.Repeats)
+			pt.SerialConsidered += serial.Stats.Considered
+			pt.ParallelConsidered += parallel.Stats.Considered
+			pt.TimedOut = pt.TimedOut || serial.Stats.TimedOut || parallel.Stats.TimedOut
+		}
+		if pt.ParallelMs > 0 {
+			pt.Speedup = pt.SerialMs / pt.ParallelMs
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderParallel renders the engine-parallelism measurements as a text
+// table.
+func RenderParallel(pts []ParallelPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %3s %14s %18s %8s\n", "shape", "n", "workers=1 (ms)", "workers=N (ms)", "speedup")
+	for _, p := range pts {
+		mark := ""
+		if p.TimedOut {
+			mark = ">" // timed out: times are lower bounds
+		}
+		fmt.Fprintf(&b, "%8s %3d %14s %18s %7.2fx\n",
+			p.Shape, p.N,
+			fmt.Sprintf("%s%.2f", mark, p.SerialMs),
+			fmt.Sprintf("%s%.2f (N=%d)", mark, p.ParallelMs, p.Workers),
+			p.Speedup)
+	}
+	return b.String()
+}
+
+// ParallelJSON serializes the measurements as the BENCH_parallel.json
+// payload the CI pipeline archives.
+func ParallelJSON(pts []ParallelPoint) ([]byte, error) {
+	payload := struct {
+		Benchmark string          `json:"benchmark"`
+		NumCPU    int             `json:"num_cpu"`
+		Points    []ParallelPoint `json:"points"`
+	}{
+		Benchmark: "rta-workers-scaling",
+		NumCPU:    runtime.NumCPU(),
+		Points:    pts,
+	}
+	return json.MarshalIndent(payload, "", "  ")
+}

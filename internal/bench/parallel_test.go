@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"moqo/internal/synthetic"
+)
+
+func quickParallelSpec() ParallelSpec {
+	return ParallelSpec{
+		Shape:   synthetic.Chain,
+		Tables:  []int{6, 8},
+		MaxRows: 1e4,
+		Alpha:   1.5,
+		Workers: 4,
+		Repeats: 1,
+		Timeout: 10 * time.Second,
+		Seed:    11,
+	}
+}
+
+func TestParallelScaling(t *testing.T) {
+	pts, err := ParallelScaling(quickParallelSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Workers != 4 {
+			t.Errorf("n=%d: workers = %d, want 4", p.N, p.Workers)
+		}
+		if p.SerialMs <= 0 || p.ParallelMs <= 0 {
+			t.Errorf("n=%d: non-positive times %v / %v", p.N, p.SerialMs, p.ParallelMs)
+		}
+		if p.Speedup <= 0 {
+			t.Errorf("n=%d: speedup %v", p.N, p.Speedup)
+		}
+		// Both arms search the identical plan space: the considered-plan
+		// counts are the engine's determinism invariant.
+		if p.SerialConsidered != p.ParallelConsidered {
+			t.Errorf("n=%d: serial considered %d != parallel %d",
+				p.N, p.SerialConsidered, p.ParallelConsidered)
+		}
+	}
+}
+
+func TestRenderParallel(t *testing.T) {
+	pts := []ParallelPoint{{
+		Shape: "chain", N: 12, Workers: 8,
+		SerialMs: 100, ParallelMs: 25, Speedup: 4,
+	}}
+	out := RenderParallel(pts)
+	for _, want := range []string{"chain", "12", "100.00", "25.00", "4.00x", "N=8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParallelJSON(t *testing.T) {
+	pts, err := ParallelScaling(ParallelSpec{
+		Shape: synthetic.Chain, Tables: []int{5}, MaxRows: 1e4,
+		Workers: 2, Repeats: 1, Timeout: 10 * time.Second, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ParallelJSON(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Benchmark string          `json:"benchmark"`
+		NumCPU    int             `json:"num_cpu"`
+		Points    []ParallelPoint `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if payload.Benchmark != "rta-workers-scaling" || payload.NumCPU < 1 {
+		t.Errorf("payload header = %q / %d", payload.Benchmark, payload.NumCPU)
+	}
+	if len(payload.Points) != 1 || payload.Points[0].N != 5 {
+		t.Errorf("payload points = %+v", payload.Points)
+	}
+}

@@ -46,7 +46,7 @@ func FrontierQuality(cfg Config) ([]QualityRow, error) {
 		m := costmodel.NewDefault(q)
 		w := objective.UniformWeights(QualityObjectives)
 		exact, err := core.EXA(m, w, objective.NoBounds(), core.Options{
-			Objectives: QualityObjectives, Timeout: cfg.Timeout,
+			Objectives: QualityObjectives, Timeout: cfg.Timeout, Workers: cfg.EngineWorkers,
 		})
 		if err != nil {
 			return nil, err
@@ -57,7 +57,7 @@ func FrontierQuality(cfg Config) ([]QualityRow, error) {
 		ref := exact.Frontier.Frontier()
 		for _, alpha := range cfg.Alphas {
 			approx, err := core.RTA(m, w, core.Options{
-				Objectives: QualityObjectives, Alpha: alpha, Timeout: cfg.Timeout,
+				Objectives: QualityObjectives, Alpha: alpha, Timeout: cfg.Timeout, Workers: cfg.EngineWorkers,
 			})
 			if err != nil {
 				return nil, err

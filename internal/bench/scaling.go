@@ -45,6 +45,9 @@ type ScalingSpec struct {
 	Timeout time.Duration
 	// Seed of the synthetic workload.
 	Seed int64
+	// Workers shards each optimizer run's dynamic program across this
+	// many goroutines (core.Options.Workers). 0 or 1 = sequential.
+	Workers int
 }
 
 // withDefaults fills in the Figure 7 defaults.
@@ -105,7 +108,7 @@ func Scaling(spec ScalingSpec) ([]ScalingPoint, error) {
 			}
 			m := costmodel.NewDefault(q)
 			w := objective.UniformWeights(spec.Objectives)
-			opts := core.Options{Objectives: spec.Objectives, Timeout: spec.Timeout}
+			opts := core.Options{Objectives: spec.Objectives, Timeout: spec.Timeout, Workers: spec.Workers}
 
 			record := func(name string, res core.Result, err error) error {
 				if err != nil {

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-
+	"sync/atomic"
 	"time"
 
 	"moqo/internal/costmodel"
@@ -15,6 +15,20 @@ import (
 // engine is the shared bushy dynamic program over table-set bitsets. It
 // implements FindParetoPlans of Algorithms 1 and 2: archives with pruning
 // precision 1 yield the EXA, precision > 1 the RTA.
+//
+// The engine is layered into three decoupled pieces:
+//
+//   - an enumerator (enumerator.go) that materializes the table sets of
+//     each cardinality level and assigns dense integer ids,
+//   - a slice-backed memo table (memoTable) indexed by those ids, and
+//   - a level-synchronized worker pool (pool.go) that shards each level
+//     across Options.Workers goroutines.
+//
+// All table sets of cardinality k depend only on sets of cardinality
+// < k, so levels parallelize without locks: workers write disjoint memo
+// slots and read only lower levels, which the level barrier has made
+// immutable. With Workers=1 the engine is exactly the sequential dynamic
+// program of the paper, candidate for candidate.
 type engine struct {
 	q    *query.Query
 	m    *costmodel.Model
@@ -30,19 +44,23 @@ type engine struct {
 	// weights steer the degraded single-plan mode after a timeout.
 	weights objective.Weights
 
-	archives map[query.TableSet]*pareto.Archive
+	enum *enumeration
+	memo *memoTable
+	// lookupMemo is memo.lookup bound once, so the hot path does not
+	// re-create the method value per table set.
+	lookupMemo func(query.TableSet) *pareto.Archive
+
+	workers []worker
 
 	deadline   time.Time
 	hasTimeout bool
-	timedOut   bool
-
-	considered int
-	paretoLast int
-	checkTick  int
+	// timedOut is shared across workers: the first worker to observe the
+	// deadline latches it, switching every worker to degraded mode.
+	timedOut atomic.Bool
 }
 
 // newEngine prepares an engine run. alphaInternal >= 1 is the archive
-// pruning precision (1 = exact).
+// pruning precision (1 = exact). opts must be normalized (Workers >= 1).
 func newEngine(m *costmodel.Model, opts Options, alphaInternal float64, w objective.Weights) *engine {
 	e := &engine{
 		q:             m.Query(),
@@ -50,7 +68,17 @@ func newEngine(m *costmodel.Model, opts Options, alphaInternal float64, w object
 		opts:          opts,
 		alphaInternal: alphaInternal,
 		weights:       w,
-		archives:      make(map[query.TableSet]*pareto.Archive),
+	}
+	e.enum = enumerate(e.q)
+	e.memo = newMemoTable(e.enum)
+	e.lookupMemo = e.memo.lookup
+	nw := opts.Workers
+	if nw < 1 {
+		nw = 1
+	}
+	e.workers = make([]worker, nw)
+	for i := range e.workers {
+		e.workers[i] = worker{e: e, maxDoneID: -1}
 	}
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
@@ -67,78 +95,87 @@ func (e *engine) newArchive() *pareto.Archive {
 	return pareto.NewArchive(e.opts.Objectives, e.alphaInternal)
 }
 
-// expired checks the deadline (amortized: every 1024 calls).
-func (e *engine) expired() bool {
-	if !e.hasTimeout || e.timedOut {
-		return e.timedOut
-	}
-	e.checkTick++
-	if e.checkTick&1023 != 0 {
-		return false
-	}
-	if time.Now().After(e.deadline) {
-		e.timedOut = true
-	}
-	return e.timedOut
-}
-
 // run executes the dynamic program and returns the archive of the full
 // table set. It mirrors FindParetoPlans of Algorithm 1/2: plans for
 // singleton sets first, then table sets of increasing cardinality.
 func (e *engine) run() *pareto.Archive {
-	n := e.q.NumRelations()
-	all := e.q.AllTables()
-	graphConnected := e.q.Connected(all)
-
-	// Access paths for single tables.
-	for r := 0; r < n; r++ {
-		s := query.Singleton(r)
-		a := e.newArchive()
-		for _, p := range e.m.ScanAlternatives(r, e.opts.sampling()) {
-			e.considered++
-			a.Insert(p)
+	e.runLevels(func(w *worker, id int32, s query.TableSet) {
+		if s.Single() {
+			w.scanSet(id, s)
+		} else if w.expired() {
+			w.degradedSet(id, s)
+		} else {
+			w.fullSet(id, s)
 		}
-		e.archives[s] = a
-		e.paretoLast = a.Len()
-	}
+	})
+	return e.memo.lookup(e.enum.all)
+}
 
-	// Table sets of increasing cardinality. Subsets of each cardinality
-	// are enumerated with Gosper's hack.
-	for k := 2; k <= n; k++ {
-		first := query.TableSet(1)<<uint(k) - 1
-		for s := first; s < query.TableSet(1)<<uint(n); s = nextSameCard(s) {
-			if graphConnected && !e.q.Connected(s) {
-				// Standard connected-subgraph restriction: with a
-				// connected join graph, optimal plans never join
-				// disconnected intermediate results (Postgres
-				// heuristic (i) never takes Cartesian products then).
-				continue
-			}
-			if e.expired() {
-				e.degradedSet(s)
-			} else {
-				e.fullSet(s)
-			}
-			if s == all {
-				break
-			}
+// runScalar executes a single-objective (scalar-pruned) dynamic program:
+// every table set keeps exactly one plan, the one minimizing the scalar
+// metric. With a scalar that reads one objective this is Selinger's
+// algorithm generalized to bushy plans; with a weighted sum over multiple
+// diverse objectives it is the unsound baseline of the paper's Example 1.
+// Returns the best plan for the full table set.
+func (e *engine) runScalar(scalar func(objective.Vector) float64) *plan.Node {
+	e.runLevels(func(w *worker, id int32, s query.TableSet) {
+		if s.Single() {
+			w.scanBestSet(id, s, scalar)
+		} else {
+			w.bestOnlySet(id, s, scalar)
+		}
+	})
+	a := e.memo.lookup(e.enum.all)
+	if a == nil || a.Len() == 0 {
+		return nil
+	}
+	return a.Plans()[0]
+}
+
+// scanSet fills the archive of a singleton set with all access paths.
+func (w *worker) scanSet(id int32, s query.TableSet) {
+	e := w.e
+	a := e.newArchive()
+	for _, p := range e.m.ScanAlternatives(s.First(), e.opts.sampling()) {
+		w.considered++
+		a.Insert(p)
+	}
+	e.memo.archives[id] = a
+	w.markDone(id, a.Len())
+}
+
+// scanBestSet is scanSet for the scalar dynamic program: it keeps only
+// the access path minimizing the scalar metric.
+func (w *worker) scanBestSet(id int32, s query.TableSet, scalar func(objective.Vector) float64) {
+	e := w.e
+	var best *plan.Node
+	bestCost := math.Inf(1)
+	for _, p := range e.m.ScanAlternatives(s.First(), e.opts.sampling()) {
+		w.considered++
+		if c := scalar(p.Cost); c < bestCost {
+			best, bestCost = p, c
 		}
 	}
-	return e.archives[all]
+	a := e.newArchive()
+	if best != nil {
+		a.Insert(best)
+	}
+	e.memo.archives[id] = a
+	w.markDone(id, a.Len())
 }
 
 // fullSet treats one table set exhaustively, inserting every candidate
 // into its archive. If the timeout fires mid-set, the set's archive is
 // kept as-is and completion is not recorded.
-func (e *engine) fullSet(s query.TableSet) {
-	a := e.newArchive()
-	e.archives[s] = a
-	complete := e.forEachCandidate(s, func(p *plan.Node) bool {
+func (w *worker) fullSet(id int32, s query.TableSet) {
+	a := w.e.newArchive()
+	w.e.memo.archives[id] = a
+	complete := w.forEachCandidate(s, func(p *plan.Node) bool {
 		a.Insert(p)
-		return !e.expired()
+		return !w.expired()
 	})
 	if complete {
-		e.paretoLast = a.Len()
+		w.markDone(id, a.Len())
 	}
 }
 
@@ -149,12 +186,14 @@ func (e *engine) fullSet(s query.TableSet) {
 // split only combines the weighted-best plan of either side rather than
 // every stored pair. Degraded sets do not update the "last table set
 // treated completely" metric.
-func (e *engine) degradedSet(s query.TableSet) {
+func (w *worker) degradedSet(id int32, s query.TableSet) {
+	e := w.e
 	scalar := func(v objective.Vector) float64 { return e.weights.Cost(v) }
-	reduced := e.reducedArchives(s, scalar)
+	reduced := w.reducedArchives(s, scalar)
 	var best *plan.Node
 	bestCost := math.Inf(1)
-	e.forEachCandidateFrom(s, reduced, func(p *plan.Node) bool {
+	lookup := func(t query.TableSet) *pareto.Archive { return reduced[t] }
+	w.forEachCandidateFrom(s, lookup, func(p *plan.Node) bool {
 		if c := scalar(p.Cost); c < bestCost {
 			best, bestCost = p, c
 		}
@@ -164,18 +203,19 @@ func (e *engine) degradedSet(s query.TableSet) {
 	if best != nil {
 		a.Insert(best)
 	}
-	e.archives[s] = a
+	e.memo.archives[id] = a
 }
 
 // reducedArchives builds a one-plan-per-subset view of the stored archives
 // (keeping the scalar-best plan of each), used by the degraded mode.
-func (e *engine) reducedArchives(s query.TableSet, scalar func(objective.Vector) float64) map[query.TableSet]*pareto.Archive {
+func (w *worker) reducedArchives(s query.TableSet, scalar func(objective.Vector) float64) map[query.TableSet]*pareto.Archive {
+	e := w.e
 	reduced := make(map[query.TableSet]*pareto.Archive)
 	s.EachSubset(func(sub, _ query.TableSet) bool {
 		if _, done := reduced[sub]; done {
 			return true
 		}
-		full := e.archives[sub]
+		full := e.memo.lookup(sub)
 		if full == nil || full.Len() == 0 {
 			return true
 		}
@@ -197,67 +237,21 @@ func (e *engine) reducedArchives(s query.TableSet, scalar func(objective.Vector)
 // bestOnlySet stores a single plan for table set s: the candidate
 // minimizing the given scalar metric. Used by the scalar (single-
 // objective) dynamic program, whose archives already hold one plan each.
-func (e *engine) bestOnlySet(s query.TableSet, scalar func(objective.Vector) float64) {
+func (w *worker) bestOnlySet(id int32, s query.TableSet, scalar func(objective.Vector) float64) {
 	var best *plan.Node
 	bestCost := math.Inf(1)
-	e.forEachCandidate(s, func(p *plan.Node) bool {
+	w.forEachCandidate(s, func(p *plan.Node) bool {
 		if c := scalar(p.Cost); c < bestCost {
 			best, bestCost = p, c
 		}
 		return true
 	})
-	a := e.newArchive()
+	a := w.e.newArchive()
 	if best != nil {
 		a.Insert(best)
 	}
-	e.archives[s] = a
-}
-
-// runScalar executes a single-objective (scalar-pruned) dynamic program:
-// every table set keeps exactly one plan, the one minimizing the scalar
-// metric. With a scalar that reads one objective this is Selinger's
-// algorithm generalized to bushy plans; with a weighted sum over multiple
-// diverse objectives it is the unsound baseline of the paper's Example 1.
-// Returns the best plan for the full table set.
-func (e *engine) runScalar(scalar func(objective.Vector) float64) *plan.Node {
-	n := e.q.NumRelations()
-	all := e.q.AllTables()
-	graphConnected := e.q.Connected(all)
-
-	for r := 0; r < n; r++ {
-		s := query.Singleton(r)
-		var best *plan.Node
-		bestCost := math.Inf(1)
-		for _, p := range e.m.ScanAlternatives(r, e.opts.sampling()) {
-			e.considered++
-			if c := scalar(p.Cost); c < bestCost {
-				best, bestCost = p, c
-			}
-		}
-		a := pareto.NewArchive(e.opts.Objectives, 1)
-		if best != nil {
-			a.Insert(best)
-		}
-		e.archives[s] = a
-		e.paretoLast = a.Len()
-	}
-	for k := 2; k <= n; k++ {
-		first := query.TableSet(1)<<uint(k) - 1
-		for s := first; s < query.TableSet(1)<<uint(n); s = nextSameCard(s) {
-			if !graphConnected || e.q.Connected(s) {
-				e.bestOnlySet(s, scalar)
-				e.paretoLast = e.archives[s].Len()
-			}
-			if s == all {
-				break
-			}
-		}
-	}
-	a := e.archives[all]
-	if a == nil || a.Len() == 0 {
-		return nil
-	}
-	return a.Plans()[0]
+	w.e.memo.archives[id] = a
+	w.markDone(id, a.Len())
 }
 
 // forEachCandidate constructs every candidate plan for table set s —
@@ -269,25 +263,28 @@ func (e *engine) runScalar(scalar func(objective.Vector) float64) *plan.Node {
 // predicate-connected split (Postgres heuristic (i), kept in place by the
 // paper); in that fallback case only nested-loop joins apply, since hash
 // and sort-merge joins need an equi-join predicate.
-func (e *engine) forEachCandidate(s query.TableSet, fn func(*plan.Node) bool) bool {
-	return e.forEachCandidateFrom(s, e.archives, fn)
+func (w *worker) forEachCandidate(s query.TableSet, fn func(*plan.Node) bool) bool {
+	return w.forEachCandidateFrom(s, w.e.lookupMemo, fn)
 }
 
 // forEachCandidateFrom is forEachCandidate over an explicit sub-plan store
-// (the degraded mode passes a reduced one-plan-per-subset view).
-func (e *engine) forEachCandidateFrom(s query.TableSet, store map[query.TableSet]*pareto.Archive, fn func(*plan.Node) bool) bool {
+// (the degraded mode passes a reduced one-plan-per-subset view; the full
+// mode passes the slice-backed memo, so no split lookup ever hashes).
+func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableSet) *pareto.Archive, fn func(*plan.Node) bool) bool {
+	e := w.e
 	hasEdgeSplit := false
 	abort := false
 	s.EachSubset(func(left, right query.TableSet) bool {
 		if e.opts.LeftDeepOnly && !right.Single() {
 			return true
 		}
-		if !splitStored(store, left, right) {
+		al, ar := lookup(left), lookup(right)
+		if !splitStored(al, ar) {
 			return true
 		}
 		if len(e.q.CrossingEdges(left, right)) > 0 {
 			hasEdgeSplit = true
-			if !e.edgeSplit(store, left, right, fn) {
+			if !w.edgeSplit(al, ar, left, right, fn) {
 				abort = true
 				return false
 			}
@@ -305,13 +302,14 @@ func (e *engine) forEachCandidateFrom(s query.TableSet, store map[query.TableSet
 		if e.opts.LeftDeepOnly && !right.Single() {
 			return true
 		}
-		if !splitStored(store, left, right) {
+		al, ar := lookup(left), lookup(right)
+		if !splitStored(al, ar) {
 			return true
 		}
-		for _, pl := range store[left].Plans() {
-			for _, pr := range store[right].Plans() {
+		for _, pl := range al.Plans() {
+			for _, pr := range ar.Plans() {
 				for dop := 1; dop <= e.opts.MaxDOP; dop++ {
-					e.considered++
+					w.considered++
 					if !fn(e.m.NewJoin(plan.BlockNLJoin, dop, pl, pr)) {
 						abort = true
 						return false
@@ -325,31 +323,31 @@ func (e *engine) forEachCandidateFrom(s query.TableSet, store map[query.TableSet
 }
 
 // splitStored reports whether both sides of a split have stored plans.
-func splitStored(store map[query.TableSet]*pareto.Archive, left, right query.TableSet) bool {
-	al, ar := store[left], store[right]
+func splitStored(al, ar *pareto.Archive) bool {
 	return al != nil && ar != nil && al.Len() > 0 && ar.Len() > 0
 }
 
 // edgeSplit enumerates the candidates of one predicate-connected split.
-func (e *engine) edgeSplit(store map[query.TableSet]*pareto.Archive, left, right query.TableSet, fn func(*plan.Node) bool) bool {
+func (w *worker) edgeSplit(al, ar *pareto.Archive, left, right query.TableSet, fn func(*plan.Node) bool) bool {
+	e := w.e
 	// Index-nested-loop: inner side must be a single base relation with an
 	// index on the join column; the inner lookup replaces a stored inner
 	// plan, so it is generated once per outer plan.
 	if right.Single() {
 		if rel := right.First(); e.m.InnerIndexColumn(left, rel) != "" {
-			for _, pl := range store[left].Plans() {
-				e.considered++
+			for _, pl := range al.Plans() {
+				w.considered++
 				if !fn(e.m.NewIndexNL(pl, rel)) {
 					return false
 				}
 			}
 		}
 	}
-	for _, pl := range store[left].Plans() {
-		for _, pr := range store[right].Plans() {
+	for _, pl := range al.Plans() {
+		for _, pr := range ar.Plans() {
 			for _, alg := range []plan.JoinAlg{plan.HashJoin, plan.SortMergeJoin, plan.BlockNLJoin} {
 				for dop := 1; dop <= e.opts.MaxDOP; dop++ {
-					e.considered++
+					w.considered++
 					if !fn(e.m.NewJoin(alg, dop, pl, pr)) {
 						return false
 					}
@@ -360,28 +358,32 @@ func (e *engine) edgeSplit(store map[query.TableSet]*pareto.Archive, left, right
 	return true
 }
 
-// stats summarizes the run.
+// stats summarizes the run, folding the worker-private counters together.
 func (e *engine) stats(start time.Time) Stats {
 	stored := 0
-	for _, a := range e.archives {
-		stored += a.Len()
+	for _, a := range e.memo.archives {
+		if a != nil {
+			stored += a.Len()
+		}
+	}
+	considered := 0
+	maxDoneID := int32(-1)
+	paretoLast := 0
+	for i := range e.workers {
+		w := &e.workers[i]
+		considered += w.considered
+		if w.maxDoneID > maxDoneID {
+			maxDoneID = w.maxDoneID
+			paretoLast = w.maxDoneLen
+		}
 	}
 	return Stats{
 		Duration:    time.Since(start),
-		Considered:  e.considered,
+		Considered:  considered,
 		Stored:      stored,
 		MemoryBytes: int64(stored) * planBytes,
-		ParetoLast:  e.paretoLast,
-		TimedOut:    e.timedOut,
+		ParetoLast:  paretoLast,
+		TimedOut:    e.timedOut.Load(),
 		Iterations:  1,
 	}
-}
-
-// nextSameCard returns the next larger bitset with the same population
-// count (Gosper's hack).
-func nextSameCard(s query.TableSet) query.TableSet {
-	v := uint64(s)
-	c := v & (^v + 1)
-	r := v + c
-	return query.TableSet(r | (((v ^ r) >> 2) / c))
 }

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"moqo/internal/pareto"
+	"moqo/internal/query"
+)
+
+// enumeration materializes the search space of the dynamic program: the
+// table sets treated at each cardinality level, in the engine's canonical
+// order (Gosper order within a level), each with a dense integer id.
+//
+// Materializing levels up front replaces the seed engine's inline Gosper
+// iteration and is what enables the level-synchronized parallel schedule:
+// all sets of cardinality k depend only on sets of cardinality < k, so a
+// level can be sharded across workers once the previous level is complete.
+//
+// Ids are assigned level-major (all sets of cardinality 1 first, then
+// cardinality 2, ...), so a set's id is always larger than the ids of the
+// sub-plans it combines, and the memo table can be a plain slice.
+type enumeration struct {
+	all    query.TableSet
+	n      int
+	levels [][]query.TableSet // levels[k]: sets of cardinality k (k in 1..n)
+	total  int                // number of enumerated sets
+}
+
+// enumerate builds the enumeration for a query. With a connected join
+// graph only connected table sets are materialized (the standard
+// connected-subgraph restriction: optimal plans never join disconnected
+// intermediate results when a predicate-connected split exists); with a
+// disconnected graph every non-empty subset is treated, since Cartesian
+// products are then unavoidable.
+//
+// As a side effect, every enumerated set's cardinality estimate is
+// computed here, on one goroutine. query.EstimateRows memoizes into a
+// plain map, so this warm-up is what makes the cost model safe to call
+// from concurrent workers: during the parallel phases the memo is only
+// ever read.
+func enumerate(q *query.Query) *enumeration {
+	n := q.NumRelations()
+	all := q.AllTables()
+	connectedOnly := q.Connected(all)
+	e := &enumeration{all: all, n: n, levels: make([][]query.TableSet, n+1)}
+
+	for k := 1; k <= n; k++ {
+		var sets []query.TableSet
+		first := query.TableSet(1)<<uint(k) - 1
+		for s := first; s < query.TableSet(1)<<uint(n); s = nextSameCard(s) {
+			if !connectedOnly || q.Connected(s) {
+				sets = append(sets, s)
+				q.EstimateRows(s)
+			}
+			if s == all {
+				break // Gosper past the full set would overflow the range
+			}
+		}
+		e.levels[k] = sets
+		e.total += len(sets)
+	}
+	return e
+}
+
+// memoDenseMaxRelations bounds the direct bitset->id index: up to this
+// many relations the index is a slice of 2^n int32 ids (16 MiB at the
+// cap), beyond it a map keeps memory bounded. Every workload the repo
+// ships stays far below the cap (TPC-H <= 8 relations, synthetic <= 20),
+// so the hot path never hashes.
+const memoDenseMaxRelations = 22
+
+// memoTable is the slice-backed plan-archive store of one engine run. It
+// replaces the seed's map[TableSet]*Archive: archives are indexed by the
+// enumeration's dense ids, and the bitset->id translation is a slice
+// lookup, so the innermost candidate loops never hash.
+//
+// Workers of one level write disjoint ids and only read archives of lower
+// levels, which are immutable after the level barrier — the memo needs no
+// locking.
+type memoTable struct {
+	archives []*pareto.Archive // indexed by dense id
+	dense    []int32           // bitset -> id (+1; 0 = not enumerated); nil when sparse
+	sparse   map[query.TableSet]int32
+}
+
+// newMemoTable allocates the memo for an enumeration.
+func newMemoTable(e *enumeration) *memoTable {
+	t := &memoTable{archives: make([]*pareto.Archive, e.total)}
+	if e.n <= memoDenseMaxRelations {
+		t.dense = make([]int32, 1<<uint(e.n))
+	} else {
+		t.sparse = make(map[query.TableSet]int32, e.total)
+	}
+	id := int32(0)
+	for k := 1; k <= e.n; k++ {
+		for _, s := range e.levels[k] {
+			if t.dense != nil {
+				t.dense[s] = id + 1
+			} else {
+				t.sparse[s] = id + 1
+			}
+			id++
+		}
+	}
+	return t
+}
+
+// id returns the dense id of a table set, or -1 when the set is not part
+// of the enumeration (e.g. a disconnected subset of a connected query).
+func (t *memoTable) id(s query.TableSet) int32 {
+	if t.dense != nil {
+		return t.dense[s] - 1
+	}
+	return t.sparse[s] - 1
+}
+
+// lookup returns the archive stored for a table set, or nil when the set
+// is not enumerated or not yet treated.
+func (t *memoTable) lookup(s query.TableSet) *pareto.Archive {
+	id := t.id(s)
+	if id < 0 {
+		return nil
+	}
+	return t.archives[id]
+}
+
+// nextSameCard returns the next larger bitset with the same population
+// count (Gosper's hack).
+func nextSameCard(s query.TableSet) query.TableSet {
+	v := uint64(s)
+	c := v & (^v + 1)
+	r := v + c
+	return query.TableSet(r | (((v ^ r) >> 2) / c))
+}

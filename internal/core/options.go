@@ -59,6 +59,14 @@ type Options struct {
 	// bushy plans (Section 5). This option is the corresponding ablation:
 	// a smaller search space that can miss better bushy plans.
 	LeftDeepOnly bool
+
+	// Workers shards each cardinality level of the dynamic program across
+	// this many goroutines. All table sets of cardinality k depend only on
+	// sets of cardinality < k, so levels parallelize without weakening any
+	// approximation guarantee, and results are identical for every Workers
+	// value (modulo timeout timing). 0 defaults to 1 (sequential); pass
+	// runtime.NumCPU() to use the whole machine.
+	Workers int
 }
 
 // Normalize validates the options and fills in defaults.
@@ -81,6 +89,12 @@ func (o Options) Normalize() (Options, error) {
 	if o.AllowSampling == nil {
 		v := o.Objectives.Contains(objective.TupleLoss)
 		o.AllowSampling = &v
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.Workers < 1 {
+		return o, fmt.Errorf("core: Workers %d out of range (must be >= 1, or 0 for the default)", o.Workers)
 	}
 	return o, nil
 }

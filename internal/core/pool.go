@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moqo/internal/query"
+)
+
+// worker holds the goroutine-private state of one DP worker: candidate
+// counters, the amortized deadline tick, and the largest-id table set it
+// treated completely. Workers never share mutable state on the hot path —
+// each builds the archives of its own sets against the immutable archives
+// of lower levels — so the only synchronization is the level barrier and
+// the engine's shared timeout flag.
+type worker struct {
+	e          *engine
+	considered int
+	checkTick  int
+	// maxDoneID/maxDoneLen track the last (largest-id) set this worker
+	// treated completely, feeding the "Pareto plans of the last table set
+	// treated completely" metric. Ids are handed out in ascending order,
+	// so plain assignment keeps the maximum.
+	maxDoneID  int32
+	maxDoneLen int
+}
+
+// expired checks the run's deadline (amortized: every 1024 calls per
+// worker) and latches the engine-wide timeout flag once it fires, so
+// every other worker degrades promptly as well.
+func (w *worker) expired() bool {
+	e := w.e
+	if !e.hasTimeout {
+		return false
+	}
+	if e.timedOut.Load() {
+		return true
+	}
+	w.checkTick++
+	if w.checkTick&1023 != 0 {
+		return false
+	}
+	if time.Now().After(e.deadline) {
+		e.timedOut.Store(true)
+		return true
+	}
+	return false
+}
+
+// markDone records a completely treated set.
+func (w *worker) markDone(id int32, archiveLen int) {
+	w.maxDoneID = id
+	w.maxDoneLen = archiveLen
+}
+
+// runLevels drives the level-synchronized dynamic program: for each
+// cardinality level in turn, the level's table sets are distributed to
+// the engine's workers, and the next level starts only after the barrier.
+// treat handles one table set (exhaustively, degraded, or scalar-pruned,
+// depending on the engine mode).
+//
+// Within a level, workers claim sets via an atomic cursor (dynamic load
+// balancing: split counts vary wildly across the sets of one level).
+// Results are deterministic regardless of the schedule, because each
+// set's archive depends only on the immutable lower levels.
+func (e *engine) runLevels(treat func(w *worker, id int32, s query.TableSet)) {
+	nextID := int32(0)
+	for k := 1; k <= e.enum.n; k++ {
+		sets := e.enum.levels[k]
+		base := nextID
+		nextID += int32(len(sets))
+
+		nw := len(e.workers)
+		if nw > len(sets) {
+			nw = len(sets)
+		}
+		if nw <= 1 {
+			w := &e.workers[0]
+			for i, s := range sets {
+				treat(w, base+int32(i), s)
+			}
+			continue
+		}
+
+		var cursor atomic.Int32
+		var wg sync.WaitGroup
+		for wi := 0; wi < nw; wi++ {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for {
+					i := cursor.Add(1) - 1
+					if int(i) >= len(sets) {
+						return
+					}
+					treat(w, base+i, sets[i])
+				}
+			}(&e.workers[wi])
+		}
+		wg.Wait()
+	}
+}

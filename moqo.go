@@ -107,10 +107,16 @@ func NewQuery(name string, cat *Catalog) *Query { return query.New(name, cat) }
 // Algorithm selects the optimization algorithm.
 type Algorithm int
 
-// Available algorithms.
+// Available algorithms. The zero value is AlgoAuto, so a Request that
+// does not mention an algorithm gets the documented defaulting rule,
+// while any explicitly set algorithm — including AlgoEXA — is honored
+// as-is.
 const (
+	// AlgoAuto (the zero value) lets Optimize choose: AlgoRTA for
+	// unbounded requests, AlgoIRA when bounds are present.
+	AlgoAuto Algorithm = iota
 	// AlgoEXA is the exact multi-objective dynamic program.
-	AlgoEXA Algorithm = iota
+	AlgoEXA
 	// AlgoRTA is the approximation scheme for weighted MOQO.
 	AlgoRTA
 	// AlgoIRA is the approximation scheme for bounded-weighted MOQO.
@@ -126,6 +132,8 @@ const (
 
 func (a Algorithm) String() string {
 	switch a {
+	case AlgoAuto:
+		return "auto"
 	case AlgoEXA:
 		return "exa"
 	case AlgoRTA:
@@ -144,7 +152,7 @@ func (a Algorithm) String() string {
 // ParseAlgorithm converts an algorithm name (as produced by String) back
 // to its identifier.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	for _, a := range []Algorithm{AlgoEXA, AlgoRTA, AlgoIRA, AlgoSelinger, AlgoWeightedSum} {
+	for _, a := range []Algorithm{AlgoAuto, AlgoEXA, AlgoRTA, AlgoIRA, AlgoSelinger, AlgoWeightedSum} {
 		if a.String() == s {
 			return a, nil
 		}
@@ -157,12 +165,17 @@ type Request struct {
 	// Query to optimize (required).
 	Query *Query
 
-	// Algorithm to run; defaults to AlgoRTA for unbounded requests and
-	// AlgoIRA when bounds are present.
+	// Algorithm to run. The zero value is AlgoAuto: AlgoRTA for
+	// unbounded requests, AlgoIRA when bounds are present. Any other
+	// value — including an explicit AlgoEXA — is honored as-is.
 	Algorithm Algorithm
-	// HasAlgorithm marks Algorithm as explicitly chosen (set
-	// automatically by the Algorithm field being non-zero, or use this
-	// to force AlgoEXA, which is the zero value).
+	// HasAlgorithm is retained for backward compatibility: explicitly
+	// set algorithms are now always honored (the zero value of Algorithm
+	// is AlgoAuto rather than AlgoEXA), and the one legacy combination —
+	// HasAlgorithm true with Algorithm left at the old zero value —
+	// still forces AlgoEXA as it did before.
+	//
+	// Deprecated: just set Algorithm.
 	HasAlgorithm bool
 
 	// Objectives to optimize (required: at least one). Weights on
@@ -198,6 +211,14 @@ type Request struct {
 	// MaxDOP caps operator parallelism (default 4).
 	MaxDOP int
 
+	// Workers shards each cardinality level of the optimizer's dynamic
+	// program across this many goroutines. The selected plan, frontier,
+	// and statistics are identical for every value (the levels of the
+	// dynamic program synchronize on barriers); only wall-clock time
+	// changes. 0 defaults to 1 (sequential); pass runtime.NumCPU() to
+	// use the whole machine.
+	Workers int
+
 	// AllowSampling overrides whether sampling scans are in the plan
 	// space (default: only when TupleLoss is an active objective).
 	AllowSampling *bool
@@ -213,6 +234,9 @@ type Result struct {
 	Frontier []*Plan
 	// Stats reports the optimization effort.
 	Stats Stats
+	// Algorithm is the algorithm that actually ran — the requested one,
+	// or the resolved default when the request left it as AlgoAuto.
+	Algorithm Algorithm
 
 	objs objective.Set
 	q    *Query
@@ -273,10 +297,15 @@ func Optimize(req Request) (*Result, error) {
 	}
 
 	alg := req.Algorithm
-	if alg == AlgoEXA && !req.HasAlgorithm {
-		if b.Unbounded(objs) {
+	if alg == AlgoAuto {
+		switch {
+		case req.HasAlgorithm:
+			// Legacy callers marked the old zero value (EXA) explicit
+			// with HasAlgorithm; keep honoring that combination.
+			alg = AlgoEXA
+		case b.Unbounded(objs):
 			alg = AlgoRTA
-		} else {
+		default:
 			alg = AlgoIRA
 		}
 	}
@@ -296,6 +325,7 @@ func Optimize(req Request) (*Result, error) {
 		Timeout:       req.Timeout,
 		MaxDOP:        req.MaxDOP,
 		AllowSampling: req.AllowSampling,
+		Workers:       req.Workers,
 	}
 
 	if len(req.Precisions) > 0 && alg != AlgoRTA {
@@ -336,11 +366,12 @@ func Optimize(req Request) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{
-		Plan:     res.Best,
-		Frontier: res.Frontier.Plans(),
-		Stats:    res.Stats,
-		objs:     objs,
-		q:        req.Query,
+		Plan:      res.Best,
+		Frontier:  res.Frontier.Plans(),
+		Stats:     res.Stats,
+		Algorithm: alg,
+		objs:      objs,
+		q:         req.Query,
 	}
 	if out.Plan == nil {
 		return nil, fmt.Errorf("moqo: no plan found")

@@ -80,6 +80,100 @@ func TestOptimizeDefaultsToRTAOrIRA(t *testing.T) {
 	}
 }
 
+// TestAlgorithmDefaultingRule documents and pins the defaulting rule: the
+// zero value of Request.Algorithm is AlgoAuto (RTA unbounded, IRA
+// bounded), and any explicitly set algorithm — including AlgoEXA, without
+// HasAlgorithm — runs as requested. Result.Algorithm reports what ran.
+func TestAlgorithmDefaultingRule(t *testing.T) {
+	cat := smallCatalog(t)
+	q, _ := moqo.TPCHQuery(12, cat)
+	objs := []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint}
+
+	// Zero value: auto → RTA without bounds.
+	res, err := moqo.Optimize(moqo.Request{Query: q, Objectives: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != moqo.AlgoRTA {
+		t.Errorf("auto unbounded resolved to %v, want rta", res.Algorithm)
+	}
+
+	// Auto with bounds → IRA.
+	res, err = moqo.Optimize(moqo.Request{
+		Query: q, Objectives: objs,
+		Bounds: map[moqo.Objective]float64{moqo.TotalTime: res.Cost(moqo.TotalTime) * 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != moqo.AlgoIRA {
+		t.Errorf("auto bounded resolved to %v, want ira", res.Algorithm)
+	}
+
+	// The historical footgun: an explicit AlgoEXA without HasAlgorithm
+	// used to be silently overridden by the default; it must run EXA.
+	res, err = moqo.Optimize(moqo.Request{Query: q, Algorithm: moqo.AlgoEXA, Objectives: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != moqo.AlgoEXA {
+		t.Errorf("explicit EXA resolved to %v", res.Algorithm)
+	}
+
+	// Legacy combination: HasAlgorithm with Algorithm left at the old
+	// zero value (EXA) still forces EXA.
+	res, err = moqo.Optimize(moqo.Request{Query: q, HasAlgorithm: true, Objectives: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != moqo.AlgoEXA {
+		t.Errorf("legacy HasAlgorithm zero value resolved to %v, want exa", res.Algorithm)
+	}
+
+	// Parse round-trip for the auto marker.
+	if alg, err := moqo.ParseAlgorithm("auto"); err != nil || alg != moqo.AlgoAuto {
+		t.Errorf("ParseAlgorithm(auto) = %v, %v", alg, err)
+	}
+}
+
+// TestOptimizeWorkers: the Workers knob must leave the selected plan and
+// search statistics unchanged (the parallel engine searches the identical
+// plan space) while using the requested concurrency.
+func TestOptimizeWorkers(t *testing.T) {
+	cat := smallCatalog(t)
+	q, _ := moqo.TPCHQuery(5, cat)
+	req := moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy, moqo.TupleLoss},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1},
+	}
+	serial, err := moqo.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Workers = 4
+	parallel, err := moqo.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Plan.Cost != parallel.Plan.Cost {
+		t.Errorf("workers=4 cost %v != serial %v", parallel.Plan.Cost, serial.Plan.Cost)
+	}
+	if serial.Stats.Considered != parallel.Stats.Considered {
+		t.Errorf("workers=4 considered %d != serial %d", parallel.Stats.Considered, serial.Stats.Considered)
+	}
+	if len(serial.Frontier) != len(parallel.Frontier) {
+		t.Errorf("workers=4 frontier %d != serial %d", len(parallel.Frontier), len(serial.Frontier))
+	}
+
+	req.Workers = -1
+	if _, err := moqo.Optimize(req); err == nil {
+		t.Error("negative Workers accepted")
+	}
+}
+
 func TestOptimizeEXAExplicit(t *testing.T) {
 	cat := smallCatalog(t)
 	q, _ := moqo.TPCHQuery(14, cat)
