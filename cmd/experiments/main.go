@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fig all|1|2|3|4|5|7|9|10|scaling|parallel] [-timeout 2s]
+//	experiments [-fig all|1|2|3|4|5|7|9|10|scaling|parallel|server] [-timeout 2s]
 //	            [-cases 3] [-sf 1] [-seed 1] [-queries 1,12,3] [-out dir]
 //	            [-workers N] [-tables 10,12,14]
 //
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
@@ -90,6 +90,9 @@ func main() {
 	}
 	if *fig == "parallel" || *fig == "all" {
 		parallelScaling(cfg, *workers, *tables, *outDir)
+	}
+	if *fig == "server" || *fig == "all" {
+		serverLoad(cfg, *outDir)
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
@@ -199,6 +202,35 @@ func parallelScaling(cfg bench.Config, workers int, tables, outDir string) {
 		fatalf("parallel: %v", err)
 	}
 	path := "BENCH_parallel.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// serverLoad measures the moqod service under closed-loop concurrent load
+// at varying cache-hit ratios and always emits BENCH_server.json (into
+// -out when set, the working directory otherwise) for the CI pipeline to
+// archive.
+func serverLoad(cfg bench.Config, outDir string) {
+	header("moqod service: closed-loop load, throughput and latency vs cache-hit ratio")
+	spec := bench.ServerSpec{Seed: cfg.Seed}
+	pts, err := bench.ServerLoad(spec)
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+	fmt.Printf("TPC-H q3, three objectives, alpha=1.5, in-process moqod over loopback HTTP, NumCPU=%d:\n",
+		runtime.NumCPU())
+	fmt.Print(bench.RenderServerLoad(pts))
+
+	raw, err := bench.ServerLoadJSON(pts)
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+	path := "BENCH_server.json"
 	if outDir != "" {
 		path = filepath.Join(outDir, path)
 	}

@@ -1,0 +1,94 @@
+// Command moqod runs the moqo optimization service: a long-running HTTP
+// server that answers multi-objective query optimization requests through
+// a sharded, single-flight plan cache — the paper's multi-user Cloud
+// provider scenario as a daemon.
+//
+// Usage:
+//
+//	moqod [-addr :8080] [-cache 1024] [-cache-shards 16]
+//	      [-default-timeout 30s] [-max-timeout 2m] [-workers N]
+//
+// Endpoints:
+//
+//	POST /optimize  — optimize one query (JSON body; see internal/server)
+//	GET  /metrics   — request, latency and cache counters
+//	GET  /healthz   — liveness probe
+//
+// Example session:
+//
+//	moqod -addr :8080 &
+//	curl -s localhost:8080/optimize -d '{
+//	  "tpch": 3,
+//	  "objectives": ["total_time", "energy"],
+//	  "weights": {"total_time": 1, "energy": 0.2}
+//	}'
+//	curl -s localhost:8080/metrics
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"moqo/internal/server"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		cacheCap       = flag.Int("cache", 1024, "plan cache capacity in entries (negative disables caching)")
+		cacheShards    = flag.Int("cache-shards", 0, "plan cache shard count (0 = default)")
+		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "optimization timeout for requests without timeout_ms")
+		maxTimeout     = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on per-request timeouts")
+		workers        = flag.Int("workers", runtime.NumCPU(), "default optimizer worker goroutines per request")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Options{
+		CacheCapacity:  *cacheCap,
+		CacheShards:    *cacheShards,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultWorkers: *workers,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	fmt.Printf("moqod: listening on %s (cache=%d workers=%d)\n", *addr, *cacheCap, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("%v", err)
+		}
+	case s := <-sig:
+		fmt.Printf("moqod: %v — draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			fatalf("shutdown: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "moqod: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,7 +1,9 @@
 package moqo_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"moqo"
 )
@@ -61,4 +63,79 @@ func ExampleOptimize_bounded() {
 	// Output:
 	// tuple loss: 0
 	// bound respected: true
+}
+
+// ExampleOptimizeContext demonstrates context-aware optimization: a
+// context deadline degrades gracefully like Request.Timeout, while a
+// cancellation (a client disconnect, an explicit cancel) aborts the
+// dynamic program promptly with the context's error.
+func ExampleOptimizeContext() {
+	cat := moqo.TPCHCatalog(1)
+	q, err := moqo.TPCHQuery(3, cat)
+	if err != nil {
+		panic(err)
+	}
+	req := moqo.Request{
+		Query:      q,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.Energy: 0.2},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := moqo.OptimizeContext(ctx, req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("algorithm:", res.Algorithm)
+	fmt.Println("timed out:", res.Stats.TimedOut)
+
+	gone, disconnect := context.WithCancel(context.Background())
+	disconnect() // the client went away before the optimizer started
+	_, err = moqo.OptimizeContext(gone, req)
+	fmt.Println("after disconnect:", err)
+	// Output:
+	// algorithm: rta
+	// timed out: false
+	// after disconnect: context canceled
+}
+
+// ExampleOptimize_boundedWeightedIRA demonstrates bounded-weighted MOQO
+// with a *binding* bound: unconstrained, the fastest plan for TPC-H Q5
+// uses ~32 MiB of buffer space; bounding the buffer footprint to 16 MiB
+// forces the IRA through several refinement iterations and onto a slower
+// plan that respects the bound — the tradeoff of the paper's Figure 1.
+func ExampleOptimize_boundedWeightedIRA() {
+	cat := moqo.TPCHCatalog(1)
+	q, err := moqo.TPCHQuery(5, cat)
+	if err != nil {
+		panic(err)
+	}
+	objectives := []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint, moqo.Energy}
+	weights := map[moqo.Objective]float64{moqo.TotalTime: 1}
+
+	unbounded, err := moqo.Optimize(moqo.Request{
+		Query: q, Alpha: 1.5, Objectives: objectives, Weights: weights,
+	})
+	if err != nil {
+		panic(err)
+	}
+	bounded, err := moqo.Optimize(moqo.Request{
+		Query: q, Alpha: 1.5, Objectives: objectives, Weights: weights,
+		Bounds: map[moqo.Objective]float64{moqo.BufferFootprint: 16 << 20},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("algorithm:", bounded.Algorithm)
+	fmt.Println("refinement iterations > 1:", bounded.Stats.Iterations > 1)
+	fmt.Println("bound respected:", bounded.Cost(moqo.BufferFootprint) <= 16<<20)
+	fmt.Println("bounded plan is slower:", bounded.Cost(moqo.TotalTime) > unbounded.Cost(moqo.TotalTime))
+	// Output:
+	// algorithm: ira
+	// refinement iterations > 1: true
+	// bound respected: true
+	// bounded plan is slower: true
 }

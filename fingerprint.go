@@ -1,0 +1,139 @@
+package moqo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+)
+
+// CacheKey returns a canonical fingerprint of everything that determines
+// the request's Result: the catalog version (a content hash of statistics
+// and indexes), the query join graph, the resolved algorithm, alpha,
+// the objectives, weights, bounds, per-objective precisions, MaxDOP, the
+// sampling decision, and the cost-model calibration. Two requests with
+// equal cache keys produce identical plans, frontiers and cost vectors, so
+// the key is safe to use as a plan-cache key (internal/cache, the moqod
+// service).
+//
+// Deliberately excluded:
+//
+//   - Workers: results are identical for every worker count by the
+//     engine's level-synchronization design.
+//   - Timeout: a timeout changes the result only by degrading it, and
+//     degraded results must never be cached (the moqod cache skips them),
+//     so every cached result is a full result, valid under any timeout.
+//
+// The key is an explicit, readable string rather than a hash: distinct
+// requests — e.g. differing in a single weight or bound — always map to
+// distinct keys, so cache collisions are impossible by construction.
+func (req Request) CacheKey() (string, error) {
+	objs, w, b, alg, alpha, err := req.resolve()
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	sb.Grow(256)
+	sb.WriteString("moqo1|cat=")
+	cat := req.Query.Catalog()
+	fmt.Fprintf(&sb, "%016x", cat.Fingerprint())
+
+	// Join graph: relations in from-clause order (table identity via the
+	// catalog-stable name, plus the filter selectivity), join edges
+	// canonicalized endpoint-low-first and sorted. User-controlled strings
+	// (table and column names) are length-prefixed so no choice of names
+	// can make two different graphs encode identically.
+	sb.WriteString("|q=")
+	for i, r := range req.Query.Relations {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		name := cat.Table(r.Table).Name
+		fmt.Fprintf(&sb, "%d:%s=%s", len(name), name, fmtFloat(r.FilterSel))
+	}
+	sb.WriteString("|e=")
+	edges := make([]string, 0, len(req.Query.Edges))
+	for _, e := range req.Query.Edges {
+		l, r, lc, rc := e.Left, e.Right, e.LeftCol, e.RightCol
+		if r < l {
+			l, r, lc, rc = r, l, rc, lc
+		}
+		edges = append(edges, fmt.Sprintf("%d.%d:%s-%d.%d:%s=%s",
+			l, len(lc), lc, r, len(rc), rc, fmtFloat(e.Selectivity)))
+	}
+	sort.Strings(edges)
+	sb.WriteString(strings.Join(edges, ","))
+
+	fmt.Fprintf(&sb, "|alg=%s", alg)
+	switch alg {
+	case AlgoRTA, AlgoIRA:
+		fmt.Fprintf(&sb, "|alpha=%s", fmtFloat(alpha))
+	}
+
+	// Objectives in request order: the order is semantically relevant for
+	// AlgoSelinger (which optimizes the first listed objective) and cheap
+	// to keep canonical for the rest.
+	sb.WriteString("|objs=")
+	for i, o := range req.Objectives {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(o.String())
+	}
+	sb.WriteString("|w=")
+	for i, o := range objs.IDs() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(fmtFloat(w[o]))
+	}
+	sb.WriteString("|b=")
+	for i, o := range objs.IDs() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(fmtFloat(b[o]))
+	}
+	if len(req.Precisions) > 0 {
+		sb.WriteString("|prec=")
+		for i, o := range objs.IDs() {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			p, ok := req.Precisions[o]
+			if !ok {
+				p = 1
+			}
+			sb.WriteString(fmtFloat(p))
+		}
+	}
+
+	maxDOP := req.MaxDOP
+	if maxDOP == 0 {
+		maxDOP = plan.MaxDOP
+	}
+	sampling := objs.Contains(objective.TupleLoss)
+	if req.AllowSampling != nil {
+		sampling = *req.AllowSampling
+	}
+	fmt.Fprintf(&sb, "|dop=%d|smp=%t", maxDOP, sampling)
+
+	if req.CostParams != nil && *req.CostParams != costmodel.Default() {
+		fmt.Fprintf(&sb, "|params=%v", *req.CostParams)
+	}
+	return sb.String(), nil
+}
+
+// fmtFloat renders a float in shortest round-trip form (handles ±Inf).
+func fmtFloat(x float64) string {
+	if math.IsInf(x, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -1,0 +1,180 @@
+package moqo_test
+
+import (
+	"testing"
+	"time"
+
+	"moqo"
+)
+
+// tpchRequest builds a fresh request (fresh catalog and query objects) so
+// the tests exercise the structural fingerprint, not pointer identity.
+func tpchRequest(t *testing.T, mutate func(*moqo.Request)) moqo.Request {
+	t.Helper()
+	cat := moqo.TPCHCatalog(1)
+	q, err := moqo.TPCHQuery(5, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := moqo.Request{
+		Query:      q,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint, moqo.TupleLoss},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1},
+	}
+	if mutate != nil {
+		mutate(&req)
+	}
+	return req
+}
+
+func key(t *testing.T, req moqo.Request) string {
+	t.Helper()
+	k, err := req.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestCacheKeyStable: structurally identical requests, rebuilt from
+// scratch, fingerprint identically.
+func TestCacheKeyStable(t *testing.T) {
+	a := key(t, tpchRequest(t, nil))
+	b := key(t, tpchRequest(t, nil))
+	if a != b {
+		t.Fatalf("identical requests got different keys:\n%s\n%s", a, b)
+	}
+}
+
+// TestCacheKeyDiscriminates: any input that changes the result must change
+// the key — weights and bounds in particular (the cache must never serve a
+// plan optimized under different preferences).
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := key(t, tpchRequest(t, nil))
+	variants := map[string]func(*moqo.Request){
+		"weight value": func(r *moqo.Request) {
+			r.Weights = map[moqo.Objective]float64{moqo.TotalTime: 2}
+		},
+		"weight on second objective": func(r *moqo.Request) {
+			r.Weights = map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.BufferFootprint: 0.5}
+		},
+		"bound added": func(r *moqo.Request) {
+			r.Bounds = map[moqo.Objective]float64{moqo.TupleLoss: 0.05}
+		},
+		"alpha": func(r *moqo.Request) { r.Alpha = 2 },
+		"objective set": func(r *moqo.Request) {
+			r.Objectives = []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint}
+		},
+		"algorithm": func(r *moqo.Request) { r.Algorithm = moqo.AlgoEXA },
+		"max dop":   func(r *moqo.Request) { r.MaxDOP = 2 },
+		"precisions": func(r *moqo.Request) {
+			r.Algorithm = moqo.AlgoRTA
+			r.Precisions = map[moqo.Objective]float64{moqo.BufferFootprint: 2}
+		},
+	}
+	for name, mutate := range variants {
+		if got := key(t, tpchRequest(t, mutate)); got == base {
+			t.Errorf("%s: key unchanged: %s", name, got)
+		}
+	}
+
+	// Two different bound values must differ from each other, not only
+	// from the unbounded base.
+	b1 := key(t, tpchRequest(t, func(r *moqo.Request) {
+		r.Bounds = map[moqo.Objective]float64{moqo.TupleLoss: 0.05}
+	}))
+	b2 := key(t, tpchRequest(t, func(r *moqo.Request) {
+		r.Bounds = map[moqo.Objective]float64{moqo.TupleLoss: 0.1}
+	}))
+	if b1 == b2 {
+		t.Errorf("different bound values share a key: %s", b1)
+	}
+}
+
+// TestCacheKeyCanonicalizes: inputs that do NOT change the result must not
+// change the key — Workers and Timeout (results are worker-invariant, and
+// degraded results are never cached), and AlgoAuto resolving to the same
+// algorithm an explicit request names.
+func TestCacheKeyCanonicalizes(t *testing.T) {
+	base := key(t, tpchRequest(t, nil)) // AlgoAuto, unbounded -> RTA
+	same := map[string]func(*moqo.Request){
+		"explicit RTA":  func(r *moqo.Request) { r.Algorithm = moqo.AlgoRTA },
+		"workers":       func(r *moqo.Request) { r.Workers = 8 },
+		"timeout":       func(r *moqo.Request) { r.Timeout = 5 * time.Second },
+		"explicit dop4": func(r *moqo.Request) { r.MaxDOP = 4 },
+	}
+	for name, mutate := range same {
+		if got := key(t, tpchRequest(t, mutate)); got != base {
+			t.Errorf("%s: key changed:\n%s\n%s", name, base, got)
+		}
+	}
+}
+
+// TestCacheKeyRejectsInvalid: CacheKey and Optimize must agree on what a
+// valid request is — a request Optimize rejects (precision on an inactive
+// objective) must not produce a key, or a warm cache would answer what a
+// cold one rejects.
+func TestCacheKeyRejectsInvalid(t *testing.T) {
+	req := tpchRequest(t, func(r *moqo.Request) {
+		r.Precisions = map[moqo.Objective]float64{moqo.IOLoad: 2} // inactive objective
+	})
+	if _, err := req.CacheKey(); err == nil {
+		t.Error("CacheKey accepted a precision on an inactive objective")
+	}
+	if _, err := moqo.Optimize(req); err == nil {
+		t.Error("Optimize accepted a precision on an inactive objective")
+	}
+
+	bounded := tpchRequest(t, func(r *moqo.Request) {
+		r.Bounds = map[moqo.Objective]float64{moqo.TupleLoss: 0.1} // auto -> IRA
+		r.Precisions = map[moqo.Objective]float64{moqo.TotalTime: 2}
+	})
+	if _, err := bounded.CacheKey(); err == nil {
+		t.Error("CacheKey accepted Precisions on a non-RTA request")
+	}
+	if _, err := moqo.Optimize(bounded); err == nil {
+		t.Error("Optimize accepted Precisions on a non-RTA request")
+	}
+}
+
+// TestCacheKeyCatalogVersion: the same query shape against a catalog with
+// different statistics fingerprints differently.
+func TestCacheKeyCatalogVersion(t *testing.T) {
+	sf1 := key(t, tpchRequest(t, nil))
+
+	cat := moqo.TPCHCatalog(2)
+	q, err := moqo.TPCHQuery(5, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf2 := key(t, moqo.Request{
+		Query:      q,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint, moqo.TupleLoss},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1},
+	})
+	if sf1 == sf2 {
+		t.Fatal("scale factor 1 and 2 share a cache key")
+	}
+}
+
+// TestCacheKeyQueryShape: different join graphs fingerprint differently.
+func TestCacheKeyQueryShape(t *testing.T) {
+	cat := moqo.TPCHCatalog(1)
+	keys := map[string]bool{}
+	for _, num := range []int{3, 5, 10} {
+		q, err := moqo.TPCHQuery(num, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := key(t, moqo.Request{
+			Query:      q,
+			Objectives: []moqo.Objective{moqo.TotalTime},
+		})
+		if keys[k] {
+			t.Fatalf("TPC-H q%d collides with an earlier query: %s", num, k)
+		}
+		keys[k] = true
+	}
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moqo/internal/server"
+)
+
+// ServerSpec parameterizes the moqod closed-loop load experiment: C
+// concurrent clients issue back-to-back /optimize requests against an
+// in-process service instance, at a controlled cache-hit ratio, and the
+// experiment reports client-side throughput and latency percentiles.
+//
+// The hit ratio is controlled by the workload mix: a pool of Variants
+// distinct requests is warmed into the cache up front, and each
+// measurement request draws a warm variant with probability TargetHit (a
+// guaranteed hit) or invents a fresh weight vector otherwise (a guaranteed
+// miss) — the paper's multi-user scenario of recurring query shapes under
+// drifting preferences.
+type ServerSpec struct {
+	// Concurrency lists the measured client counts (default {1, 4, 8}).
+	Concurrency []int
+	// TargetHits lists the measured cache-hit fractions in [0,1]
+	// (default {0, 0.95}).
+	TargetHits []float64
+	// RequestsPerClient is the closed-loop request count per client
+	// (default 40).
+	RequestsPerClient int
+	// Variants is the warm-pool size (default 8).
+	Variants int
+	// TPCHQuery is the recurring query shape (default 3).
+	TPCHQuery int
+	// Alpha is the RTA precision of every request (default 1.5).
+	Alpha float64
+	// Seed drives the per-client workload draws.
+	Seed int64
+}
+
+// withDefaults fills in the defaults.
+func (s ServerSpec) withDefaults() ServerSpec {
+	if len(s.Concurrency) == 0 {
+		s.Concurrency = []int{1, 4, 8}
+	}
+	if len(s.TargetHits) == 0 {
+		s.TargetHits = []float64{0, 0.95}
+	}
+	if s.RequestsPerClient == 0 {
+		s.RequestsPerClient = 40
+	}
+	if s.Variants == 0 {
+		s.Variants = 8
+	}
+	if s.TPCHQuery == 0 {
+		s.TPCHQuery = 3
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 1.5
+	}
+	return s
+}
+
+// ServerPoint is one measured (concurrency, target hit ratio) cell.
+type ServerPoint struct {
+	Concurrency  int     `json:"concurrency"`
+	TargetHitPct float64 `json:"target_hit_pct"`
+	// Requests and Errors count the measurement phase (warmup excluded).
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// HitPct is the server-measured cache-hit percentage over the
+	// measurement phase (hits + coalesced waits, from /metrics deltas).
+	HitPct float64 `json:"hit_pct"`
+	// ThroughputRPS is completed requests per wall-clock second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Client-side latency statistics in milliseconds.
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// ServerLoad runs the closed-loop load experiment. Every cell gets a
+// fresh in-process service (clean cache and counters) exercised over real
+// HTTP on the loopback interface.
+func ServerLoad(spec ServerSpec) ([]ServerPoint, error) {
+	spec = spec.withDefaults()
+	var out []ServerPoint
+	for _, conc := range spec.Concurrency {
+		for _, target := range spec.TargetHits {
+			pt, err := serverLoadCell(spec, conc, target)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// requestBody renders the workload request for one weight variant.
+func (s ServerSpec) requestBody(bufferWeight float64) string {
+	return fmt.Sprintf(`{
+		"tpch": %d,
+		"alpha": %g,
+		"objectives": ["total_time", "buffer_footprint", "energy"],
+		"weights": {"total_time": 1, "buffer_footprint": %.9f}
+	}`, s.TPCHQuery, s.Alpha, bufferWeight)
+}
+
+// serverLoadCell measures one (concurrency, target) cell.
+func serverLoadCell(spec ServerSpec, conc int, target float64) (ServerPoint, error) {
+	svc := httptest.NewServer(server.New(server.Options{}).Handler())
+	defer svc.Close()
+	client := svc.Client()
+
+	post := func(body string) (int, error) {
+		res, err := client.Post(svc.URL+"/optimize", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			return 0, err
+		}
+		defer res.Body.Close()
+		var sink json.RawMessage
+		if err := json.NewDecoder(res.Body).Decode(&sink); err != nil {
+			return 0, err
+		}
+		return res.StatusCode, nil
+	}
+
+	// Warm the variant pool: one miss per variant, outside the
+	// measurement.
+	for k := 0; k < spec.Variants; k++ {
+		if status, err := post(spec.requestBody(warmWeight(k))); err != nil || status != http.StatusOK {
+			return ServerPoint{}, fmt.Errorf("bench: warmup variant %d: status %d, err %v", k, status, err)
+		}
+	}
+	before, err := fetchCacheMetrics(client, svc.URL)
+	if err != nil {
+		return ServerPoint{}, err
+	}
+
+	// Closed loop: conc clients issue back-to-back requests.
+	var (
+		fresh   atomic.Int64 // distinct weights for guaranteed misses
+		errs    atomic.Int64
+		latMu   sync.Mutex
+		latency []float64
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.Seed + int64(c)*7919))
+			for i := 0; i < spec.RequestsPerClient; i++ {
+				var weight float64
+				if rng.Float64() < target {
+					weight = warmWeight(rng.Intn(spec.Variants))
+				} else {
+					weight = missWeight(fresh.Add(1))
+				}
+				reqStart := time.Now()
+				status, err := post(spec.requestBody(weight))
+				ms := float64(time.Since(reqStart)) / float64(time.Millisecond)
+				if err != nil || status != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				latMu.Lock()
+				latency = append(latency, ms)
+				latMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := fetchCacheMetrics(client, svc.URL)
+	if err != nil {
+		return ServerPoint{}, err
+	}
+
+	pt := ServerPoint{
+		Concurrency:  conc,
+		TargetHitPct: 100 * target,
+		Requests:     conc * spec.RequestsPerClient,
+		Errors:       int(errs.Load()),
+	}
+	lookups := (after.Hits + after.Coalesced + after.Misses) - (before.Hits + before.Coalesced + before.Misses)
+	if lookups > 0 {
+		pt.HitPct = 100 * float64((after.Hits+after.Coalesced)-(before.Hits+before.Coalesced)) / float64(lookups)
+	}
+	if wall > 0 {
+		pt.ThroughputRPS = float64(len(latency)) / wall.Seconds()
+	}
+	if len(latency) > 0 {
+		sum := 0.0
+		for _, ms := range latency {
+			sum += ms
+		}
+		pt.MeanMs = sum / float64(len(latency))
+		sort.Float64s(latency)
+		pt.P50Ms = server.Percentile(latency, 0.50)
+		pt.P99Ms = server.Percentile(latency, 0.99)
+	}
+	return pt, nil
+}
+
+// warmWeight is the buffer-footprint weight of warm-pool variant k.
+func warmWeight(k int) float64 { return 0.001 * float64(k+1) }
+
+// missWeight is a weight no warm variant (and no earlier miss) ever used,
+// guaranteeing a distinct cache key.
+func missWeight(n int64) float64 { return 1000 + 0.001*float64(n) }
+
+// fetchCacheMetrics reads the cache counters from /metrics.
+func fetchCacheMetrics(client *http.Client, base string) (server.CacheMetrics, error) {
+	res, err := client.Get(base + "/metrics")
+	if err != nil {
+		return server.CacheMetrics{}, err
+	}
+	defer res.Body.Close()
+	var m server.MetricsResponse
+	if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
+		return server.CacheMetrics{}, err
+	}
+	return m.Cache, nil
+}
+
+// RenderServerLoad renders the load measurements as a text table.
+func RenderServerLoad(pts []ServerPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %10s %8s %8s %10s %9s %9s %9s\n",
+		"conc", "target-hit", "requests", "hit%", "thru (r/s)", "mean (ms)", "p50 (ms)", "p99 (ms)")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%5d %9.0f%% %8d %7.1f%% %10.1f %9.2f %9.2f %9.2f\n",
+			p.Concurrency, p.TargetHitPct, p.Requests, p.HitPct,
+			p.ThroughputRPS, p.MeanMs, p.P50Ms, p.P99Ms)
+	}
+	return b.String()
+}
+
+// ServerLoadJSON serializes the measurements as the BENCH_server.json
+// payload the CI pipeline archives.
+func ServerLoadJSON(pts []ServerPoint) ([]byte, error) {
+	payload := struct {
+		Benchmark string        `json:"benchmark"`
+		NumCPU    int           `json:"num_cpu"`
+		Points    []ServerPoint `json:"points"`
+	}{
+		Benchmark: "moqod-closed-loop",
+		NumCPU:    runtime.NumCPU(),
+		Points:    pts,
+	}
+	return json.MarshalIndent(payload, "", "  ")
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestServerLoadSmoke: a scaled-down closed-loop run produces plausible
+// measurements — every requested cell, no errors, hit ratios tracking the
+// targets, and a valid JSON payload.
+func TestServerLoadSmoke(t *testing.T) {
+	spec := ServerSpec{
+		Concurrency:       []int{1, 2, 4},
+		TargetHits:        []float64{0, 0.95},
+		RequestsPerClient: 12,
+		Variants:          4,
+		Seed:              1,
+	}
+	pts, err := ServerLoad(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6 (3 concurrency x 2 hit targets)", len(pts))
+	}
+	for _, p := range pts {
+		if p.Errors > 0 {
+			t.Errorf("cell conc=%d target=%.0f%%: %d errors", p.Concurrency, p.TargetHitPct, p.Errors)
+		}
+		if p.ThroughputRPS <= 0 || p.P50Ms <= 0 || p.P99Ms < p.P50Ms {
+			t.Errorf("cell conc=%d target=%.0f%%: implausible stats %+v", p.Concurrency, p.TargetHitPct, p)
+		}
+		// The workload mix controls the hit ratio; allow sampling noise
+		// around the target.
+		switch p.TargetHitPct {
+		case 0:
+			if p.HitPct > 1 {
+				t.Errorf("cell conc=%d: hit ratio %.1f%% on an all-miss workload", p.Concurrency, p.HitPct)
+			}
+		case 95:
+			if p.HitPct < 75 {
+				t.Errorf("cell conc=%d: hit ratio %.1f%%, want near 95%%", p.Concurrency, p.HitPct)
+			}
+		}
+	}
+
+	raw, err := ServerLoadJSON(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Benchmark string        `json:"benchmark"`
+		Points    []ServerPoint `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Benchmark != "moqod-closed-loop" || len(payload.Points) != 6 {
+		t.Fatalf("bad payload: %s", raw)
+	}
+	if RenderServerLoad(pts) == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,16 +1,10 @@
-// Package catalog provides the database schema and statistics substrate
-// that the optimizer's cost model consumes: base-table cardinalities, tuple
-// widths, page counts, available indexes, and join selectivities.
-//
-// The shipped catalog models the TPC-H schema at scale factor 1, the
-// workload the paper evaluates on. The catalog is purely statistical — no
-// data is stored — because the optimizer only needs estimates, exactly like
-// the Postgres statistics the paper's prototype relied on.
 package catalog
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strconv"
 )
 
 // PageSize is the buffer/disk page size in bytes (Postgres default).
@@ -132,6 +126,30 @@ func (c *Catalog) Indexes(t TableID) []Index {
 
 // NumTables returns the number of tables in the catalog.
 func (c *Catalog) NumTables() int { return len(c.tables) }
+
+// Fingerprint returns a stable content hash of the catalog — every table's
+// name, statistics and primary key plus every index, in canonical order.
+// Two catalogs built the same way (e.g. TPCH(1) in two processes) hash
+// identically, and any statistics change yields a new fingerprint, which is
+// what versions cached optimization results: the cost model reads nothing
+// of a catalog beyond the hashed fields. User-controlled strings (table
+// and column names) are length-prefixed, so no choice of names can make
+// two different catalogs encode — and therefore hash — identically. The
+// fingerprint is recomputed on every call (catalogs are small), keeping
+// the method safe for concurrent use on a catalog that is no longer being
+// mutated.
+func (c *Catalog) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for i := range c.tables {
+		t := &c.tables[i]
+		fmt.Fprintf(h, "t|%d:%s|%s|%d|%d:%s;", len(t.Name), t.Name,
+			strconv.FormatFloat(t.Rows, 'g', -1, 64), t.Width, len(t.PKColumn), t.PKColumn)
+		for _, ix := range c.Indexes(t.ID) {
+			fmt.Fprintf(h, "i|%d:%s|%t;", len(ix.Column), ix.Column, ix.Unique)
+		}
+	}
+	return h.Sum64()
+}
 
 // MaxRows returns the maximal cardinality over all base tables — the
 // parameter m of the paper's complexity analysis.

@@ -146,3 +146,41 @@ func TestAddTableValidation(t *testing.T) {
 	mustPanic("index unknown table", func() { c.AddIndex(TableID(99), "x", false) })
 	mustPanic("unknown table id", func() { c.Table(TableID(99)) })
 }
+
+// TestFingerprint: equal contents hash equally; any statistics or index
+// change yields a new version.
+func TestFingerprint(t *testing.T) {
+	if TPCH(1).Fingerprint() != TPCH(1).Fingerprint() {
+		t.Fatal("identical catalogs got different fingerprints")
+	}
+	base := TPCH(1).Fingerprint()
+	if TPCH(2).Fingerprint() == base {
+		t.Fatal("different scale factors share a fingerprint")
+	}
+	c := TPCH(1)
+	c.AddIndex(c.MustLookup(Orders), "o_orderdate", false)
+	if c.Fingerprint() == base {
+		t.Fatal("adding an index did not change the fingerprint")
+	}
+	c2 := TPCH(1)
+	c2.AddTable("extra", 42, 16, "e_id")
+	if c2.Fingerprint() == base {
+		t.Fatal("adding a table did not change the fingerprint")
+	}
+}
+
+// TestFingerprintInjection: table names are user-controlled in the moqod
+// service, so a name embedding the encoding's delimiters must not make
+// two different catalogs hash identically (length-prefixing prevents it).
+func TestFingerprintInjection(t *testing.T) {
+	honest := New()
+	honest.AddTable("a", 1, 4, "p")
+	honest.AddTable("b", 2, 4, "")
+
+	forged := New()
+	forged.AddTable("a|1|4|p;i|p|true;t|b", 2, 4, "")
+
+	if honest.Fingerprint() == forged.Fingerprint() {
+		t.Fatal("delimiter-injecting table name forged another catalog's fingerprint")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -28,6 +30,14 @@ type Result struct {
 // selects the best plan for the given weights and bounds. Exponential in
 // the number of possible plans (Theorems 1-2); use the timeout.
 func EXA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options) (Result, error) {
+	return EXAContext(context.Background(), m, w, b, opts)
+}
+
+// EXAContext is EXA under a context: cancellation aborts the dynamic
+// program promptly and returns ctx's error, while a context deadline folds
+// into the timeout/degrade path of Options.Timeout (the run still returns
+// a — degraded — plan with Stats.TimedOut set).
+func EXAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options) (Result, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return Result{}, err
@@ -35,11 +45,31 @@ func EXA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Optio
 	if !w.Valid() || !b.Valid() {
 		return Result{}, fmt.Errorf("core: invalid weights or bounds")
 	}
+	if err := startErr(ctx); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
-	e := newEngine(m, opts, 1, w)
+	e := newEngine(ctx, m, opts, 1, w)
 	final := e.run()
+	if err := e.cancelErr(); err != nil {
+		return Result{}, err
+	}
 	st := e.stats(start)
 	return Result{Best: final.SelectBest(w, b), Frontier: final, Stats: st}, nil
+}
+
+// startErr rejects a context that is already cancelled before any work
+// starts. A context whose *deadline* has passed is let through: the run
+// enters degraded mode immediately and still returns a plan, mirroring a
+// pre-expired Options.Timeout.
+func startErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		return err
+	}
+	return nil
 }
 
 // RTA runs the representative-tradeoffs algorithm (paper Algorithm 2), an
@@ -49,6 +79,12 @@ func EXA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Optio
 // within factor αU of the optimum (Theorem 3 + Corollary 1). Bounds are not
 // supported — use IRA for bounded-weighted MOQO.
 func RTA(m *costmodel.Model, w objective.Weights, opts Options) (Result, error) {
+	return RTAContext(context.Background(), m, w, opts)
+}
+
+// RTAContext is RTA under a context (see EXAContext for the cancellation
+// and deadline semantics).
+func RTAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, opts Options) (Result, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return Result{}, err
@@ -56,8 +92,14 @@ func RTA(m *costmodel.Model, w objective.Weights, opts Options) (Result, error) 
 	if !w.Valid() {
 		return Result{}, fmt.Errorf("core: invalid weights")
 	}
+	if err := startErr(ctx); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
-	final, e := rtaParetoPlans(m, w, opts, opts.Alpha)
+	final, e := rtaParetoPlans(ctx, m, w, opts, opts.Alpha)
+	if err := e.cancelErr(); err != nil {
+		return Result{}, err
+	}
 	st := e.stats(start)
 	return Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}, nil
 }
@@ -65,13 +107,13 @@ func RTA(m *costmodel.Model, w objective.Weights, opts Options) (Result, error) 
 // rtaParetoPlans is FindParetoPlans of Algorithm 2: it derives the internal
 // pruning precision αi = setAlpha^(1/|Q|) from the requested Pareto-set
 // precision and runs the shared engine.
-func rtaParetoPlans(m *costmodel.Model, w objective.Weights, opts Options, setAlpha float64) (*pareto.Archive, *engine) {
+func rtaParetoPlans(ctx context.Context, m *costmodel.Model, w objective.Weights, opts Options, setAlpha float64) (*pareto.Archive, *engine) {
 	n := m.Query().NumRelations()
 	alphaInternal := math.Pow(setAlpha, 1/float64(n))
 	if alphaInternal < 1 {
 		alphaInternal = 1
 	}
-	e := newEngine(m, opts, alphaInternal, w)
+	e := newEngine(ctx, m, opts, alphaInternal, w)
 	return e.run(), e
 }
 
@@ -89,12 +131,23 @@ const maxIRAIterations = 256
 // incumbent by more than the approximation slack — which certifies the
 // incumbent αU-approximate (Theorem 6).
 func IRA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options) (Result, error) {
+	return IRAContext(context.Background(), m, w, b, opts)
+}
+
+// IRAContext is IRA under a context: cancellation aborts the current
+// refinement iteration and returns ctx's error; a context deadline bounds
+// the whole refinement loop exactly like Options.Timeout (the incumbent of
+// the last completed iteration is returned with Stats.TimedOut set).
+func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options) (Result, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return Result{}, err
 	}
 	if !w.Valid() || !b.Valid() {
 		return Result{}, fmt.Errorf("core: invalid weights or bounds")
+	}
+	if err := startErr(ctx); err != nil {
+		return Result{}, err
 	}
 	start := time.Now()
 	alphaU := opts.Alpha
@@ -111,6 +164,9 @@ func IRA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Optio
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
 	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
 
 	for i := 1; ; i++ {
 		// Precision refinement policy: exponent halves every 3l-3
@@ -125,13 +181,25 @@ func IRA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Optio
 		if !deadline.IsZero() {
 			remaining := time.Until(deadline)
 			if remaining <= 0 {
-				total.TimedOut = true
-				break
+				if final != nil {
+					total.TimedOut = true
+					break
+				}
+				// The deadline expired before the first iteration could
+				// run (a pre-expired context deadline, or a sub-
+				// microsecond Timeout). Run one iteration anyway with an
+				// immediately-expiring budget: the engine's degraded mode
+				// still produces a plan, honoring the contract that
+				// deadlines degrade rather than fail.
+				remaining = time.Nanosecond
 			}
 			iterOpts.Timeout = remaining
 		}
 		iterStart := time.Now()
-		archive, e := rtaParetoPlans(m, w, iterOpts, alpha)
+		archive, e := rtaParetoPlans(ctx, m, w, iterOpts, alpha)
+		if err := e.cancelErr(); err != nil {
+			return Result{}, err
+		}
 		iterStats := e.stats(iterStart)
 		total.merge(iterStats)
 		total.IterationDetail = append(total.IterationDetail, IterationInfo{
@@ -199,8 +267,13 @@ func iraStop(archive *pareto.Archive, w objective.Weights, b objective.Bounds,
 // (Figure 5's 1-objective measurements, Figure 7's complexity comparison)
 // and the tool used to derive per-objective minima for bounds generation.
 func Selinger(m *costmodel.Model, obj objective.ID, opts Options) (Result, error) {
+	return SelingerContext(context.Background(), m, obj, opts)
+}
+
+// SelingerContext is Selinger under a context (see WeightedSumDPContext).
+func SelingerContext(ctx context.Context, m *costmodel.Model, obj objective.ID, opts Options) (Result, error) {
 	opts.Objectives = objective.NewSet(obj)
-	return WeightedSumDP(m, objective.SingleWeight(obj), opts)
+	return WeightedSumDPContext(ctx, m, objective.SingleWeight(obj), opts)
 }
 
 // WeightedSumDP runs a dynamic program that prunes on the scalar weighted
@@ -210,6 +283,15 @@ func Selinger(m *costmodel.Model, obj objective.ID, opts Options) (Result, error
 // breaks — and it is included as the ablation baseline demonstrating that
 // unsoundness (see the package tests).
 func WeightedSumDP(m *costmodel.Model, w objective.Weights, opts Options) (Result, error) {
+	return WeightedSumDPContext(context.Background(), m, w, opts)
+}
+
+// WeightedSumDPContext is WeightedSumDP under a context. The scalar
+// dynamic program has no degraded mode, so only cancellation interrupts
+// it (aborting with ctx's error); deadlines are observed solely between
+// its enumeration steps via the shared latch and never truncate the
+// candidate enumeration.
+func WeightedSumDPContext(ctx context.Context, m *costmodel.Model, w objective.Weights, opts Options) (Result, error) {
 	if opts.Objectives.Len() == 0 {
 		opts.Objectives = w.Active()
 	}
@@ -220,9 +302,15 @@ func WeightedSumDP(m *costmodel.Model, w objective.Weights, opts Options) (Resul
 	if !w.Valid() {
 		return Result{}, fmt.Errorf("core: invalid weights")
 	}
+	if err := startErr(ctx); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
-	e := newEngine(m, opts, 1, w)
+	e := newEngine(ctx, m, opts, 1, w)
 	best := e.runScalar(func(v objective.Vector) float64 { return w.Cost(v) })
+	if err := e.cancelErr(); err != nil {
+		return Result{}, err
+	}
 	st := e.stats(start)
 	a := pareto.NewArchive(opts.Objectives, 1)
 	if best != nil {
@@ -236,6 +324,12 @@ func WeightedSumDP(m *costmodel.Model, w objective.Weights, opts Options) (Resul
 // per objective. The paper's test-case generator draws bounds for
 // unbounded-domain objectives from [1,2] times these minima.
 func ObjectiveMinima(m *costmodel.Model, opts Options) (objective.Vector, error) {
+	return ObjectiveMinimaContext(context.Background(), m, opts)
+}
+
+// ObjectiveMinimaContext is ObjectiveMinima under a context; cancellation
+// aborts between (and within) the per-objective dynamic programs.
+func ObjectiveMinimaContext(ctx context.Context, m *costmodel.Model, opts Options) (objective.Vector, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return objective.Vector{}, err
@@ -244,7 +338,7 @@ func ObjectiveMinima(m *costmodel.Model, opts Options) (objective.Vector, error)
 	for _, o := range opts.Objectives.IDs() {
 		sopts := opts
 		sopts.Objectives = opts.Objectives // keep sampling decision stable
-		res, err := singleObjectiveMin(m, o, sopts)
+		res, err := singleObjectiveMin(ctx, m, o, sopts)
 		if err != nil {
 			return objective.Vector{}, err
 		}
@@ -256,10 +350,16 @@ func ObjectiveMinima(m *costmodel.Model, opts Options) (objective.Vector, error)
 // singleObjectiveMin minimizes one objective over the plan space defined
 // by opts (including its sampling decision, which must match the main
 // run's plan space for the minima to be meaningful bounds).
-func singleObjectiveMin(m *costmodel.Model, o objective.ID, opts Options) (float64, error) {
+func singleObjectiveMin(ctx context.Context, m *costmodel.Model, o objective.ID, opts Options) (float64, error) {
+	if err := startErr(ctx); err != nil {
+		return 0, err
+	}
 	start := time.Now()
-	e := newEngine(m, opts, 1, objective.SingleWeight(o))
+	e := newEngine(ctx, m, opts, 1, objective.SingleWeight(o))
 	best := e.runScalar(func(v objective.Vector) float64 { return v[o] })
+	if err := e.cancelErr(); err != nil {
+		return 0, err
+	}
 	_ = e.stats(start)
 	if best == nil {
 		return 0, fmt.Errorf("core: no plan found for objective %v", o)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,6 +29,12 @@ import (
 // objectives of their precisions. The internal per-level precision is the
 // component-wise |Q|-th root, exactly as in Algorithm 2.
 func RTAVector(m *costmodel.Model, w objective.Weights, prec objective.Precision, opts Options) (Result, error) {
+	return RTAVectorContext(context.Background(), m, w, prec, opts)
+}
+
+// RTAVectorContext is RTAVector under a context (see EXAContext for the
+// cancellation and deadline semantics).
+func RTAVectorContext(ctx context.Context, m *costmodel.Model, w objective.Weights, prec objective.Precision, opts Options) (Result, error) {
 	if !prec.Valid() {
 		return Result{}, fmt.Errorf("core: invalid precision vector (every entry must be >= 1)")
 	}
@@ -41,11 +48,17 @@ func RTAVector(m *costmodel.Model, w objective.Weights, prec objective.Precision
 	if !w.Valid() {
 		return Result{}, fmt.Errorf("core: invalid weights")
 	}
+	if err := startErr(ctx); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	alphaI := prec.Root(m.Query().NumRelations())
-	e := newEngine(m, opts, prec.Max(opts.Objectives), w)
+	e := newEngine(ctx, m, opts, prec.Max(opts.Objectives), w)
 	e.precInternal = &alphaI
 	final := e.run()
+	if err := e.cancelErr(); err != nil {
+		return Result{}, err
+	}
 	st := e.stats(start)
 	return Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}, nil
 }

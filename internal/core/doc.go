@@ -1,0 +1,37 @@
+// Package core implements the multi-objective query optimization
+// algorithms the paper studies (Trummer & Koch, "Approximation Schemes for
+// Many-Objective Query Optimization", SIGMOD 2014):
+//
+//   - EXA — the exact multi-objective dynamic program of Ganguly et al.
+//     (paper Algorithm 1): Selinger-style bushy DP with Pareto-set pruning.
+//   - RTA — the representative-tradeoffs algorithm (Algorithm 2): the same
+//     DP with approximate-dominance pruning at internal precision
+//     αi = αU^(1/|Q|); an approximation scheme for weighted MOQO
+//     (Theorem 3, Corollary 1).
+//   - IRA — the iterative-refinement algorithm (Algorithm 3): repeated RTA
+//     runs at geometrically refined precision with a stopping condition
+//     that certifies αU-approximation for bounded-weighted MOQO
+//     (Theorems 6-8).
+//   - RTAVector — a beyond-paper extension of the RTA with per-objective
+//     precisions (coarse on tolerant objectives, exact on strict ones).
+//   - Single-objective baselines: a Selinger-style DP (used for the
+//     paper's single-objective measurements and for deriving per-objective
+//     minima when generating bounds) and the unsound weighted-sum DP that
+//     the paper's Example 1 rules out.
+//
+// All algorithms share one enumeration engine (engine.go) that implements
+// the Postgres search-space heuristic the paper kept in place: Cartesian
+// products are considered only when no predicate-connected split exists.
+// The engine is layered into an enumerator (enumerator.go: level-by-level
+// table-set materialization with dense integer ids), a slice-backed memo
+// table, and a level-synchronized worker pool (pool.go) that shards each
+// cardinality level across Options.Workers goroutines without weakening
+// any approximation guarantee.
+//
+// Every algorithm has a Context variant (EXAContext, RTAContext, ...):
+// cancelling the context aborts the dynamic program promptly with the
+// context's error, while a context deadline folds into the paper's
+// timeout/degradation path (Section 5.1) — untreated table sets get a
+// single best-weighted plan and the run still returns a usable Result
+// with Stats.TimedOut set.
+package core

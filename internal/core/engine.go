@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"time"
@@ -52,22 +53,44 @@ type engine struct {
 
 	workers []worker
 
+	// ctx carries the caller's cancellation signal into the dynamic
+	// program; ctxDone is ctx.Done() bound once (nil for background
+	// contexts, keeping the amortized check free when no cancellation is
+	// possible).
+	ctx     context.Context
+	ctxDone <-chan struct{}
+
 	deadline   time.Time
 	hasTimeout bool
 	// timedOut is shared across workers: the first worker to observe the
-	// deadline latches it, switching every worker to degraded mode.
+	// deadline latches it, switching every worker to degraded mode. A
+	// context *deadline* folds into the same latch — the run degrades
+	// gracefully and still returns a plan, exactly as with Options.Timeout.
 	timedOut atomic.Bool
+	// cancelled is latched when the context is cancelled for any reason
+	// other than a deadline (client disconnect, explicit cancel). Unlike a
+	// timeout there is no caller left to serve, so workers abandon their
+	// remaining sets instead of degrading, and the run reports ctx.Err().
+	cancelled atomic.Bool
 }
 
 // newEngine prepares an engine run. alphaInternal >= 1 is the archive
 // pruning precision (1 = exact). opts must be normalized (Workers >= 1).
-func newEngine(m *costmodel.Model, opts Options, alphaInternal float64, w objective.Weights) *engine {
+// ctx cancellation aborts the run; a ctx deadline is folded into the
+// timeout/degrade machinery (the earlier of ctx deadline and Options.
+// Timeout wins).
+func newEngine(ctx context.Context, m *costmodel.Model, opts Options, alphaInternal float64, w objective.Weights) *engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e := &engine{
 		q:             m.Query(),
 		m:             m,
 		opts:          opts,
 		alphaInternal: alphaInternal,
 		weights:       w,
+		ctx:           ctx,
+		ctxDone:       ctx.Done(),
 	}
 	e.enum = enumerate(e.q)
 	e.memo = newMemoTable(e.enum)
@@ -84,7 +107,24 @@ func newEngine(m *costmodel.Model, opts Options, alphaInternal float64, w object
 		e.deadline = time.Now().Add(opts.Timeout)
 		e.hasTimeout = true
 	}
+	if d, ok := ctx.Deadline(); ok && (!e.hasTimeout || d.Before(e.deadline)) {
+		e.deadline = d
+		e.hasTimeout = true
+	}
 	return e
+}
+
+// cancelErr returns the context's error if the run was abandoned because
+// of a cancellation (not a deadline — deadlines degrade and still produce
+// a result). Called by the algorithms after run()/runScalar() return.
+func (e *engine) cancelErr() error {
+	if !e.cancelled.Load() {
+		return nil
+	}
+	if err := context.Cause(e.ctx); err != nil {
+		return err
+	}
+	return context.Canceled
 }
 
 // newArchive constructs an archive with the engine's pruning precision.
@@ -103,7 +143,12 @@ func (e *engine) run() *pareto.Archive {
 		if s.Single() {
 			w.scanSet(id, s)
 		} else if w.expired() {
-			w.degradedSet(id, s)
+			// Timeout: degrade to a single best-weighted plan (paper
+			// Section 5.1). Cancellation: there is no caller left to serve,
+			// so skip the set entirely — the run reports ctx.Err().
+			if !e.cancelled.Load() {
+				w.degradedSet(id, s)
+			}
 		} else {
 			w.fullSet(id, s)
 		}
@@ -237,6 +282,8 @@ func (w *worker) reducedArchives(s query.TableSet, scalar func(objective.Vector)
 // bestOnlySet stores a single plan for table set s: the candidate
 // minimizing the given scalar metric. Used by the scalar (single-
 // objective) dynamic program, whose archives already hold one plan each.
+// Only cancellation aborts the enumeration (see worker.interrupted): the
+// scalar DP has no degraded mode, so the timeout is ignored here.
 func (w *worker) bestOnlySet(id int32, s query.TableSet, scalar func(objective.Vector) float64) {
 	var best *plan.Node
 	bestCost := math.Inf(1)
@@ -244,7 +291,7 @@ func (w *worker) bestOnlySet(id int32, s query.TableSet, scalar func(objective.V
 		if c := scalar(p.Cost); c < bestCost {
 			best, bestCost = p, c
 		}
-		return true
+		return !w.interrupted()
 	})
 	a := w.e.newArchive()
 	if best != nil {

@@ -1,22 +1,3 @@
-// Package core implements the multi-objective query optimization algorithms
-// the paper studies:
-//
-//   - EXA — the exact multi-objective dynamic program of Ganguly et al.
-//     (paper Algorithm 1): Selinger-style bushy DP with Pareto-set pruning.
-//   - RTA — the representative-tradeoffs algorithm (Algorithm 2): the same
-//     DP with approximate-dominance pruning at internal precision
-//     αi = αU^(1/|Q|); an approximation scheme for weighted MOQO.
-//   - IRA — the iterative-refinement algorithm (Algorithm 3): repeated RTA
-//     runs at geometrically refined precision with a stopping condition
-//     that certifies αU-approximation for bounded-weighted MOQO.
-//   - Single-objective baselines: a Selinger-style DP (used for the
-//     paper's single-objective measurements and for deriving per-objective
-//     minima when generating bounds) and the unsound weighted-sum DP that
-//     the paper's Example 1 rules out.
-//
-// All algorithms share one enumeration engine that implements the Postgres
-// search-space heuristic the paper kept in place: Cartesian products are
-// considered only when no predicate-connected split exists.
 package core
 
 import (

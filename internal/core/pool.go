@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,26 +28,68 @@ type worker struct {
 	maxDoneLen int
 }
 
-// expired checks the run's deadline (amortized: every 1024 calls per
-// worker) and latches the engine-wide timeout flag once it fires, so
-// every other worker degrades promptly as well.
+// observe polls the run's stop signals (amortized by the caller): the
+// context first — a cancellation latches the engine-wide cancelled flag, a
+// context deadline latches the timeout flag — then the wall-clock deadline.
+// Latching makes every other worker react promptly without re-polling.
+func (w *worker) observe() {
+	e := w.e
+	if e.ctxDone != nil {
+		select {
+		case <-e.ctxDone:
+			if errors.Is(e.ctx.Err(), context.DeadlineExceeded) {
+				e.timedOut.Store(true)
+			} else {
+				e.cancelled.Store(true)
+			}
+			return
+		default:
+		}
+	}
+	if e.hasTimeout && time.Now().After(e.deadline) {
+		e.timedOut.Store(true)
+	}
+}
+
+// expired checks the run's deadline and context (amortized: every 1024
+// calls per worker) and reports whether this worker should stop exhaustive
+// work — either to degrade (timeout) or to abandon the run (cancellation;
+// the engine's cancelled latch tells the two apart).
 func (w *worker) expired() bool {
 	e := w.e
-	if !e.hasTimeout {
-		return false
-	}
-	if e.timedOut.Load() {
+	if e.cancelled.Load() || e.timedOut.Load() {
 		return true
+	}
+	if !e.hasTimeout && e.ctxDone == nil {
+		return false
 	}
 	w.checkTick++
 	if w.checkTick&1023 != 0 {
 		return false
 	}
-	if time.Now().After(e.deadline) {
-		e.timedOut.Store(true)
+	w.observe()
+	return e.cancelled.Load() || e.timedOut.Load()
+}
+
+// interrupted reports whether the run's context was cancelled. Unlike
+// expired it never reports a plain timeout: the scalar dynamic program has
+// no degraded mode — it must either enumerate every candidate or abort with
+// an error, since a partial enumeration would silently return a
+// non-optimal plan.
+func (w *worker) interrupted() bool {
+	e := w.e
+	if e.cancelled.Load() {
 		return true
 	}
-	return false
+	if e.ctxDone == nil {
+		return false
+	}
+	w.checkTick++
+	if w.checkTick&1023 != 0 {
+		return false
+	}
+	w.observe()
+	return e.cancelled.Load()
 }
 
 // markDone records a completely treated set.
@@ -64,9 +108,15 @@ func (w *worker) markDone(id int32, archiveLen int) {
 // balancing: split counts vary wildly across the sets of one level).
 // Results are deterministic regardless of the schedule, because each
 // set's archive depends only on the immutable lower levels.
+// A cancelled context short-circuits the remaining levels: every worker
+// goroutine drains through the barrier (no goroutine outlives the run) and
+// the loop returns without touching the remaining sets.
 func (e *engine) runLevels(treat func(w *worker, id int32, s query.TableSet)) {
 	nextID := int32(0)
 	for k := 1; k <= e.enum.n; k++ {
+		if e.cancelled.Load() {
+			return
+		}
 		sets := e.enum.levels[k]
 		base := nextID
 		nextID += int32(len(sets))
@@ -78,6 +128,9 @@ func (e *engine) runLevels(treat func(w *worker, id int32, s query.TableSet)) {
 		if nw <= 1 {
 			w := &e.workers[0]
 			for i, s := range sets {
+				if e.cancelled.Load() {
+					return
+				}
 				treat(w, base+int32(i), s)
 			}
 			continue
@@ -91,7 +144,7 @@ func (e *engine) runLevels(treat func(w *worker, id int32, s query.TableSet)) {
 				defer wg.Done()
 				for {
 					i := cursor.Add(1) - 1
-					if int(i) >= len(sets) {
+					if int(i) >= len(sets) || e.cancelled.Load() {
 						return
 					}
 					treat(w, base+i, sets[i])

@@ -1,0 +1,19 @@
+// Package costmodel implements the nine-objective cost model of the
+// reproduction (paper Section 4): total execution time, startup time, IO
+// load, CPU load, number of used cores, hard-disk footprint, buffer
+// footprint, energy consumption, and tuple loss ratio.
+//
+// Every recursive cost formula is composed exclusively of the function
+// family the paper's PONO analysis covers (Section 6.1): sums, maxima,
+// minima, multiplication by per-table-set constants, and the tuple-loss
+// formula 1-(1-a)(1-b). Structural induction over these formulas yields
+// the principle of near-optimality, which the RTA's correctness proof
+// (Theorem 3) rests on; the property-based tests of this package verify
+// PONO empirically for every operator.
+//
+// Cardinalities entering the formulas are table-set constants supplied by
+// the query's estimator, never plan-dependent values — the premise of the
+// paper's Observation 2 (see DESIGN.md §2 for why sampling must not change
+// downstream cardinality estimates if the approximation guarantee is to
+// hold).
+package costmodel

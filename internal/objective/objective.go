@@ -1,13 +1,3 @@
-// Package objective defines the cost objectives of the many-objective query
-// optimizer, multi-dimensional cost vectors, user preference vectors
-// (weights and bounds), and the dominance relations between cost vectors
-// that drive Pareto pruning.
-//
-// The nine objectives are the ones implemented in the paper's extended
-// Postgres cost model (Trummer & Koch, SIGMOD 2014, Section 4): total
-// execution time, startup time, IO load, CPU load, number of used cores,
-// hard-disk footprint, buffer footprint, energy consumption, and tuple loss
-// ratio.
 package objective
 
 import (

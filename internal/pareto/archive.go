@@ -1,15 +1,3 @@
-// Package pareto implements the plan archives that drive the pruning of
-// the multi-objective dynamic programs: the exact Pareto archive of the EXA
-// (paper Algorithm 1, procedure Prune) and the approximate archive of the
-// RTA (Algorithm 2, procedure Prune with internal precision αi).
-//
-// The RTA archive intentionally mixes two relations: a new plan is
-// *rejected* if an already-stored plan approximately dominates it, but
-// stored plans are *evicted* only if the new plan dominates them exactly.
-// The paper points out (end of Section 6.2) that evicting approximately
-// dominated plans as well would let stored vectors drift arbitrarily far
-// from the true Pareto frontier and destroy the near-optimality guarantee;
-// package tests demonstrate that failure mode.
 package pareto
 
 import (

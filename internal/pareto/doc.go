@@ -1,0 +1,20 @@
+// Package pareto implements the plan archives that drive the pruning of
+// the multi-objective dynamic programs: the exact Pareto archive of the
+// EXA (paper Algorithm 1, procedure Prune) and the approximate archive of
+// the RTA (Algorithm 2, procedure Prune with internal precision αi). An
+// archive holds, per table set, the plans whose cost vectors no stored
+// plan (approximately) dominates, and selects the final plan by weighted
+// cost under optional bounds (the paper's Definition 3 semantics: a
+// bound-violating plan is chosen only when no plan respects the bounds).
+//
+// The RTA archive intentionally mixes two relations: a new plan is
+// *rejected* if an already-stored plan approximately dominates it, but
+// stored plans are *evicted* only if the new plan dominates them exactly.
+// The paper points out (end of Section 6.2) that evicting approximately
+// dominated plans as well would let stored vectors drift arbitrarily far
+// from the true Pareto frontier and destroy the near-optimality guarantee;
+// package tests demonstrate that failure mode.
+//
+// A precision-vector variant (NewPrecisionArchive) supports the
+// per-objective RTA extension of internal/core.RTAVector.
+package pareto

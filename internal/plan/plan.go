@@ -1,10 +1,3 @@
-// Package plan defines query plans and the physical operator space the
-// optimizer searches. Mirroring the paper's extended Postgres plan space
-// (Section 4), scans come in three flavors — sequential, index, and a
-// sampling scan parameterized by a rate between 1% and 5% — and joins come
-// in four flavors — hash, sort-merge, and block-nested-loop joins
-// parameterized by a degree of parallelism up to four cores, plus the
-// inherently sequential index-nested-loop join.
 package plan
 
 import (

@@ -1,0 +1,19 @@
+// Package query defines the optimizer's input: a set of relations (base
+// table references with filter selectivities) connected by equi-join
+// predicates. This matches the paper's formal model (Section 3) — "we
+// represent queries as set of tables Q that need to be joined … join
+// predicates are however considered in the implementations of the
+// presented algorithms".
+//
+// Table sets are represented as 64-bit bitsets (TableSet), the unit the
+// dynamic programs of internal/core enumerate over: subset iteration,
+// connectivity of the join graph, and the Cartesian-product fallback test
+// all operate on these bitsets.
+//
+// The package also provides the cardinality estimator used by the cost
+// model: textbook selectivity-based estimation over table-set bitsets,
+// with memoization so every table set is estimated exactly once per query.
+// Estimates depend only on the table set, never on the plan producing it —
+// the premise of the paper's Observation 2, which the approximation
+// guarantee relies on.
+package query

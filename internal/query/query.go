@@ -1,12 +1,3 @@
-// Package query defines the optimizer's input: a set of relations (base
-// table references with filter selectivities) connected by join predicates.
-// This matches the paper's formal model — "we represent queries as set of
-// tables Q that need to be joined … join predicates are however considered
-// in the implementations of the presented algorithms".
-//
-// The package also provides the cardinality estimator used by the cost
-// model: textbook selectivity-based estimation over table-set bitsets, with
-// memoization so every table set is estimated exactly once per query.
 package query
 
 import (

@@ -1,0 +1,349 @@
+// Package server implements moqod's HTTP/JSON optimization service: the
+// multi-user, repeated-invocation setting of the paper's Cloud-provider
+// scenario (Trummer & Koch, SIGMOD 2014, Section 1), where one optimizer
+// serves many tenants that submit recurring query shapes under varying
+// weights and bounds.
+//
+// Three endpoints:
+//
+//	POST /optimize  — solve one MOQO problem (TPC-H shortcut or inline
+//	                  catalog/query; per-request algorithm, alpha,
+//	                  objectives, weights, bounds, workers and deadline)
+//	GET  /metrics   — JSON snapshot of request, latency and cache counters
+//	GET  /healthz   — liveness probe
+//
+// Requests are served through a sharded LRU plan cache (internal/cache)
+// keyed by moqo.Request.CacheKey, with single-flight coalescing so a burst
+// of identical requests runs the engine once. Cancellations propagate: a
+// client disconnect aborts the in-flight dynamic program via
+// moqo.OptimizeContext, and per-request deadlines degrade gracefully
+// through the paper's timeout path. Timed-out (degraded) results are never
+// cached, so every cache hit serves a full-fidelity result.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moqo"
+	"moqo/internal/cache"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheCapacity bounds the plan cache (entries). 0 means the default
+	// (1024); negative disables caching entirely.
+	CacheCapacity int
+	// CacheShards is the shard count of the plan cache (rounded up to a
+	// power of two; 0 picks the cache default).
+	CacheShards int
+	// DefaultTimeout applies to requests without timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-request timeouts (default 2m).
+	MaxTimeout time.Duration
+	// DefaultWorkers applies to requests without workers (default:
+	// runtime.NumCPU()). Per-request workers are clamped to at most
+	// runtime.NumCPU().
+	DefaultWorkers int
+}
+
+// withDefaults fills in the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 1024
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.DefaultWorkers <= 0 {
+		o.DefaultWorkers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Server is the moqod optimization service. Construct with New; it is
+// safe for concurrent use.
+type Server struct {
+	opts  Options
+	cache *cache.Cache[OptimizeResponse] // nil when caching is disabled
+	start time.Time
+
+	catMu    sync.Mutex
+	catalogs map[float64]*moqo.Catalog // TPC-H catalogs by scale factor
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	inFlight atomic.Int64
+
+	latMu      sync.Mutex
+	latencies  []float64 // ring buffer of recent /optimize latencies (ms)
+	latNext    int
+	latSamples int
+}
+
+// latencyWindow is the sliding-window size of the latency metrics.
+const latencyWindow = 1024
+
+// New builds a Server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:      opts,
+		start:     time.Now(),
+		catalogs:  make(map[float64]*moqo.Catalog),
+		latencies: make([]float64, latencyWindow),
+	}
+	if opts.CacheCapacity > 0 {
+		s.cache = cache.New[OptimizeResponse](opts.CacheCapacity, opts.CacheShards)
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// maxCachedCatalogs bounds the per-scale-factor TPC-H catalog memo; a
+// client iterating over arbitrary scale factors must not grow the daemon
+// without limit. Overflowing scale factors get a freshly built catalog
+// per request — correctness is unaffected, since the plan cache keys on
+// the catalog's content fingerprint, not its pointer.
+const maxCachedCatalogs = 16
+
+// tpchCatalog returns the (shared, immutable) TPC-H catalog for a scale
+// factor, building it on first use.
+func (s *Server) tpchCatalog(sf float64) *moqo.Catalog {
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	if cat, ok := s.catalogs[sf]; ok {
+		return cat
+	}
+	cat := moqo.TPCHCatalog(sf)
+	if len(s.catalogs) < maxCachedCatalogs {
+		s.catalogs[sf] = cat
+	}
+	return cat
+}
+
+// handleOptimize serves POST /optimize.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	started := time.Now()
+
+	var wire OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+
+	req, err := s.toMoqoRequest(&wire)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Timeout = s.clampTimeout(wire.TimeoutMs)
+	req.Workers = s.clampWorkers(wire.Workers)
+
+	// The cache key doubles as the request validator: anything it rejects
+	// could never produce a result.
+	key, err := req.CacheKey()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	var resp OptimizeResponse
+	if s.cache == nil || wire.NoCache {
+		resp, _, err = s.compute(ctx, req)
+	} else {
+		var src cache.Source
+		resp, src, err = s.cache.Do(ctx, key, s.computeFunc(req))
+		if err == nil {
+			resp.Cached = src != cache.Miss
+		}
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// The client is gone; there is nobody to answer. Count it and
+			// drop the connection.
+			s.errors.Add(1)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if !wire.Frontier {
+		resp.Frontier = nil // field-level copy; the cached value keeps its slice
+	}
+	s.recordLatency(float64(time.Since(started)) / float64(time.Millisecond))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// computeFunc adapts compute to the cache's single-flight signature.
+func (s *Server) computeFunc(req moqo.Request) func(context.Context) (OptimizeResponse, bool, error) {
+	return func(ctx context.Context) (OptimizeResponse, bool, error) {
+		return s.compute(ctx, req)
+	}
+}
+
+// compute runs one optimization and renders it; the bool reports whether
+// the response may be cached (degraded results may not).
+func (s *Server) compute(ctx context.Context, req moqo.Request) (OptimizeResponse, bool, error) {
+	res, err := moqo.OptimizeContext(ctx, req)
+	if err != nil {
+		return OptimizeResponse{}, false, err
+	}
+	resp, err := toResponse(res)
+	if err != nil {
+		return OptimizeResponse{}, false, err
+	}
+	return resp, !res.Stats.TimedOut, nil
+}
+
+// clampTimeout resolves a request's timeout_ms against the server limits.
+func (s *Server) clampTimeout(ms int64) time.Duration {
+	d := s.opts.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d
+}
+
+// clampWorkers resolves a request's workers knob; the cap keeps one
+// request from oversubscribing the machine.
+func (s *Server) clampWorkers(workers int) int {
+	if workers <= 0 {
+		workers = s.opts.DefaultWorkers
+	}
+	if max := runtime.NumCPU(); workers > max {
+		workers = max
+	}
+	return workers
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	m := MetricsResponse{
+		UptimeMs: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Requests: RequestMetrics{
+			Optimize: s.requests.Load(),
+			Errors:   s.errors.Load(),
+			InFlight: s.inFlight.Load(),
+		},
+		Latency: s.latencySnapshot(),
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		m.Cache = CacheMetrics{
+			Enabled:   true,
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Coalesced: st.Coalesced,
+			Evictions: st.Evictions,
+			Entries:   st.Entries,
+			Capacity:  st.Capacity,
+			HitRatio:  st.HitRatio(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, m)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// recordLatency folds one served request into the sliding window.
+func (s *Server) recordLatency(ms float64) {
+	s.latMu.Lock()
+	s.latencies[s.latNext] = ms
+	s.latNext = (s.latNext + 1) % len(s.latencies)
+	if s.latSamples < len(s.latencies) {
+		s.latSamples++
+	}
+	s.latMu.Unlock()
+}
+
+// latencySnapshot computes p50/p99 over the window.
+func (s *Server) latencySnapshot() LatencyMetrics {
+	s.latMu.Lock()
+	window := make([]float64, s.latSamples)
+	copy(window, s.latencies[:s.latSamples])
+	s.latMu.Unlock()
+	if len(window) == 0 {
+		return LatencyMetrics{}
+	}
+	sort.Float64s(window)
+	return LatencyMetrics{
+		Window: len(window),
+		P50:    Percentile(window, 0.50),
+		P99:    Percentile(window, 0.99),
+	}
+}
+
+// Percentile reads the p-quantile from an ascending-sorted sample
+// (nearest-rank). Shared with the load generator of internal/bench so
+// /metrics and BENCH_server.json agree on what a percentile means.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"moqo"
+)
+
+// OptimizeRequest is the JSON body of POST /optimize. The query comes
+// either as a TPC-H shortcut (tpch + scale_factor) or as an inline
+// catalog + query pair; exactly one of the two forms is required.
+type OptimizeRequest struct {
+	// TPCH selects TPC-H query 1-22 against the scale_factor catalog.
+	TPCH        int     `json:"tpch,omitempty"`
+	ScaleFactor float64 `json:"scale_factor,omitempty"` // default 1
+
+	// Catalog and Query describe an arbitrary schema and join query
+	// inline (mutually exclusive with tpch).
+	Catalog *CatalogSpec `json:"catalog,omitempty"`
+	Query   *QuerySpec   `json:"query,omitempty"`
+
+	// Algorithm is exa, rta, ira, selinger or weightedsum; empty picks
+	// the library default (rta, or ira when bounds are present).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Alpha is the approximation precision for rta/ira (default 1.2).
+	Alpha float64 `json:"alpha,omitempty"`
+
+	// Objectives to optimize, by name (required). Weights, Bounds and
+	// Precisions are keyed by the same names.
+	Objectives []string           `json:"objectives"`
+	Weights    map[string]float64 `json:"weights,omitempty"`
+	Bounds     map[string]float64 `json:"bounds,omitempty"`
+	Precisions map[string]float64 `json:"precisions,omitempty"`
+
+	// TimeoutMs caps this request's optimization time; 0 uses the
+	// server's default, and the server's max_timeout clamps it either
+	// way. On timeout the optimizer degrades (stats.timed_out is set)
+	// rather than failing.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Workers shards the request's dynamic program across goroutines;
+	// 0 uses the server default. Results are identical for any value.
+	Workers int `json:"workers,omitempty"`
+	// MaxDOP caps operator parallelism in produced plans (default 4).
+	MaxDOP int `json:"max_dop,omitempty"`
+
+	// NoCache bypasses the plan cache for this request (it neither reads
+	// nor populates it) — chiefly for measuring, or for forcing a fresh
+	// optimization.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Frontier includes the (approximate) Pareto frontier's cost vectors
+	// in the response.
+	Frontier bool `json:"frontier,omitempty"`
+}
+
+// CatalogSpec describes a schema's statistics inline.
+type CatalogSpec struct {
+	Tables  []TableSpec `json:"tables"`
+	Indexes []IndexSpec `json:"indexes,omitempty"`
+}
+
+// TableSpec is one base table's statistics.
+type TableSpec struct {
+	Name  string  `json:"name"`
+	Rows  float64 `json:"rows"`
+	Width int     `json:"width"`
+	// PK names the primary-key column; it is indexed automatically.
+	PK string `json:"pk,omitempty"`
+}
+
+// IndexSpec is one secondary index.
+type IndexSpec struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Unique bool   `json:"unique,omitempty"`
+}
+
+// QuerySpec describes a join query inline.
+type QuerySpec struct {
+	Name      string         `json:"name,omitempty"`
+	Relations []RelationSpec `json:"relations"`
+	Joins     []JoinSpec     `json:"joins,omitempty"`
+}
+
+// RelationSpec is one from-clause entry.
+type RelationSpec struct {
+	Table string `json:"table"`
+	// Alias must be unique within the query; defaults to the table name.
+	Alias string `json:"alias,omitempty"`
+	// FilterSel is the combined selectivity of filters on this relation,
+	// in (0,1]; 0 means "no filter" (1).
+	FilterSel float64 `json:"filter_sel,omitempty"`
+}
+
+// JoinSpec is one equi-join predicate between relations (by index into
+// relations).
+type JoinSpec struct {
+	Left        int     `json:"left"`
+	Right       int     `json:"right"`
+	LeftCol     string  `json:"left_col"`
+	RightCol    string  `json:"right_col"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// OptimizeResponse is the JSON body of a successful POST /optimize.
+type OptimizeResponse struct {
+	// Algorithm that actually ran (the requested one, or the resolved
+	// default).
+	Algorithm string `json:"algorithm"`
+	// Plan is the selected plan as an operator tree (operators,
+	// parameters, estimated rows, per-node costs).
+	Plan json.RawMessage `json:"plan"`
+	// Cost maps each active objective to the selected plan's cost.
+	Cost map[string]float64 `json:"cost"`
+	// Frontier holds the cost vectors of the (approximate) Pareto
+	// frontier; present only when the request asked for it.
+	Frontier []map[string]float64 `json:"frontier,omitempty"`
+	// Stats describes the optimization run that produced the plan. For a
+	// cache hit these are the stats of the original computation.
+	Stats StatsResponse `json:"stats"`
+	// Cached reports whether the response was served from the plan cache
+	// (or coalesced onto a concurrent identical computation).
+	Cached bool `json:"cached"`
+}
+
+// StatsResponse mirrors moqo.Stats on the wire.
+type StatsResponse struct {
+	DurationMs  float64 `json:"duration_ms"`
+	Considered  int     `json:"considered"`
+	Stored      int     `json:"stored"`
+	MemoryBytes int64   `json:"memory_bytes"`
+	ParetoLast  int     `json:"pareto_last"`
+	TimedOut    bool    `json:"timed_out"`
+	Iterations  int     `json:"iterations"`
+}
+
+// ErrorResponse is the JSON body of a non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// MetricsResponse is the JSON body of GET /metrics: a point-in-time
+// snapshot of the service and cache counters.
+type MetricsResponse struct {
+	UptimeMs float64        `json:"uptime_ms"`
+	Requests RequestMetrics `json:"requests"`
+	Cache    CacheMetrics   `json:"cache"`
+	Latency  LatencyMetrics `json:"latency_ms"`
+}
+
+// RequestMetrics counts /optimize traffic.
+type RequestMetrics struct {
+	Optimize uint64 `json:"optimize"`
+	Errors   uint64 `json:"errors"`
+	InFlight int64  `json:"in_flight"`
+}
+
+// CacheMetrics snapshots the plan cache (all-zero when the cache is
+// disabled).
+type CacheMetrics struct {
+	Enabled   bool    `json:"enabled"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// LatencyMetrics summarizes served /optimize latencies over a sliding
+// window of recent requests.
+type LatencyMetrics struct {
+	Window int     `json:"window"`
+	P50    float64 `json:"p50"`
+	P99    float64 `json:"p99"`
+}
+
+// parseObjectives resolves objective names.
+func parseObjectives(names []string) ([]moqo.Objective, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("objectives: at least one required")
+	}
+	out := make([]moqo.Objective, 0, len(names))
+	for _, name := range names {
+		o, err := parseObjective(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func parseObjective(name string) (moqo.Objective, error) {
+	for _, o := range moqo.AllObjectives() {
+		if o.String() == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown objective %q", name)
+}
+
+func parseObjectiveMap(field string, m map[string]float64) (map[moqo.Objective]float64, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	out := make(map[moqo.Objective]float64, len(m))
+	for name, x := range m {
+		o, err := parseObjective(name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", field, err)
+		}
+		out[o] = x
+	}
+	return out, nil
+}
+
+// buildCatalog validates a CatalogSpec and constructs the catalog.
+func buildCatalog(spec *CatalogSpec) (*moqo.Catalog, error) {
+	if len(spec.Tables) == 0 {
+		return nil, fmt.Errorf("catalog: no tables")
+	}
+	names := make(map[string]bool, len(spec.Tables))
+	for _, t := range spec.Tables {
+		if t.Name == "" {
+			return nil, fmt.Errorf("catalog: table with empty name")
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("catalog: duplicate table %q", t.Name)
+		}
+		names[t.Name] = true
+		if t.Rows < 0 {
+			return nil, fmt.Errorf("catalog: table %q: negative rows", t.Name)
+		}
+		if t.Width <= 0 {
+			return nil, fmt.Errorf("catalog: table %q: width must be positive", t.Name)
+		}
+	}
+	for _, ix := range spec.Indexes {
+		if !names[ix.Table] {
+			return nil, fmt.Errorf("catalog: index on unknown table %q", ix.Table)
+		}
+		if ix.Column == "" {
+			return nil, fmt.Errorf("catalog: index on table %q with empty column", ix.Table)
+		}
+	}
+	cat := moqo.NewCatalog()
+	for _, t := range spec.Tables {
+		cat.AddTable(t.Name, t.Rows, t.Width, t.PK)
+	}
+	for _, ix := range spec.Indexes {
+		id, _ := cat.Lookup(ix.Table)
+		cat.AddIndex(id, ix.Column, ix.Unique)
+	}
+	return cat, nil
+}
+
+// buildQuery validates a QuerySpec against its catalog and constructs the
+// query.
+func buildQuery(spec *QuerySpec, cat *moqo.Catalog) (*moqo.Query, error) {
+	if len(spec.Relations) == 0 {
+		return nil, fmt.Errorf("query: no relations")
+	}
+	if len(spec.Relations) > 64 {
+		return nil, fmt.Errorf("query: too many relations (max 64)")
+	}
+	name := spec.Name
+	if name == "" {
+		name = "adhoc"
+	}
+	aliases := make(map[string]bool, len(spec.Relations))
+	for _, r := range spec.Relations {
+		if _, ok := cat.Lookup(r.Table); !ok {
+			return nil, fmt.Errorf("query: unknown table %q", r.Table)
+		}
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Table
+		}
+		if aliases[alias] {
+			return nil, fmt.Errorf("query: duplicate alias %q (set an explicit alias)", alias)
+		}
+		aliases[alias] = true
+		if r.FilterSel < 0 || r.FilterSel > 1 {
+			return nil, fmt.Errorf("query: relation %q: filter_sel %v out of (0,1]", alias, r.FilterSel)
+		}
+	}
+	for _, j := range spec.Joins {
+		if j.Left < 0 || j.Right < 0 || j.Left >= len(spec.Relations) || j.Right >= len(spec.Relations) || j.Left == j.Right {
+			return nil, fmt.Errorf("query: bad join edge %d-%d", j.Left, j.Right)
+		}
+		if j.Selectivity <= 0 || j.Selectivity > 1 {
+			return nil, fmt.Errorf("query: join %d-%d: selectivity %v out of (0,1]", j.Left, j.Right, j.Selectivity)
+		}
+	}
+
+	q := moqo.NewQuery(name, cat)
+	for _, r := range spec.Relations {
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Table
+		}
+		sel := r.FilterSel
+		if sel == 0 {
+			sel = 1
+		}
+		q.AddRelation(r.Table, alias, sel)
+	}
+	for _, j := range spec.Joins {
+		q.AddJoin(j.Left, j.Right, j.LeftCol, j.RightCol, j.Selectivity)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// toMoqoRequest turns a validated wire request into a moqo.Request. The
+// timeout and workers knobs are resolved by the caller (they depend on
+// server options).
+func (s *Server) toMoqoRequest(wire *OptimizeRequest) (moqo.Request, error) {
+	var req moqo.Request
+
+	switch {
+	case wire.TPCH != 0 && (wire.Catalog != nil || wire.Query != nil):
+		return req, fmt.Errorf("tpch and inline catalog/query are mutually exclusive")
+	case wire.TPCH != 0:
+		sf := wire.ScaleFactor
+		if sf == 0 {
+			sf = 1
+		}
+		if sf < 0 {
+			return req, fmt.Errorf("scale_factor must be positive")
+		}
+		cat := s.tpchCatalog(sf)
+		q, err := moqo.TPCHQuery(wire.TPCH, cat)
+		if err != nil {
+			return req, err
+		}
+		req.Query = q
+	case wire.Catalog != nil && wire.Query != nil:
+		cat, err := buildCatalog(wire.Catalog)
+		if err != nil {
+			return req, err
+		}
+		q, err := buildQuery(wire.Query, cat)
+		if err != nil {
+			return req, err
+		}
+		req.Query = q
+	default:
+		return req, fmt.Errorf("either tpch or both catalog and query are required")
+	}
+
+	if wire.Algorithm != "" {
+		alg, err := moqo.ParseAlgorithm(wire.Algorithm)
+		if err != nil {
+			return req, err
+		}
+		req.Algorithm = alg
+	}
+	req.Alpha = wire.Alpha
+	req.MaxDOP = wire.MaxDOP
+
+	objectives, err := parseObjectives(wire.Objectives)
+	if err != nil {
+		return req, err
+	}
+	req.Objectives = objectives
+	if req.Weights, err = parseObjectiveMap("weights", wire.Weights); err != nil {
+		return req, err
+	}
+	if req.Bounds, err = parseObjectiveMap("bounds", wire.Bounds); err != nil {
+		return req, err
+	}
+	if req.Precisions, err = parseObjectiveMap("precisions", wire.Precisions); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// toResponse renders an optimization result on the wire. The frontier is
+// always rendered; the handler strips it when the request did not ask for
+// it, so cached entries can serve both shapes.
+func toResponse(res *moqo.Result) (OptimizeResponse, error) {
+	planJSON, err := res.PlanJSON()
+	if err != nil {
+		return OptimizeResponse{}, err
+	}
+	cost := make(map[string]float64, len(res.Objectives()))
+	for _, o := range res.Objectives() {
+		cost[o.String()] = res.Cost(o)
+	}
+	frontier := make([]map[string]float64, len(res.Frontier))
+	for i, v := range res.FrontierVectors() {
+		point := make(map[string]float64, len(res.Objectives()))
+		for _, o := range res.Objectives() {
+			point[o.String()] = v.Get(o)
+		}
+		frontier[i] = point
+	}
+	return OptimizeResponse{
+		Algorithm: res.Algorithm.String(),
+		Plan:      planJSON,
+		Cost:      cost,
+		Frontier:  frontier,
+		Stats: StatsResponse{
+			DurationMs:  float64(res.Stats.Duration) / float64(time.Millisecond),
+			Considered:  res.Stats.Considered,
+			Stored:      res.Stats.Stored,
+			MemoryBytes: res.Stats.MemoryBytes,
+			ParetoLast:  res.Stats.ParetoLast,
+			TimedOut:    res.Stats.TimedOut,
+			Iterations:  res.Stats.Iterations,
+		},
+	}, nil
+}

@@ -1,0 +1,8 @@
+// Package workload provides the experimental workload of the paper
+// (Section 8): the 22 TPC-H queries encoded as join graphs (each query is
+// the largest from-clause of its TPC-H statement, with filter
+// selectivities for the query's predicates), and the random test-case
+// generator — random objective subsets, uniform weights, and bounds drawn
+// either from the objective's bounded domain or from [1,2] times the
+// per-query minimum, exactly as the paper generates its test cases.
+package workload

@@ -1,9 +1,3 @@
-// Package workload provides the experimental workload of the paper: the 22
-// TPC-H queries encoded as join graphs (each query is the largest
-// from-clause of its TPC-H statement, with filter selectivities for the
-// query's predicates), and the random test-case generator of Section 8
-// (random objective subsets, uniform weights, bounds drawn from the
-// objective's domain or relative to the per-query minimum).
 package workload
 
 import (

@@ -31,9 +31,16 @@
 // Custom schemas and queries are built with NewCatalog/NewQuery; see the
 // examples directory for complete programs, including the paper's Cloud
 // provider and multi-user server scenarios.
+//
+// OptimizeContext adds cancellation (a cancelled context aborts the
+// dynamic program promptly) and deadline handling (a context deadline
+// degrades gracefully, like Request.Timeout). Request.CacheKey computes
+// the canonical result fingerprint that the moqod service (cmd/moqod)
+// uses to cache plans across requests.
 package moqo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -270,33 +277,46 @@ func (r *Result) FrontierVectors() []CostVector {
 
 // Optimize solves one MOQO problem.
 func Optimize(req Request) (*Result, error) {
+	return OptimizeContext(context.Background(), req)
+}
+
+// resolve validates the request and resolves the documented defaults: the
+// active objective set, dense weights and bounds, the algorithm that will
+// actually run (AlgoAuto and the legacy HasAlgorithm combination resolved),
+// and the effective alpha. Both OptimizeContext and CacheKey build on it,
+// so a cache key always reflects the run that would happen.
+func (req Request) resolve() (objs objective.Set, w objective.Weights, b objective.Bounds, alg Algorithm, alpha float64, err error) {
 	if req.Query == nil {
-		return nil, fmt.Errorf("moqo: no query")
+		err = fmt.Errorf("moqo: no query")
+		return
 	}
-	if err := req.Query.Validate(); err != nil {
-		return nil, fmt.Errorf("moqo: %w", err)
+	if err = req.Query.Validate(); err != nil {
+		err = fmt.Errorf("moqo: %w", err)
+		return
 	}
 	if len(req.Objectives) == 0 {
-		return nil, fmt.Errorf("moqo: no objectives")
+		err = fmt.Errorf("moqo: no objectives")
+		return
 	}
-	objs := objective.NewSet(req.Objectives...)
+	objs = objective.NewSet(req.Objectives...)
 
-	var w objective.Weights
 	for o, x := range req.Weights {
 		if !objs.Contains(o) {
-			return nil, fmt.Errorf("moqo: weight on inactive objective %v", o)
+			err = fmt.Errorf("moqo: weight on inactive objective %v", o)
+			return
 		}
 		w[o] = x
 	}
-	b := objective.NoBounds()
+	b = objective.NoBounds()
 	for o, x := range req.Bounds {
 		if !objs.Contains(o) {
-			return nil, fmt.Errorf("moqo: bound on inactive objective %v", o)
+			err = fmt.Errorf("moqo: bound on inactive objective %v", o)
+			return
 		}
 		b[o] = x
 	}
 
-	alg := req.Algorithm
+	alg = req.Algorithm
 	if alg == AlgoAuto {
 		switch {
 		case req.HasAlgorithm:
@@ -309,9 +329,37 @@ func Optimize(req Request) (*Result, error) {
 			alg = AlgoIRA
 		}
 	}
-	alpha := req.Alpha
+	for o := range req.Precisions {
+		if !objs.Contains(o) {
+			err = fmt.Errorf("moqo: precision on inactive objective %v", o)
+			return
+		}
+	}
+	if len(req.Precisions) > 0 && alg != AlgoRTA {
+		err = fmt.Errorf("moqo: Precisions requires AlgoRTA, got %v", alg)
+		return
+	}
+	alpha = req.Alpha
 	if alpha == 0 {
 		alpha = 1.2
+	}
+	return objs, w, b, alg, alpha, nil
+}
+
+// OptimizeContext solves one MOQO problem under a context. Cancelling the
+// context (a client disconnect, an explicit cancel) aborts the dynamic
+// program promptly — within about a thousand candidate plans — and returns
+// the context's error. A context *deadline* instead folds into the same
+// graceful degradation as Request.Timeout (paper Section 5.1): the earlier
+// of the two fires, untreated table sets get a single best-weighted plan,
+// and the call still returns a Result with Stats.TimedOut set.
+func OptimizeContext(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	objs, w, b, alg, alpha, err := req.resolve()
+	if err != nil {
+		return nil, err
 	}
 
 	params := costmodel.Default()
@@ -328,37 +376,30 @@ func Optimize(req Request) (*Result, error) {
 		Workers:       req.Workers,
 	}
 
-	if len(req.Precisions) > 0 && alg != AlgoRTA {
-		return nil, fmt.Errorf("moqo: Precisions requires AlgoRTA, got %v", alg)
-	}
-
 	var res core.Result
-	var err error
 	switch alg {
 	case AlgoEXA:
-		res, err = core.EXA(m, w, b, opts)
+		res, err = core.EXAContext(ctx, m, w, b, opts)
 	case AlgoRTA:
 		if !b.Unbounded(objs) {
 			return nil, fmt.Errorf("moqo: RTA does not support bounds; use AlgoIRA")
 		}
 		if len(req.Precisions) > 0 {
+			// Membership was validated by resolve.
 			prec := objective.UniformPrecision(1, objs)
 			for o, x := range req.Precisions {
-				if !objs.Contains(o) {
-					return nil, fmt.Errorf("moqo: precision on inactive objective %v", o)
-				}
 				prec = prec.With(o, x)
 			}
-			res, err = core.RTAVector(m, w, prec, opts)
+			res, err = core.RTAVectorContext(ctx, m, w, prec, opts)
 		} else {
-			res, err = core.RTA(m, w, opts)
+			res, err = core.RTAContext(ctx, m, w, opts)
 		}
 	case AlgoIRA:
-		res, err = core.IRA(m, w, b, opts)
+		res, err = core.IRAContext(ctx, m, w, b, opts)
 	case AlgoSelinger:
-		res, err = core.Selinger(m, req.Objectives[0], opts)
+		res, err = core.SelingerContext(ctx, m, req.Objectives[0], opts)
 	case AlgoWeightedSum:
-		res, err = core.WeightedSumDP(m, w, opts)
+		res, err = core.WeightedSumDPContext(ctx, m, w, opts)
 	default:
 		return nil, fmt.Errorf("moqo: unknown algorithm %v", alg)
 	}
@@ -367,11 +408,13 @@ func Optimize(req Request) (*Result, error) {
 	}
 	out := &Result{
 		Plan:      res.Best,
-		Frontier:  res.Frontier.Plans(),
 		Stats:     res.Stats,
 		Algorithm: alg,
 		objs:      objs,
 		q:         req.Query,
+	}
+	if res.Frontier != nil {
+		out.Frontier = res.Frontier.Plans()
 	}
 	if out.Plan == nil {
 		return nil, fmt.Errorf("moqo: no plan found")
