@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, or hotpath (explicit only — not part of all; ignores -timeout)")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
@@ -39,7 +39,7 @@ func main() {
 		queries = flag.String("queries", "", "comma-separated TPC-H query numbers (default: all 22)")
 		outDir  = flag.String("out", "", "directory for CSV output (optional)")
 		workers = flag.Int("workers", 1, "optimizer worker goroutines per run (default 1 keeps the figure experiments paper-faithful sequential; -fig parallel defaults its parallel arm to NumCPU)")
-		tables  = flag.String("tables", "", "comma-separated query sizes for -fig parallel (default 10,12,14)")
+		tables  = flag.String("tables", "", "comma-separated query sizes for -fig parallel (default 10,12,14) and -fig hotpath (default 6,8,10; the exact arm caps at 8 tables)")
 	)
 	flag.Parse()
 
@@ -96,6 +96,12 @@ func main() {
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
+	}
+	if *fig == "hotpath" {
+		// Only on explicit request: the comparison runs the pre-refactor
+		// reference engine to completion and cannot honor -timeout, so it
+		// would add an unbounded arm to the default -fig all invocation.
+		hotpath(cfg, *tables, *outDir)
 	}
 }
 
@@ -231,6 +237,42 @@ func serverLoad(cfg bench.Config, outDir string) {
 		fatalf("server: %v", err)
 	}
 	path := "BENCH_server.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// hotpath measures the allocation-free DP hot path against the preserved
+// pre-refactor engine (time, allocs/op, bytes/op per candidate) and always
+// emits BENCH_hotpath.json (into -out when set, the working directory
+// otherwise) for the CI pipeline to archive.
+func hotpath(cfg bench.Config, tables, outDir string) {
+	header("Hot path: flat (allocation-free) engine vs pre-refactor reference")
+	spec := bench.HotpathSpec{Seed: cfg.Seed}
+	for _, part := range splitArg(tables) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fatalf("bad -tables entry %q: %v", part, err)
+		}
+		spec.Tables = append(spec.Tables, n)
+	}
+	pts, err := bench.Hotpath(spec)
+	if err != nil {
+		fatalf("hotpath: %v", err)
+	}
+	fmt.Println("synthetic chain queries, EXA and RTA (alpha=1.5), Workers=1, averages over 3 runs;")
+	fmt.Println("alloc/c = heap allocations per constructed candidate plan:")
+	fmt.Print(bench.RenderHotpath(pts))
+
+	raw, err := bench.HotpathJSON(pts)
+	if err != nil {
+		fatalf("hotpath: %v", err)
+	}
+	path := "BENCH_hotpath.json"
 	if outDir != "" {
 		path = filepath.Join(outDir, path)
 	}

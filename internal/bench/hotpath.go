@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"moqo/internal/core"
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/synthetic"
+)
+
+// HotpathSpec parameterizes the hot-path representation benchmark: the
+// allocation-free flat engine against the preserved pre-refactor
+// (tree-allocating) reference engine, across query sizes and objective
+// counts, for both exact (EXA) and approximate (RTA) pruning.
+type HotpathSpec struct {
+	// Shape of the synthetic join graph (default Chain).
+	Shape synthetic.Shape
+	// Tables lists the query sizes measured (default {6, 8, 10}).
+	Tables []int
+	// MaxEXATables caps the exact arm's query size (default 8): EXA's
+	// archives grow exponentially, so the larger sizes are measured with
+	// the RTA arm only, exactly as the paper's evaluation does.
+	MaxEXATables int
+	// ObjectiveCounts lists the active-objective counts (default {2, 3}).
+	ObjectiveCounts []int
+	// MaxRows is the maximal base-table cardinality (default 1e5).
+	MaxRows float64
+	// Alpha is the RTA arm's approximation precision (default 1.5).
+	Alpha float64
+	// Repeats averages each point over several runs (default 3).
+	Repeats int
+	// Seed of the synthetic workload.
+	Seed int64
+}
+
+// withDefaults fills in the defaults.
+func (s HotpathSpec) withDefaults() HotpathSpec {
+	if len(s.Tables) == 0 {
+		s.Tables = []int{6, 8, 10}
+	}
+	if len(s.ObjectiveCounts) == 0 {
+		s.ObjectiveCounts = []int{2, 3}
+	}
+	if s.MaxEXATables == 0 {
+		s.MaxEXATables = 8
+	}
+	if s.MaxRows == 0 {
+		s.MaxRows = 1e5
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 1.5
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 3
+	}
+	return s
+}
+
+// hotpathObjectives returns the first k objectives of the benchmark
+// ladder (time, buffer, energy, IO — the diverse-formula objectives the
+// paper's Example 1 builds on).
+func hotpathObjectives(k int) objective.Set {
+	ladder := []objective.ID{
+		objective.TotalTime, objective.BufferFootprint, objective.Energy, objective.IOLoad,
+	}
+	if k > len(ladder) {
+		k = len(ladder)
+	}
+	return objective.NewSet(ladder[:k]...)
+}
+
+// HotpathPoint is one measured configuration of the hot-path benchmark.
+// Per-candidate numbers divide each run's totals by the number of
+// candidate plans the dynamic program constructed (identical between the
+// arms — the engines search the same space candidate for candidate).
+type HotpathPoint struct {
+	Shape      string `json:"shape"`
+	Tables     int    `json:"tables"`
+	Objectives int    `json:"objectives"`
+	Algorithm  string `json:"algorithm"` // "exa" or "rta"
+	Considered int    `json:"considered_per_run"`
+
+	FlatMs      float64 `json:"flat_ms"`
+	ReferenceMs float64 `json:"reference_ms"`
+	Speedup     float64 `json:"speedup"`
+
+	FlatNsPerCandidate      float64 `json:"flat_ns_per_candidate"`
+	ReferenceNsPerCandidate float64 `json:"reference_ns_per_candidate"`
+
+	FlatAllocsPerCandidate      float64 `json:"flat_allocs_per_candidate"`
+	ReferenceAllocsPerCandidate float64 `json:"reference_allocs_per_candidate"`
+	FlatBytesPerCandidate       float64 `json:"flat_bytes_per_candidate"`
+	ReferenceBytesPerCandidate  float64 `json:"reference_bytes_per_candidate"`
+
+	// AllocReduction is reference allocs-per-candidate over flat
+	// allocs-per-candidate. The flat denominator is floored at 0.001
+	// allocs per candidate so a fully allocation-free steady state yields
+	// a large finite factor instead of +Inf (see hotpathRatio).
+	AllocReduction float64 `json:"alloc_reduction_factor"`
+}
+
+// measuredRun is one arm's averaged measurement.
+type measuredRun struct {
+	ms         float64
+	allocs     float64
+	bytes      float64
+	considered int
+}
+
+// measure runs fn repeats times, averaging wall-clock time and heap
+// allocation deltas (mallocs and bytes) around the calls. The allocation
+// counters are process-global, so hot-path benchmarks must run without
+// concurrent background work; the experiment driver is sequential.
+func measure(repeats int, fn func() (core.Stats, error)) (measuredRun, error) {
+	var out measuredRun
+	var ms runtime.MemStats
+	for i := 0; i < repeats; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		mallocs, bytes := ms.Mallocs, ms.TotalAlloc
+		start := time.Now()
+		st, err := fn()
+		if err != nil {
+			return out, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		out.ms += float64(elapsed) / float64(time.Millisecond) / float64(repeats)
+		out.allocs += float64(ms.Mallocs-mallocs) / float64(repeats)
+		out.bytes += float64(ms.TotalAlloc-bytes) / float64(repeats)
+		out.considered = st.Considered
+	}
+	return out, nil
+}
+
+// hotpathRatio guards the reduction factor against a (near-)zero
+// denominator: the flat engine's steady-state candidate loop allocates
+// nothing, so the denominator is floored at 0.001 allocs per candidate.
+func hotpathRatio(ref, flat float64) float64 {
+	if flat < 1e-3 {
+		flat = 1e-3
+	}
+	return ref / flat
+}
+
+// Hotpath measures the allocation-free hot path against the pre-refactor
+// reference engine. Both arms run sequentially (Workers=1) so per-run
+// allocation deltas are attributable, and both search the identical plan
+// space — the candidate counts are recorded to prove it.
+func Hotpath(spec HotpathSpec) ([]HotpathPoint, error) {
+	spec = spec.withDefaults()
+	var out []HotpathPoint
+	for _, n := range spec.Tables {
+		for _, k := range spec.ObjectiveCounts {
+			_, q, err := synthetic.Build(synthetic.Spec{
+				Shape:   spec.Shape,
+				Tables:  n,
+				MaxRows: spec.MaxRows,
+				Seed:    spec.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			m := costmodel.NewDefault(q)
+			objs := hotpathObjectives(k)
+			w := objective.UniformWeights(objs)
+			opts := core.Options{Objectives: objs, Workers: 1}
+
+			arms := []struct {
+				algo string
+				flat func() (core.Stats, error)
+				ref  func() (core.Stats, error)
+			}{
+				{
+					algo: "exa",
+					flat: func() (core.Stats, error) {
+						r, err := core.EXA(m, w, objective.NoBounds(), opts)
+						return r.Stats, err
+					},
+					ref: func() (core.Stats, error) {
+						r, err := core.ReferenceEXA(m, w, objective.NoBounds(), opts)
+						return r.Stats, err
+					},
+				},
+				{
+					algo: "rta",
+					flat: func() (core.Stats, error) {
+						o := opts
+						o.Alpha = spec.Alpha
+						r, err := core.RTA(m, w, o)
+						return r.Stats, err
+					},
+					ref: func() (core.Stats, error) {
+						o := opts
+						o.Alpha = spec.Alpha
+						r, err := core.ReferenceRTA(m, w, o)
+						return r.Stats, err
+					},
+				},
+			}
+			for _, arm := range arms {
+				if arm.algo == "exa" && n > spec.MaxEXATables {
+					continue
+				}
+				flat, err := measure(spec.Repeats, arm.flat)
+				if err != nil {
+					return nil, err
+				}
+				ref, err := measure(spec.Repeats, arm.ref)
+				if err != nil {
+					return nil, err
+				}
+				if flat.considered != ref.considered {
+					return nil, fmt.Errorf("bench: hotpath arms diverged: flat considered %d, reference %d (n=%d k=%d %s)",
+						flat.considered, ref.considered, n, k, arm.algo)
+				}
+				cand := float64(flat.considered)
+				if cand == 0 {
+					cand = 1
+				}
+				pt := HotpathPoint{
+					Shape:      spec.Shape.String(),
+					Tables:     n,
+					Objectives: k,
+					Algorithm:  arm.algo,
+					Considered: flat.considered,
+
+					FlatMs:      flat.ms,
+					ReferenceMs: ref.ms,
+
+					FlatNsPerCandidate:      flat.ms * 1e6 / cand,
+					ReferenceNsPerCandidate: ref.ms * 1e6 / cand,
+
+					FlatAllocsPerCandidate:      flat.allocs / cand,
+					ReferenceAllocsPerCandidate: ref.allocs / cand,
+					FlatBytesPerCandidate:       flat.bytes / cand,
+					ReferenceBytesPerCandidate:  ref.bytes / cand,
+				}
+				if pt.FlatMs > 0 {
+					pt.Speedup = pt.ReferenceMs / pt.FlatMs
+				}
+				pt.AllocReduction = hotpathRatio(pt.ReferenceAllocsPerCandidate, pt.FlatAllocsPerCandidate)
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderHotpath renders the hot-path measurements as a text table.
+func RenderHotpath(pts []HotpathPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %3s %5s %5s %10s %10s %8s %12s %12s %10s\n",
+		"shape", "n", "objs", "algo", "ref (ms)", "flat (ms)", "speedup", "ref alloc/c", "flat alloc/c", "alloc red.")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%6s %3d %5d %5s %10.2f %10.2f %7.2fx %12.2f %12.4f %9.0fx\n",
+			p.Shape, p.Tables, p.Objectives, p.Algorithm,
+			p.ReferenceMs, p.FlatMs, p.Speedup,
+			p.ReferenceAllocsPerCandidate, p.FlatAllocsPerCandidate, p.AllocReduction)
+	}
+	return b.String()
+}
+
+// HotpathJSON serializes the measurements as the BENCH_hotpath.json
+// payload the CI pipeline archives.
+func HotpathJSON(pts []HotpathPoint) ([]byte, error) {
+	payload := struct {
+		Benchmark string         `json:"benchmark"`
+		NumCPU    int            `json:"num_cpu"`
+		Points    []HotpathPoint `json:"points"`
+	}{
+		Benchmark: "hotpath-flat-vs-reference",
+		NumCPU:    runtime.NumCPU(),
+		Points:    pts,
+	}
+	return json.MarshalIndent(payload, "", "  ")
+}

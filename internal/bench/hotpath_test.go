@@ -1,0 +1,57 @@
+package bench
+
+import "testing"
+
+// TestHotpathSmoke runs the hot-path comparison on a tiny configuration:
+// both arms must agree on the candidate count (same plan space) and the
+// points must carry consistent per-candidate numbers.
+func TestHotpathSmoke(t *testing.T) {
+	pts, err := Hotpath(HotpathSpec{
+		Tables:          []int{4, 5},
+		ObjectiveCounts: []int{2},
+		Repeats:         1,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // 2 sizes x {exa, rta}
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Considered <= 0 {
+			t.Errorf("%+v: no candidates considered", p)
+		}
+		if p.FlatMs <= 0 || p.ReferenceMs <= 0 {
+			t.Errorf("%+v: non-positive times", p)
+		}
+		if p.AllocReduction <= 0 {
+			t.Errorf("%+v: non-positive alloc reduction", p)
+		}
+	}
+	if _, err := HotpathJSON(pts); err != nil {
+		t.Fatal(err)
+	}
+	if RenderHotpath(pts) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestHotpathEXACap: the exact arm must be skipped beyond MaxEXATables.
+func TestHotpathEXACap(t *testing.T) {
+	pts, err := Hotpath(HotpathSpec{
+		Tables:          []int{4, 6},
+		ObjectiveCounts: []int{2},
+		MaxEXATables:    4,
+		Repeats:         1,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Algorithm == "exa" && p.Tables > 4 {
+			t.Errorf("EXA ran at %d tables despite cap 4", p.Tables)
+		}
+	}
+}

@@ -50,10 +50,11 @@ func EXAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 	}
 	start := time.Now()
 	e := newEngine(ctx, m, opts, 1, w)
-	final := e.run()
+	flat := e.run()
 	if err := e.cancelErr(); err != nil {
 		return Result{}, err
 	}
+	final := e.materializeFrontier(flat)
 	st := e.stats(start)
 	return Result{Best: final.SelectBest(w, b), Frontier: final, Stats: st}, nil
 }
@@ -96,18 +97,22 @@ func RTAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, op
 		return Result{}, err
 	}
 	start := time.Now()
-	final, e := rtaParetoPlans(ctx, m, w, opts, opts.Alpha)
+	flat, e := rtaParetoPlans(ctx, m, w, opts, opts.Alpha)
 	if err := e.cancelErr(); err != nil {
 		return Result{}, err
 	}
+	final := e.materializeFrontier(flat)
 	st := e.stats(start)
 	return Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}, nil
 }
 
 // rtaParetoPlans is FindParetoPlans of Algorithm 2: it derives the internal
 // pruning precision αi = setAlpha^(1/|Q|) from the requested Pareto-set
-// precision and runs the shared engine.
-func rtaParetoPlans(ctx context.Context, m *costmodel.Model, w objective.Weights, opts Options, setAlpha float64) (*pareto.Archive, *engine) {
+// precision and runs the shared engine. The returned archive is the flat
+// (unmaterialized) representation: IRA evaluates its stopping condition
+// on it directly and materializes plan trees only for the iteration it
+// actually returns.
+func rtaParetoPlans(ctx context.Context, m *costmodel.Model, w objective.Weights, opts Options, setAlpha float64) (*pareto.FlatArchive, *engine) {
 	n := m.Query().NumRelations()
 	alphaInternal := math.Pow(setAlpha, 1/float64(n))
 	if alphaInternal < 1 {
@@ -158,8 +163,10 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 	}
 
 	var total Stats
-	var final *pareto.Archive
-	var popt *plan.Node
+	// The refinement loop works entirely on the flat representation; plan
+	// trees are materialized once, for the iteration actually returned.
+	var finalFlat *pareto.FlatArchive
+	var finalEngine *engine
 	deadline := time.Time{}
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
@@ -181,7 +188,7 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 		if !deadline.IsZero() {
 			remaining := time.Until(deadline)
 			if remaining <= 0 {
-				if final != nil {
+				if finalFlat != nil {
 					total.TimedOut = true
 					break
 				}
@@ -196,7 +203,7 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 			iterOpts.Timeout = remaining
 		}
 		iterStart := time.Now()
-		archive, e := rtaParetoPlans(ctx, m, w, iterOpts, alpha)
+		flat, e := rtaParetoPlans(ctx, m, w, iterOpts, alpha)
 		if err := e.cancelErr(); err != nil {
 			return Result{}, err
 		}
@@ -206,21 +213,22 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 			Alpha:        alpha,
 			Duration:     iterStats.Duration,
 			Considered:   iterStats.Considered,
-			FrontierSize: archive.Len(),
+			FrontierSize: flat.Len(),
 		})
-		final = archive
-		popt = archive.SelectBest(w, b)
+		finalFlat, finalEngine = flat, e
 
-		if iraStop(archive, w, b, opts.Objectives, alpha, alphaU) {
+		if iraStop(flat, w, b, opts.Objectives, alpha, alphaU) {
 			break
 		}
 		if alpha == 1 || i >= maxIRAIterations || total.TimedOut {
-			// alpha == 1 means the iteration was exact: popt is optimal.
+			// alpha == 1 means the iteration was exact: the incumbent of
+			// this iteration is optimal.
 			break
 		}
 	}
 	total.Duration = time.Since(start)
-	return Result{Best: popt, Frontier: final, Stats: total}, nil
+	final := finalEngine.materializeFrontier(finalFlat)
+	return Result{Best: final.SelectBest(w, b), Frontier: final, Stats: total}, nil
 }
 
 // iraStop evaluates the termination condition of Algorithm 3:
@@ -244,18 +252,21 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 // plan respects even the relaxed bounds, no feasible plan can exist at all
 // — the α-approximate Pareto set would contain a within-αB representative
 // of it — and stopping with the weighted-cost fallback is sound.
-func iraStop(archive *pareto.Archive, w objective.Weights, b objective.Bounds,
+func iraStop(archive *pareto.FlatArchive, w objective.Weights, b objective.Bounds,
 	objs objective.Set, alpha, alphaU float64) bool {
 	threshold := math.Inf(1)
-	for _, p := range archive.Plans() {
-		if b.Respects(p.Cost, objs) {
-			if c := w.Cost(p.Cost) / alphaU; c < threshold {
+	n := int32(archive.Len())
+	for i := int32(0); i < n; i++ {
+		v := archive.CostAt(i)
+		if b.Respects(v, objs) {
+			if c := w.Cost(v) / alphaU; c < threshold {
 				threshold = c
 			}
 		}
 	}
-	for _, p := range archive.Plans() {
-		if b.RespectsRelaxed(p.Cost, alpha, objs) && w.Cost(p.Cost)/alpha < threshold {
+	for i := int32(0); i < n; i++ {
+		v := archive.CostAt(i)
+		if b.RespectsRelaxed(v, alpha, objs) && w.Cost(v)/alpha < threshold {
 			return false
 		}
 	}

@@ -503,7 +503,7 @@ func TestStatsPlausible(t *testing.T) {
 	if st.Stored < res.Frontier.Len() {
 		t.Error("total stored below final archive size")
 	}
-	if st.MemoryBytes != int64(st.Stored)*planBytes {
+	if st.MemoryBytes != int64(st.Stored)*storedPlanBytes {
 		t.Error("memory estimate inconsistent with stored plans")
 	}
 	if st.ParetoLast != res.Frontier.Len() {

@@ -55,10 +55,11 @@ func RTAVectorContext(ctx context.Context, m *costmodel.Model, w objective.Weigh
 	alphaI := prec.Root(m.Query().NumRelations())
 	e := newEngine(ctx, m, opts, prec.Max(opts.Objectives), w)
 	e.precInternal = &alphaI
-	final := e.run()
+	flat := e.run()
 	if err := e.cancelErr(); err != nil {
 		return Result{}, err
 	}
+	final := e.materializeFrontier(flat)
 	st := e.stats(start)
 	return Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}, nil
 }

@@ -22,11 +22,29 @@
 // All algorithms share one enumeration engine (engine.go) that implements
 // the Postgres search-space heuristic the paper kept in place: Cartesian
 // products are considered only when no predicate-connected split exists.
-// The engine is layered into an enumerator (enumerator.go: level-by-level
-// table-set materialization with dense integer ids), a slice-backed memo
-// table, and a level-synchronized worker pool (pool.go) that shards each
-// cardinality level across Options.Workers goroutines without weakening
-// any approximation guarantee.
+// The engine is layered into four pieces:
+//
+//   - an enumerator (enumerator.go): level-by-level table-set
+//     materialization with dense integer ids, pre-warming the cost
+//     model's cardinality and width memos on one goroutine;
+//   - a slice-backed memo table of flat Pareto archives
+//     (pareto.FlatArchive) indexed by those ids — the candidate loops
+//     never hash;
+//   - a level-synchronized worker pool (pool.go) that shards each
+//     cardinality level across Options.Workers goroutines without
+//     weakening any approximation guarantee;
+//   - a deferred materializer (internal/plan) that rebuilds *plan.Node
+//     trees from the memo's compact entries only at frontier extraction.
+//
+// The candidate loop is allocation-free: a candidate is a (cost vector,
+// plan.Entry) pair on the stack, costed directly from the operand sets
+// and cost rows (costmodel.JoinCostVec), and offered to a flat archive
+// whose insert allocates nothing after warm-up. Extracted frontiers are
+// canonically sorted, so results are byte-for-byte reproducible across
+// worker counts and schedules. The pre-refactor tree-allocating engine is
+// preserved (reference.go: ReferenceEXA, ReferenceRTA) as the
+// differential-testing oracle and as the baseline arm of the hotpath
+// benchmark (internal/bench, cmd/experiments -fig hotpath).
 //
 // Every algorithm has a Context variant (EXAContext, RTAContext, ...):
 // cancelling the context aborts the dynamic program promptly with the

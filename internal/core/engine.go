@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -17,13 +18,21 @@ import (
 // implements FindParetoPlans of Algorithms 1 and 2: archives with pruning
 // precision 1 yield the EXA, precision > 1 the RTA.
 //
-// The engine is layered into three decoupled pieces:
+// The engine is layered into four decoupled pieces:
 //
 //   - an enumerator (enumerator.go) that materializes the table sets of
 //     each cardinality level and assigns dense integer ids,
-//   - a slice-backed memo table (memoTable) indexed by those ids, and
+//   - a slice-backed memo table (memoTable) of flat Pareto archives
+//     indexed by those ids,
 //   - a level-synchronized worker pool (pool.go) that shards each level
-//     across Options.Workers goroutines.
+//     across Options.Workers goroutines, and
+//   - a deferred materializer (internal/plan) that rebuilds plan trees
+//     from the memo's compact entries at frontier extraction.
+//
+// The hot path is allocation-free: candidates are (cost vector, compact
+// entry) pairs on the stack, archives store cost rows in one contiguous
+// backing array (pareto.FlatArchive), and *plan.Node trees exist only for
+// the ≤ frontier-size plans the caller extracts at the end of the run.
 //
 // All table sets of cardinality k depend only on sets of cardinality
 // < k, so levels parallelize without locks: workers write disjoint memo
@@ -42,14 +51,19 @@ type engine struct {
 	// per-objective internal precision vector (RTAVector extension).
 	precInternal *objective.Precision
 
+	// cfg is the pruning configuration shared by every archive of the run
+	// (active-objective ids and precisions resolved once, so archive
+	// inserts never allocate).
+	cfg *pareto.FlatConfig
+
 	// weights steer the degraded single-plan mode after a timeout.
 	weights objective.Weights
 
 	enum *enumeration
 	memo *memoTable
-	// lookupMemo is memo.lookup bound once, so the hot path does not
-	// re-create the method value per table set.
-	lookupMemo func(query.TableSet) *pareto.Archive
+	// viewMemo is the split-side lookup of the full (non-degraded) mode,
+	// bound once so the hot path does not re-create the closure per set.
+	viewMemo func(query.TableSet) splitView
 
 	workers []worker
 
@@ -74,6 +88,11 @@ type engine struct {
 	cancelled atomic.Bool
 }
 
+// joinAlgs are the join operators of a predicate-connected split, in the
+// engine's canonical enumeration order. Hoisted to package level so the
+// candidate loops do not rebuild the slice per split.
+var joinAlgs = []plan.JoinAlg{plan.HashJoin, plan.SortMergeJoin, plan.BlockNLJoin}
+
 // newEngine prepares an engine run. alphaInternal >= 1 is the archive
 // pruning precision (1 = exact). opts must be normalized (Workers >= 1).
 // ctx cancellation aborts the run; a ctx deadline is folded into the
@@ -94,7 +113,9 @@ func newEngine(ctx context.Context, m *costmodel.Model, opts Options, alphaInter
 	}
 	e.enum = enumerate(e.q)
 	e.memo = newMemoTable(e.enum)
-	e.lookupMemo = e.memo.lookup
+	e.viewMemo = func(s query.TableSet) splitView {
+		return splitView{arch: e.memo.lookup(s), only: -1}
+	}
 	nw := opts.Workers
 	if nw < 1 {
 		nw = 1
@@ -127,18 +148,31 @@ func (e *engine) cancelErr() error {
 	return context.Canceled
 }
 
-// newArchive constructs an archive with the engine's pruning precision.
-func (e *engine) newArchive() *pareto.Archive {
-	if e.precInternal != nil {
-		return pareto.NewPrecisionArchive(e.opts.Objectives, *e.precInternal)
+// flatConfig lazily builds the run's shared archive configuration. It is
+// resolved at run start (not in newEngine) because RTAVector installs
+// precInternal after construction.
+func (e *engine) flatConfig() *pareto.FlatConfig {
+	if e.cfg == nil {
+		if e.precInternal != nil {
+			e.cfg = pareto.NewFlatPrecisionConfig(e.opts.Objectives, *e.precInternal)
+		} else {
+			e.cfg = pareto.NewFlatConfig(e.opts.Objectives, e.alphaInternal)
+		}
 	}
-	return pareto.NewArchive(e.opts.Objectives, e.alphaInternal)
+	return e.cfg
 }
 
-// run executes the dynamic program and returns the archive of the full
-// table set. It mirrors FindParetoPlans of Algorithm 1/2: plans for
-// singleton sets first, then table sets of increasing cardinality.
-func (e *engine) run() *pareto.Archive {
+// newArchive constructs an archive with the engine's pruning precision.
+func (e *engine) newArchive() *pareto.FlatArchive {
+	return pareto.NewFlat(e.cfg)
+}
+
+// run executes the dynamic program and returns the flat archive of the
+// full table set. It mirrors FindParetoPlans of Algorithm 1/2: plans for
+// singleton sets first, then table sets of increasing cardinality. The
+// caller extracts plan trees with materializeFrontier.
+func (e *engine) run() *pareto.FlatArchive {
+	e.flatConfig()
 	e.runLevels(func(w *worker, id int32, s query.TableSet) {
 		if s.Single() {
 			w.scanSet(id, s)
@@ -161,8 +195,9 @@ func (e *engine) run() *pareto.Archive {
 // metric. With a scalar that reads one objective this is Selinger's
 // algorithm generalized to bushy plans; with a weighted sum over multiple
 // diverse objectives it is the unsound baseline of the paper's Example 1.
-// Returns the best plan for the full table set.
+// Returns the best plan for the full table set, materialized.
 func (e *engine) runScalar(scalar func(objective.Vector) float64) *plan.Node {
+	e.flatConfig()
 	e.runLevels(func(w *worker, id int32, s query.TableSet) {
 		if s.Single() {
 			w.scanBestSet(id, s, scalar)
@@ -174,17 +209,86 @@ func (e *engine) runScalar(scalar func(objective.Vector) float64) *plan.Node {
 	if a == nil || a.Len() == 0 {
 		return nil
 	}
-	return a.Plans()[0]
+	return plan.NewMaterializer(e.memo).Plan(e.enum.all, 0)
+}
+
+// materializeFrontier rebuilds the plan trees of the full table set's
+// archive — the only point of the run where *plan.Node trees are
+// allocated — and rehydrates them into a legacy pareto.Archive with the
+// flat archive's counters. The extracted frontier is canonically sorted,
+// so results are reproducible byte for byte regardless of Options.Workers
+// or any internal scheduling.
+func (e *engine) materializeFrontier(a *pareto.FlatArchive) *pareto.Archive {
+	cfg := e.flatConfig()
+	if a == nil {
+		return pareto.NewMaterialized(cfg.Objectives(), cfg.Alpha(), cfg.Precision(), nil, 0, 0, 0)
+	}
+	mt := plan.NewMaterializer(e.memo)
+	plans := make([]*plan.Node, a.Len())
+	for i := range plans {
+		plans[i] = mt.Plan(e.enum.all, int32(i))
+	}
+	sortPlansCanonically(plans)
+	ins, rej, ev := a.Stats()
+	return pareto.NewMaterialized(cfg.Objectives(), cfg.Alpha(), cfg.Precision(), plans, ins, rej, ev)
+}
+
+// sortPlansCanonically orders extracted frontier plans by their full cost
+// vectors, lexicographically over all nine objectives. The sort is stable,
+// so plans with identical cost vectors keep the archive's (deterministic)
+// insertion order. The canonical order makes the extracted frontier — and
+// the tie-breaking of SelectBest over it — independent of how the run was
+// scheduled.
+func sortPlansCanonically(plans []*plan.Node) {
+	sort.SliceStable(plans, func(i, j int) bool {
+		a, b := &plans[i].Cost, &plans[j].Cost
+		for o := 0; o < int(objective.NumObjectives); o++ {
+			if a[o] != b[o] {
+				return a[o] < b[o]
+			}
+		}
+		return false
+	})
+}
+
+// bestTracker tracks the scalar-minimal candidate of one enumeration —
+// the shared min-tracking state of the scalar dynamic program and the
+// degraded mode. Ties break toward the earliest candidate (strict <),
+// keeping results deterministic.
+type bestTracker struct {
+	cost  objective.Vector
+	ent   plan.Entry
+	best  float64
+	found bool
+}
+
+func newBestTracker() bestTracker { return bestTracker{best: math.Inf(1)} }
+
+// offer keeps the candidate if it strictly improves the tracked scalar.
+func (t *bestTracker) offer(c objective.Vector, e plan.Entry, scalar float64) {
+	if scalar < t.best {
+		t.cost, t.ent, t.best, t.found = c, e, scalar, true
+	}
+}
+
+// archive stores the tracked best (if any) into a fresh archive of e.
+func (t *bestTracker) archive(e *engine) *pareto.FlatArchive {
+	a := e.newArchive()
+	if t.found {
+		a.Insert(t.cost, t.ent)
+	}
+	return a
 }
 
 // scanSet fills the archive of a singleton set with all access paths.
 func (w *worker) scanSet(id int32, s query.TableSet) {
 	e := w.e
 	a := e.newArchive()
-	for _, p := range e.m.ScanAlternatives(s.First(), e.opts.sampling()) {
+	e.m.EachScanAlternative(s.First(), e.opts.sampling(), func(alg plan.ScanAlg, rate float64, cost objective.Vector) bool {
 		w.considered++
-		a.Insert(p)
-	}
+		a.Insert(cost, plan.ScanEntry(alg, rate))
+		return true
+	})
 	e.memo.archives[id] = a
 	w.markDone(id, a.Len())
 }
@@ -193,18 +297,13 @@ func (w *worker) scanSet(id int32, s query.TableSet) {
 // the access path minimizing the scalar metric.
 func (w *worker) scanBestSet(id int32, s query.TableSet, scalar func(objective.Vector) float64) {
 	e := w.e
-	var best *plan.Node
-	bestCost := math.Inf(1)
-	for _, p := range e.m.ScanAlternatives(s.First(), e.opts.sampling()) {
+	t := newBestTracker()
+	e.m.EachScanAlternative(s.First(), e.opts.sampling(), func(alg plan.ScanAlg, rate float64, cost objective.Vector) bool {
 		w.considered++
-		if c := scalar(p.Cost); c < bestCost {
-			best, bestCost = p, c
-		}
-	}
-	a := e.newArchive()
-	if best != nil {
-		a.Insert(best)
-	}
+		t.offer(cost, plan.ScanEntry(alg, rate), scalar(cost))
+		return true
+	})
+	a := t.archive(e)
 	e.memo.archives[id] = a
 	w.markDone(id, a.Len())
 }
@@ -215,8 +314,8 @@ func (w *worker) scanBestSet(id int32, s query.TableSet, scalar func(objective.V
 func (w *worker) fullSet(id int32, s query.TableSet) {
 	a := w.e.newArchive()
 	w.e.memo.archives[id] = a
-	complete := w.forEachCandidate(s, func(p *plan.Node) bool {
-		a.Insert(p)
+	complete := w.forEachCandidate(s, func(cost objective.Vector, ent plan.Entry) bool {
+		a.Insert(cost, ent)
 		return !w.expired()
 	})
 	if complete {
@@ -229,54 +328,41 @@ func (w *worker) fullSet(id int32, s query.TableSet) {
 // weighted cost — so that optimization finishes quickly. To keep the
 // degraded mode cheap even when the pre-timeout archives are large, each
 // split only combines the weighted-best plan of either side rather than
-// every stored pair. Degraded sets do not update the "last table set
-// treated completely" metric.
+// every stored pair: the per-worker reduced scratch map narrows every
+// subset's archive to its single weighted-best entry. Degraded sets do
+// not update the "last table set treated completely" metric.
 func (w *worker) degradedSet(id int32, s query.TableSet) {
 	e := w.e
 	scalar := func(v objective.Vector) float64 { return e.weights.Cost(v) }
-	reduced := w.reducedArchives(s, scalar)
-	var best *plan.Node
-	bestCost := math.Inf(1)
-	lookup := func(t query.TableSet) *pareto.Archive { return reduced[t] }
-	w.forEachCandidateFrom(s, lookup, func(p *plan.Node) bool {
-		if c := scalar(p.Cost); c < bestCost {
-			best, bestCost = p, c
-		}
-		return true
-	})
-	a := e.newArchive()
-	if best != nil {
-		a.Insert(best)
+	if w.reduced == nil {
+		w.reduced = make(map[query.TableSet]int32)
+	} else {
+		clear(w.reduced)
 	}
-	e.memo.archives[id] = a
-}
-
-// reducedArchives builds a one-plan-per-subset view of the stored archives
-// (keeping the scalar-best plan of each), used by the degraded mode.
-func (w *worker) reducedArchives(s query.TableSet, scalar func(objective.Vector) float64) map[query.TableSet]*pareto.Archive {
-	e := w.e
-	reduced := make(map[query.TableSet]*pareto.Archive)
 	s.EachSubset(func(sub, _ query.TableSet) bool {
-		if _, done := reduced[sub]; done {
+		if _, done := w.reduced[sub]; done {
 			return true
 		}
 		full := e.memo.lookup(sub)
 		if full == nil || full.Len() == 0 {
 			return true
 		}
-		var best *plan.Node
-		bestCost := math.Inf(1)
-		for _, p := range full.Plans() {
-			if c := scalar(p.Cost); c < bestCost {
-				best, bestCost = p, c
-			}
-		}
-		a := e.newArchive()
-		a.Insert(best)
-		reduced[sub] = a
+		w.reduced[sub] = full.BestBy(scalar)
 		return true
 	})
-	return reduced
+	lookup := func(t query.TableSet) splitView {
+		idx, ok := w.reduced[t]
+		if !ok {
+			return splitView{}
+		}
+		return splitView{arch: e.memo.lookup(t), only: idx}
+	}
+	t := newBestTracker()
+	w.forEachCandidateFrom(s, lookup, func(cost objective.Vector, ent plan.Entry) bool {
+		t.offer(cost, ent, scalar(cost))
+		return true
+	})
+	e.memo.archives[id] = t.archive(e)
 }
 
 // bestOnlySet stores a single plan for table set s: the candidate
@@ -285,39 +371,67 @@ func (w *worker) reducedArchives(s query.TableSet, scalar func(objective.Vector)
 // Only cancellation aborts the enumeration (see worker.interrupted): the
 // scalar DP has no degraded mode, so the timeout is ignored here.
 func (w *worker) bestOnlySet(id int32, s query.TableSet, scalar func(objective.Vector) float64) {
-	var best *plan.Node
-	bestCost := math.Inf(1)
-	w.forEachCandidate(s, func(p *plan.Node) bool {
-		if c := scalar(p.Cost); c < bestCost {
-			best, bestCost = p, c
-		}
+	t := newBestTracker()
+	w.forEachCandidate(s, func(cost objective.Vector, ent plan.Entry) bool {
+		t.offer(cost, ent, scalar(cost))
 		return !w.interrupted()
 	})
-	a := w.e.newArchive()
-	if best != nil {
-		a.Insert(best)
-	}
+	a := t.archive(w.e)
 	w.e.memo.archives[id] = a
 	w.markDone(id, a.Len())
 }
 
+// splitView is one side of a split during candidate enumeration: the flat
+// archive of a table set, optionally narrowed to a single entry (the
+// degraded mode's one-plan-per-subset view).
+type splitView struct {
+	arch *pareto.FlatArchive
+	only int32 // -1 = all entries
+}
+
+// stored reports whether the view has at least one plan.
+func (v splitView) stored() bool {
+	return v.arch != nil && (v.only >= 0 || v.arch.Len() > 0)
+}
+
+// each yields the view's (index, cost) pairs; indexes are always positions
+// in the underlying archive, so entries built from them materialize
+// against the memo regardless of the view's narrowing.
+func (v splitView) each(fn func(idx int32, c objective.Vector) bool) bool {
+	if v.only >= 0 {
+		return fn(v.only, v.arch.CostAt(v.only))
+	}
+	n := int32(v.arch.Len())
+	for i := int32(0); i < n; i++ {
+		if !fn(i, v.arch.CostAt(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateFn receives one candidate of the enumeration: its cost vector
+// and its compact encoding. Both live on the stack — a candidate that the
+// archive rejects costs no allocation at all.
+type candidateFn func(cost objective.Vector, ent plan.Entry) bool
+
 // forEachCandidate constructs every candidate plan for table set s —
 // all splits into two non-empty subsets, all join operators and DOPs, all
-// combinations of stored sub-plans — and yields each to fn. It returns
-// false if fn aborted the enumeration.
+// combinations of stored sub-plans — and yields each to fn as a (cost,
+// entry) pair. It returns false if fn aborted the enumeration.
 //
 // Cartesian-product splits are considered only when s has no
 // predicate-connected split (Postgres heuristic (i), kept in place by the
 // paper); in that fallback case only nested-loop joins apply, since hash
 // and sort-merge joins need an equi-join predicate.
-func (w *worker) forEachCandidate(s query.TableSet, fn func(*plan.Node) bool) bool {
-	return w.forEachCandidateFrom(s, w.e.lookupMemo, fn)
+func (w *worker) forEachCandidate(s query.TableSet, fn candidateFn) bool {
+	return w.forEachCandidateFrom(s, w.e.viewMemo, fn)
 }
 
-// forEachCandidateFrom is forEachCandidate over an explicit sub-plan store
+// forEachCandidateFrom is forEachCandidate over an explicit sub-plan view
 // (the degraded mode passes a reduced one-plan-per-subset view; the full
 // mode passes the slice-backed memo, so no split lookup ever hashes).
-func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableSet) *pareto.Archive, fn func(*plan.Node) bool) bool {
+func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
 	e := w.e
 	hasEdgeSplit := false
 	abort := false
@@ -325,13 +439,13 @@ func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableS
 		if e.opts.LeftDeepOnly && !right.Single() {
 			return true
 		}
-		al, ar := lookup(left), lookup(right)
-		if !splitStored(al, ar) {
+		vl, vr := lookup(left), lookup(right)
+		if !vl.stored() || !vr.stored() {
 			return true
 		}
-		if len(e.q.CrossingEdges(left, right)) > 0 {
+		if e.q.ConnectedTo(left, right) {
 			hasEdgeSplit = true
-			if !w.edgeSplit(al, ar, left, right, fn) {
+			if !w.edgeSplit(vl, vr, left, right, fn) {
 				abort = true
 				return false
 			}
@@ -349,60 +463,63 @@ func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableS
 		if e.opts.LeftDeepOnly && !right.Single() {
 			return true
 		}
-		al, ar := lookup(left), lookup(right)
-		if !splitStored(al, ar) {
+		vl, vr := lookup(left), lookup(right)
+		if !vl.stored() || !vr.stored() {
 			return true
 		}
-		for _, pl := range al.Plans() {
-			for _, pr := range ar.Plans() {
+		vl.each(func(li int32, cl objective.Vector) bool {
+			return vr.each(func(ri int32, cr objective.Vector) bool {
 				for dop := 1; dop <= e.opts.MaxDOP; dop++ {
 					w.considered++
-					if !fn(e.m.NewJoin(plan.BlockNLJoin, dop, pl, pr)) {
+					cost := e.m.JoinCostVec(plan.BlockNLJoin, dop, left, right, &cl, &cr)
+					if !fn(cost, plan.JoinEntry(plan.BlockNLJoin, dop, left, li, right, ri)) {
 						abort = true
 						return false
 					}
 				}
-			}
-		}
-		return true
+				return true
+			})
+		})
+		return !abort
 	})
 	return !abort
 }
 
-// splitStored reports whether both sides of a split have stored plans.
-func splitStored(al, ar *pareto.Archive) bool {
-	return al != nil && ar != nil && al.Len() > 0 && ar.Len() > 0
-}
-
 // edgeSplit enumerates the candidates of one predicate-connected split.
-func (w *worker) edgeSplit(al, ar *pareto.Archive, left, right query.TableSet, fn func(*plan.Node) bool) bool {
+func (w *worker) edgeSplit(vl, vr splitView, left, right query.TableSet, fn candidateFn) bool {
 	e := w.e
 	// Index-nested-loop: inner side must be a single base relation with an
 	// index on the join column; the inner lookup replaces a stored inner
 	// plan, so it is generated once per outer plan.
 	if right.Single() {
 		if rel := right.First(); e.m.InnerIndexColumn(left, rel) != "" {
-			for _, pl := range al.Plans() {
+			ok := vl.each(func(li int32, cl objective.Vector) bool {
 				w.considered++
-				if !fn(e.m.NewIndexNL(pl, rel)) {
-					return false
-				}
+				cost := e.m.IndexNLCostVec(left, &cl, rel)
+				return fn(cost, plan.IndexNLEntry(left, li, rel))
+			})
+			if !ok {
+				return false
 			}
 		}
 	}
-	for _, pl := range al.Plans() {
-		for _, pr := range ar.Plans() {
-			for _, alg := range []plan.JoinAlg{plan.HashJoin, plan.SortMergeJoin, plan.BlockNLJoin} {
+	abort := false
+	vl.each(func(li int32, cl objective.Vector) bool {
+		return vr.each(func(ri int32, cr objective.Vector) bool {
+			for _, alg := range joinAlgs {
 				for dop := 1; dop <= e.opts.MaxDOP; dop++ {
 					w.considered++
-					if !fn(e.m.NewJoin(alg, dop, pl, pr)) {
+					cost := e.m.JoinCostVec(alg, dop, left, right, &cl, &cr)
+					if !fn(cost, plan.JoinEntry(alg, dop, left, li, right, ri)) {
+						abort = true
 						return false
 					}
 				}
 			}
-		}
-	}
-	return true
+			return true
+		})
+	})
+	return !abort
 }
 
 // stats summarizes the run, folding the worker-private counters together.
@@ -428,7 +545,7 @@ func (e *engine) stats(start time.Time) Stats {
 		Duration:    time.Since(start),
 		Considered:  considered,
 		Stored:      stored,
-		MemoryBytes: int64(stored) * planBytes,
+		MemoryBytes: int64(stored) * storedPlanBytes,
 		ParetoLast:  paretoLast,
 		TimedOut:    e.timedOut.Load(),
 		Iterations:  1,

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"moqo/internal/objective"
 	"moqo/internal/pareto"
+	"moqo/internal/plan"
 	"moqo/internal/query"
 )
 
@@ -31,11 +33,11 @@ type enumeration struct {
 // disconnected graph every non-empty subset is treated, since Cartesian
 // products are then unavoidable.
 //
-// As a side effect, every enumerated set's cardinality estimate is
-// computed here, on one goroutine. query.EstimateRows memoizes into a
-// plain map, so this warm-up is what makes the cost model safe to call
-// from concurrent workers: during the parallel phases the memo is only
-// ever read.
+// As a side effect, every enumerated set's cardinality and width
+// estimates are computed here, on one goroutine. query.EstimateRows and
+// query.EstimateWidth memoize into plain maps, so this warm-up is what
+// makes the cost model safe to call from concurrent workers: during the
+// parallel phases the memos are only ever read.
 func enumerate(q *query.Query) *enumeration {
 	n := q.NumRelations()
 	all := q.AllTables()
@@ -49,6 +51,7 @@ func enumerate(q *query.Query) *enumeration {
 			if !connectedOnly || q.Connected(s) {
 				sets = append(sets, s)
 				q.EstimateRows(s)
+				q.EstimateWidth(s)
 			}
 			if s == all {
 				break // Gosper past the full set would overflow the range
@@ -68,22 +71,23 @@ func enumerate(q *query.Query) *enumeration {
 const memoDenseMaxRelations = 22
 
 // memoTable is the slice-backed plan-archive store of one engine run. It
-// replaces the seed's map[TableSet]*Archive: archives are indexed by the
-// enumeration's dense ids, and the bitset->id translation is a slice
+// replaces the seed's map[TableSet]*Archive: flat archives are indexed by
+// the enumeration's dense ids, and the bitset->id translation is a slice
 // lookup, so the innermost candidate loops never hash.
 //
 // Workers of one level write disjoint ids and only read archives of lower
 // levels, which are immutable after the level barrier — the memo needs no
-// locking.
+// locking. The memo also implements plan.Memo, so the materializer can
+// rebuild plan trees from the stored compact entries at extraction time.
 type memoTable struct {
-	archives []*pareto.Archive // indexed by dense id
-	dense    []int32           // bitset -> id (+1; 0 = not enumerated); nil when sparse
+	archives []*pareto.FlatArchive // indexed by dense id
+	dense    []int32               // bitset -> id (+1; 0 = not enumerated); nil when sparse
 	sparse   map[query.TableSet]int32
 }
 
 // newMemoTable allocates the memo for an enumeration.
 func newMemoTable(e *enumeration) *memoTable {
-	t := &memoTable{archives: make([]*pareto.Archive, e.total)}
+	t := &memoTable{archives: make([]*pareto.FlatArchive, e.total)}
 	if e.n <= memoDenseMaxRelations {
 		t.dense = make([]int32, 1<<uint(e.n))
 	} else {
@@ -114,12 +118,22 @@ func (t *memoTable) id(s query.TableSet) int32 {
 
 // lookup returns the archive stored for a table set, or nil when the set
 // is not enumerated or not yet treated.
-func (t *memoTable) lookup(s query.TableSet) *pareto.Archive {
+func (t *memoTable) lookup(s query.TableSet) *pareto.FlatArchive {
 	id := t.id(s)
 	if id < 0 {
 		return nil
 	}
 	return t.archives[id]
+}
+
+// EntryAt implements plan.Memo: the idx-th compact entry stored for s.
+func (t *memoTable) EntryAt(s query.TableSet, idx int32) plan.Entry {
+	return t.archives[t.id(s)].EntryAt(idx)
+}
+
+// CostAt implements plan.Memo: the idx-th stored cost vector for s.
+func (t *memoTable) CostAt(s query.TableSet, idx int32) objective.Vector {
+	return t.archives[t.id(s)].CostAt(idx)
 }
 
 // nextSameCard returns the next larger bitset with the same population

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/synthetic"
+)
+
+// hotpath_test.go certifies the allocation-free engine against the
+// preserved pre-refactor implementation (reference.go) and pins down the
+// determinism of extracted frontiers across worker counts.
+
+// TestEngineMatchesReference: the flat engine must reproduce the
+// tree-allocating reference engine's results exactly — same candidate
+// count, same frontier cost vectors in the same canonical order, same
+// frontier counters, same selected plan — for both exact (EXA) and
+// approximate (RTA) pruning, on several topologies.
+func TestEngineMatchesReference(t *testing.T) {
+	shapes := []synthetic.Shape{synthetic.Chain, synthetic.Star, synthetic.Clique}
+	for _, shape := range shapes {
+		t.Run(shape.String(), func(t *testing.T) {
+			_, q := synthetic.MustBuild(synthetic.Spec{
+				Shape: shape, Tables: 6, MaxRows: 1e4, Seed: 11,
+			})
+			m := costmodel.NewDefault(q)
+			w := objective.UniformWeights(threeObjs)
+			opts := Options{Objectives: threeObjs, MaxDOP: 2}
+
+			exa, err := EXA(m, w, objective.NoBounds(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refEXA, err := ReferenceEXA(m, w, objective.NoBounds(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareRuns(t, "EXA", exa, refEXA)
+
+			rtaOpts := opts
+			rtaOpts.Alpha = 1.5
+			rta, err := RTA(m, w, rtaOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRTA, err := ReferenceRTA(m, w, rtaOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareRuns(t, "RTA", rta, refRTA)
+		})
+	}
+}
+
+func compareRuns(t *testing.T, name string, got, want Result) {
+	t.Helper()
+	if got.Stats.Considered != want.Stats.Considered {
+		t.Errorf("%s considered %d != reference %d", name, got.Stats.Considered, want.Stats.Considered)
+	}
+	if got.Stats.Stored != want.Stats.Stored {
+		t.Errorf("%s stored %d != reference %d", name, got.Stats.Stored, want.Stats.Stored)
+	}
+	if got.Best.Cost != want.Best.Cost {
+		t.Errorf("%s best cost %v != reference %v", name, got.Best.Cost, want.Best.Cost)
+	}
+	gi, gr, ge := got.Frontier.Stats()
+	wi, wr, we := want.Frontier.Stats()
+	if gi != wi || gr != wr || ge != we {
+		t.Errorf("%s frontier counters (ins=%d rej=%d ev=%d) != reference (ins=%d rej=%d ev=%d)", name, gi, gr, ge, wi, wr, we)
+	}
+	gf, wf := got.Frontier.Frontier(), want.Frontier.Frontier()
+	if len(gf) != len(wf) {
+		t.Fatalf("%s frontier size %d != reference %d", name, len(gf), len(wf))
+	}
+	for i := range gf {
+		if gf[i] != wf[i] {
+			t.Errorf("%s frontier[%d] %v != reference %v", name, i, gf[i], wf[i])
+		}
+	}
+}
+
+// TestMaterializedPlansValid: materialized frontier plans must be
+// structurally valid trees covering the full query — including plans with
+// index-nested-loop joins and sampling scans, whose entries carry
+// synthetic operands and rate codes.
+func TestMaterializedPlansValid(t *testing.T) {
+	_, q := synthetic.MustBuild(synthetic.Spec{
+		Shape: synthetic.Star, Tables: 6, MaxRows: 1e5, Seed: 4,
+	})
+	m := costmodel.NewDefault(q)
+	objs := objective.NewSet(objective.TotalTime, objective.BufferFootprint, objective.TupleLoss)
+	res, err := EXA(m, objective.UniformWeights(objs), objective.NoBounds(), Options{Objectives: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier.Plans()) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, p := range res.Frontier.Plans() {
+		if p.Tables != q.AllTables() {
+			t.Errorf("frontier plan covers %v, want all tables", p.Tables)
+		}
+		if err := p.Validate(q); err != nil {
+			t.Errorf("invalid materialized plan: %v", err)
+		}
+	}
+}
+
+// TestFrontierDeterministicAcrossWorkers: the extracted Result must be
+// identical — best plan signature, canonical frontier order, and all
+// counters — for Workers ∈ {1, 4, 8}, on every algorithm that extracts a
+// frontier.
+func TestFrontierDeterministicAcrossWorkers(t *testing.T) {
+	_, q := synthetic.MustBuild(synthetic.Spec{
+		Shape: synthetic.Chain, Tables: 7, MaxRows: 1e5, Seed: 9,
+	})
+	m := costmodel.NewDefault(q)
+	w := objective.UniformWeights(threeObjs)
+	b := objective.NoBounds().With(objective.TotalTime, 1e7)
+
+	type runner struct {
+		name string
+		run  func(workers int) (Result, error)
+	}
+	runners := []runner{
+		{"EXA", func(workers int) (Result, error) {
+			return EXA(m, w, objective.NoBounds(), Options{Objectives: threeObjs, Workers: workers})
+		}},
+		{"RTA", func(workers int) (Result, error) {
+			return RTA(m, w, Options{Objectives: threeObjs, Alpha: 1.4, Workers: workers})
+		}},
+		{"IRA", func(workers int) (Result, error) {
+			return IRA(m, w, b, Options{Objectives: threeObjs, Alpha: 1.4, Workers: workers})
+		}},
+	}
+	for _, rn := range runners {
+		t.Run(rn.name, func(t *testing.T) {
+			base, err := rn.run(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseSig := base.Best.Signature(q)
+			baseFrontier := frontierSignature(t, base, threeObjs)
+			for _, workers := range []int{4, 8} {
+				res, err := rn.run(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sig := res.Best.Signature(q); sig != baseSig {
+					t.Errorf("workers=%d best plan %s != workers=1 %s", workers, sig, baseSig)
+				}
+				if fs := frontierSignature(t, res, threeObjs); fs != baseFrontier {
+					t.Errorf("workers=%d frontier differs:\n%s\nvs workers=1:\n%s", workers, fs, baseFrontier)
+				}
+				if res.Stats.Considered != base.Stats.Considered {
+					t.Errorf("workers=%d considered %d != workers=1 %d", workers, res.Stats.Considered, base.Stats.Considered)
+				}
+				if res.Stats.Stored != base.Stats.Stored {
+					t.Errorf("workers=%d stored %d != workers=1 %d", workers, res.Stats.Stored, base.Stats.Stored)
+				}
+			}
+		})
+	}
+}
+
+// benchQuery builds the benchmark query once per size.
+func benchQuery(b *testing.B, tables int) *costmodel.Model {
+	b.Helper()
+	_, q := synthetic.MustBuild(synthetic.Spec{
+		Shape: synthetic.Chain, Tables: tables, MaxRows: 1e5, Seed: 1,
+	})
+	return costmodel.NewDefault(q)
+}
+
+// BenchmarkEXA measures the end-to-end exact dynamic program on the flat
+// engine; run with -benchmem to see per-run allocation totals.
+func BenchmarkEXA(b *testing.B) {
+	for _, tables := range []int{6, 8} {
+		b.Run(fmt.Sprintf("tables=%d", tables), func(b *testing.B) {
+			m := benchQuery(b, tables)
+			w := objective.UniformWeights(threeObjs)
+			opts := Options{Objectives: threeObjs}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := EXA(m, w, objective.NoBounds(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReferenceEXA is the pre-refactor arm of BenchmarkEXA: the same
+// dynamic program with per-candidate *plan.Node allocation and the
+// pointer-backed legacy archives.
+func BenchmarkReferenceEXA(b *testing.B) {
+	for _, tables := range []int{6, 8} {
+		b.Run(fmt.Sprintf("tables=%d", tables), func(b *testing.B) {
+			m := benchQuery(b, tables)
+			w := objective.UniformWeights(threeObjs)
+			opts := Options{Objectives: threeObjs}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReferenceEXA(m, w, objective.NoBounds(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

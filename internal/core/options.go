@@ -86,11 +86,12 @@ func (o Options) sampling() bool { return o.AllowSampling != nil && *o.AllowSamp
 // Bool returns a pointer to b, for filling Options.AllowSampling.
 func Bool(b bool) *bool { return &b }
 
-// planBytes is the estimated memory footprint of one stored plan node with
-// its cost vector, used for the paper's memory-consumption metric. A stored
-// plan is an operator descriptor plus two child pointers plus the
-// nine-dimensional cost vector — O(1) space, as in the proof of Theorem 1.
-const planBytes = 184
+// storedPlanBytes is the estimated memory footprint of one stored plan,
+// used for the paper's memory-consumption metric: a compact entry record
+// (operator code plus two (table set, index) sub-plan references) plus the
+// nine-dimensional cost row in the archive's flat backing array — O(1)
+// space, as in the proof of Theorem 1.
+const storedPlanBytes = 104
 
 // Stats reports the effort of one optimization run, mirroring the metrics
 // of the paper's Figures 5, 9 and 10.

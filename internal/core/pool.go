@@ -26,6 +26,10 @@ type worker struct {
 	// so plain assignment keeps the maximum.
 	maxDoneID  int32
 	maxDoneLen int
+	// reduced is the degraded mode's per-worker scratch: the weighted-best
+	// entry index of every stored subset, rebuilt (capacity reused) for
+	// each degraded table set instead of allocating a fresh map.
+	reduced map[query.TableSet]int32
 }
 
 // observe polls the run's stop signals (amortized by the caller): the

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/pareto"
+	"moqo/internal/plan"
+	"moqo/internal/query"
+)
+
+// This file preserves the pre-refactor, tree-allocating dynamic program:
+// every candidate heap-allocates a full *plan.Node and archives are the
+// legacy pointer-backed pareto.Archive. It exists for two reasons:
+//
+//   - differential testing: the flat engine must produce frontiers
+//     identical to this implementation, candidate for candidate;
+//   - the hotpath benchmark (internal/bench, cmd/experiments -fig
+//     hotpath): the "before" arm the allocation-free engine is measured
+//     against.
+//
+// It is sequential and supports no timeout, cancellation or degraded
+// mode — it measures and certifies the exhaustive candidate loop only.
+
+// ReferenceEXA runs the exact multi-objective dynamic program in the
+// pre-refactor representation (see the file comment). The result's
+// frontier is canonically sorted like the flat engine's, so the two are
+// directly comparable.
+func ReferenceEXA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options) (Result, error) {
+	return referenceRun(m, w, b, opts, 1, nil)
+}
+
+// ReferenceRTA runs the representative-tradeoffs algorithm in the
+// pre-refactor representation: internal pruning precision
+// αi = Alpha^(1/|Q|), exactly as RTA.
+func ReferenceRTA(m *costmodel.Model, w objective.Weights, opts Options) (Result, error) {
+	opts2, err := opts.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	n := m.Query().NumRelations()
+	alphaI := math.Pow(opts2.Alpha, 1/float64(n))
+	if alphaI < 1 {
+		alphaI = 1
+	}
+	return referenceRun(m, w, objective.NoBounds(), opts, alphaI, nil)
+}
+
+func referenceRun(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options, alphaInternal float64, prec *objective.Precision) (Result, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if !w.Valid() || !b.Valid() {
+		return Result{}, fmt.Errorf("core: invalid weights or bounds")
+	}
+	start := time.Now()
+	q := m.Query()
+	enum := enumerate(q)
+	memo := make(map[query.TableSet]*pareto.Archive, enum.total)
+	newArchive := func() *pareto.Archive {
+		if prec != nil {
+			return pareto.NewPrecisionArchive(opts.Objectives, *prec)
+		}
+		return pareto.NewArchive(opts.Objectives, alphaInternal)
+	}
+
+	considered := 0
+	for k := 1; k <= enum.n; k++ {
+		for _, s := range enum.levels[k] {
+			a := newArchive()
+			if s.Single() {
+				for _, p := range m.ScanAlternatives(s.First(), opts.sampling()) {
+					considered++
+					a.Insert(p)
+				}
+			} else {
+				referenceCandidates(m, opts, memo, s, func(p *plan.Node) {
+					considered++
+					a.Insert(p)
+				})
+			}
+			memo[s] = a
+		}
+	}
+
+	final := memo[enum.all]
+	stored := 0
+	for _, a := range memo {
+		stored += a.Len()
+	}
+	plans := append([]*plan.Node(nil), final.Plans()...)
+	sortPlansCanonically(plans)
+	ins, rej, ev := final.Stats()
+	sorted := pareto.NewMaterialized(opts.Objectives, final.Alpha(), prec, plans, ins, rej, ev)
+	return Result{
+		Best:     sorted.SelectBest(w, b),
+		Frontier: sorted,
+		Stats: Stats{
+			Duration:    time.Since(start),
+			Considered:  considered,
+			Stored:      stored,
+			MemoryBytes: int64(stored) * storedPlanBytes,
+			ParetoLast:  final.Len(),
+			Iterations:  1,
+		},
+	}, nil
+}
+
+// referenceCandidates is the pre-refactor candidate loop: every split of s
+// with stored sub-plans, every join operator and DOP, every pair of stored
+// sub-plans — each candidate built as a fresh *plan.Node.
+func referenceCandidates(m *costmodel.Model, opts Options, memo map[query.TableSet]*pareto.Archive, s query.TableSet, fn func(*plan.Node)) {
+	hasEdgeSplit := false
+	q := m.Query()
+	s.EachSubset(func(left, right query.TableSet) bool {
+		if opts.LeftDeepOnly && !right.Single() {
+			return true
+		}
+		al, ar := memo[left], memo[right]
+		if al == nil || ar == nil || al.Len() == 0 || ar.Len() == 0 {
+			return true
+		}
+		// The pre-refactor loop tested splits via the edge-list
+		// materialization; kept as-is so the reference arm measures the
+		// original cost profile.
+		if len(q.CrossingEdges(left, right)) == 0 {
+			return true
+		}
+		hasEdgeSplit = true
+		if right.Single() {
+			if rel := right.First(); m.InnerIndexColumn(left, rel) != "" {
+				for _, pl := range al.Plans() {
+					fn(m.NewIndexNL(pl, rel))
+				}
+			}
+		}
+		for _, pl := range al.Plans() {
+			for _, pr := range ar.Plans() {
+				for _, alg := range joinAlgs {
+					for dop := 1; dop <= opts.MaxDOP; dop++ {
+						fn(m.NewJoin(alg, dop, pl, pr))
+					}
+				}
+			}
+		}
+		return true
+	})
+	if hasEdgeSplit {
+		return
+	}
+	s.EachSubset(func(left, right query.TableSet) bool {
+		if opts.LeftDeepOnly && !right.Single() {
+			return true
+		}
+		al, ar := memo[left], memo[right]
+		if al == nil || ar == nil || al.Len() == 0 || ar.Len() == 0 {
+			return true
+		}
+		for _, pl := range al.Plans() {
+			for _, pr := range ar.Plans() {
+				for dop := 1; dop <= opts.MaxDOP; dop++ {
+					fn(m.NewJoin(plan.BlockNLJoin, dop, pl, pr))
+				}
+			}
+		}
+		return true
+	})
+}

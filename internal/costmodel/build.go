@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"moqo/internal/objective"
 	"moqo/internal/plan"
 	"moqo/internal/query"
 )
@@ -73,6 +74,31 @@ func (m *Model) ScanAlternatives(rel int, allowSampling bool) []*plan.Node {
 		}
 	}
 	return out
+}
+
+// EachScanAlternative yields every scan operator for relation rel that the
+// plan space admits — the same alternatives as ScanAlternatives, but as
+// (algorithm, rate, cost) triples without building Nodes. It is the
+// allocation-free engine's leaf-level counterpart of JoinCostVec. Returns
+// false if fn aborted the enumeration.
+func (m *Model) EachScanAlternative(rel int, allowSampling bool, fn func(alg plan.ScanAlg, rate float64, cost objective.Vector) bool) bool {
+	if !fn(plan.SeqScan, 0, m.ScanCost(rel, plan.SeqScan, 0)) {
+		return false
+	}
+	t := m.baseTable(rel)
+	if len(m.q.Catalog().Indexes(t.ID)) > 0 {
+		if !fn(plan.IndexScan, 0, m.ScanCost(rel, plan.IndexScan, 0)) {
+			return false
+		}
+	}
+	if allowSampling {
+		for _, rate := range plan.SampleRates {
+			if !fn(plan.SampleScan, rate, m.ScanCost(rel, plan.SampleScan, rate)) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // InnerIndexColumn returns the join column on which an index-nested-loop

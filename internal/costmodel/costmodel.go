@@ -165,11 +165,17 @@ func (m *Model) ScanCost(rel int, alg plan.ScanAlg, rate float64) objective.Vect
 // IndexNLCost instead (its inner operand is an index lookup, not a stored
 // sub-plan).
 func (m *Model) JoinCost(alg plan.JoinAlg, dop int, left, right *plan.Node) objective.Vector {
-	lt, rt := left.Tables, right.Tables
+	return m.JoinCostVec(alg, dop, left.Tables, right.Tables, &left.Cost, &right.Cost)
+}
+
+// JoinCostVec is JoinCost over raw operand table sets and cost vectors. It
+// is the hot-path entry point of the allocation-free engine, which carries
+// candidates as compact entries rather than plan trees; cl and cr point
+// into caller-owned scratch and are not retained.
+func (m *Model) JoinCostVec(alg plan.JoinAlg, dop int, lt, rt query.TableSet, cl, cr *objective.Vector) objective.Vector {
 	out := lt.Union(rt)
 	lRows, rRows := m.rows(lt), m.rows(rt)
 	oRows := m.rows(out)
-	cl, cr := left.Cost, right.Cost
 	d := float64(dop)
 
 	var v objective.Vector
@@ -247,7 +253,12 @@ func (m *Model) JoinCost(alg plan.JoinAlg, dop int, left, right *plan.Node) obje
 // innerRel. The inner side is never sampled, so it contributes no tuple
 // loss; the join is inherently sequential (DOP 1).
 func (m *Model) IndexNLCost(left *plan.Node, innerRel int) objective.Vector {
-	lt := left.Tables
+	return m.IndexNLCostVec(left.Tables, &left.Cost, innerRel)
+}
+
+// IndexNLCostVec is IndexNLCost over a raw outer table set and cost vector
+// (see JoinCostVec).
+func (m *Model) IndexNLCostVec(lt query.TableSet, cl *objective.Vector, innerRel int) objective.Vector {
 	out := lt.Add(innerRel)
 	lRows := m.rows(lt)
 	oRows := m.rows(out)
@@ -256,7 +267,6 @@ func (m *Model) IndexNLCost(left *plan.Node, innerRel int) objective.Vector {
 	// Matching inner tuples per outer tuple determine pages per lookup.
 	matchPerLookup := oRows / math.Max(1, lRows)
 	pagesPerLookup := 1 + matchPerLookup/tuplesPerPage // descent amortized into 1
-	cl := left.Cost
 
 	lookupIO := lRows * pagesPerLookup
 	lookupCPU := lRows*m.p.LookupWork + oRows*m.p.TupleWork

@@ -39,6 +39,20 @@ func NewPrecisionArchive(objs objective.Set, prec objective.Precision) *Archive 
 	return &Archive{objs: objs, alpha: prec.Max(objs), prec: &prec}
 }
 
+// NewMaterialized builds an archive directly from already mutually
+// non-dominating plans and their pre-computed counters. It is the bridge
+// from the flat hot-path representation back to the legacy tree-backed
+// archive: the engine materializes a FlatArchive's frontier into plan
+// trees once per run and rehydrates it here, preserving the counters the
+// experiment harness reports. The plans are stored as given — no pruning
+// is re-run.
+func NewMaterialized(objs objective.Set, alpha float64, prec *objective.Precision, plans []*plan.Node, inserted, rejected, evicted int) *Archive {
+	return &Archive{
+		objs: objs, alpha: alpha, prec: prec, plans: plans,
+		inserted: inserted, rejected: rejected, evicted: evicted,
+	}
+}
+
 // Insert offers a new plan to the archive, implementing the paper's
 // Prune(P, pN, αi): if some stored plan approximately dominates the new
 // plan it is discarded; otherwise plans that the new plan (exactly)

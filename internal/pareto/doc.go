@@ -7,7 +7,25 @@
 // cost under optional bounds (the paper's Definition 3 semantics: a
 // bound-violating plan is chosen only when no plan respects the bounds).
 //
-// The RTA archive intentionally mixes two relations: a new plan is
+// Two representations implement the same pruning semantics:
+//
+//   - FlatArchive is the hot-path representation the engine runs on: a
+//     struct-of-arrays archive whose cost vectors live in one contiguous
+//     []float64 backing array and whose plans are compact plan.Entry
+//     records (operator code plus sub-plan references) instead of
+//     *plan.Node trees. Insert is allocation-free after warm-up — the
+//     active-objective ids and per-objective pruning precisions are
+//     resolved once per run into the shared FlatConfig — and dominance
+//     checks walk contiguous cost rows instead of chasing pointers.
+//   - Archive is the legacy tree-backed representation, kept as the
+//     frontier container callers see: the engine materializes the final
+//     FlatArchive into plan trees at extraction time and rehydrates it
+//     via NewMaterialized, counters preserved. It also serves as the
+//     differential-testing oracle for FlatArchive (the package's
+//     differential tests drive both with identical random cost streams
+//     and require identical frontiers and counters).
+//
+// Both archives intentionally mix two relations: a new plan is
 // *rejected* if an already-stored plan approximately dominates it, but
 // stored plans are *evicted* only if the new plan dominates them exactly.
 // The paper points out (end of Section 6.2) that evicting approximately
@@ -15,6 +33,6 @@
 // from the true Pareto frontier and destroy the near-optimality guarantee;
 // package tests demonstrate that failure mode.
 //
-// A precision-vector variant (NewPrecisionArchive) supports the
-// per-objective RTA extension of internal/core.RTAVector.
+// Precision-vector variants (NewPrecisionArchive, NewFlatPrecisionConfig)
+// support the per-objective RTA extension of internal/core.RTAVector.
 package pareto

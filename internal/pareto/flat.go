@@ -1,0 +1,220 @@
+package pareto
+
+import (
+	"math"
+
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+)
+
+// FlatConfig is the pruning configuration shared by all flat archives of
+// one engine run: the active objectives resolved to a plain ID slice and
+// the per-objective pruning precisions aligned with it. Resolving both
+// once per run is what makes FlatArchive.Insert allocation-free — the
+// legacy Archive re-derived objs.IDs() (a fresh slice) inside every
+// dominance check.
+type FlatConfig struct {
+	objs   objective.Set
+	ids    []objective.ID
+	alpha  float64
+	alphas []float64 // pruning precision per ids entry
+	prec   *objective.Precision
+}
+
+// NewFlatConfig builds the shared configuration for scalar-alpha pruning
+// (alpha >= 1; alpha == 1 is exact Pareto pruning).
+func NewFlatConfig(objs objective.Set, alpha float64) *FlatConfig {
+	if alpha < 1 {
+		panic("pareto: pruning precision must be >= 1")
+	}
+	ids := objs.IDs()
+	alphas := make([]float64, len(ids))
+	for i := range alphas {
+		alphas[i] = alpha
+	}
+	return &FlatConfig{objs: objs, ids: ids, alpha: alpha, alphas: alphas}
+}
+
+// NewFlatPrecisionConfig builds the shared configuration for per-objective
+// precision pruning (the RTAVector extension).
+func NewFlatPrecisionConfig(objs objective.Set, prec objective.Precision) *FlatConfig {
+	if !prec.Valid() {
+		panic("pareto: pruning precisions must be >= 1")
+	}
+	ids := objs.IDs()
+	alphas := make([]float64, len(ids))
+	for i, o := range ids {
+		alphas[i] = prec[o]
+	}
+	p := prec
+	return &FlatConfig{objs: objs, ids: ids, alpha: prec.Max(objs), alphas: alphas, prec: &p}
+}
+
+// Objectives returns the configuration's active objective set.
+func (c *FlatConfig) Objectives() objective.Set { return c.objs }
+
+// Alpha returns the scalar pruning precision (the maximum per-objective
+// precision when a precision vector is configured).
+func (c *FlatConfig) Alpha() float64 { return c.alpha }
+
+// Precision returns the per-objective precision vector, or nil when the
+// configuration prunes with a scalar alpha.
+func (c *FlatConfig) Precision() *objective.Precision { return c.prec }
+
+// stride is the size of one cost row in the flat backing array. Full
+// nine-dimensional vectors are stored (not just the active objectives):
+// the inactive entries are needed intact at materialization, and a fixed
+// stride keeps row addressing a shift-free multiplication.
+const stride = int(objective.NumObjectives)
+
+// FlatArchive is the struct-of-arrays representation of a Pareto archive:
+// cost vectors live in one contiguous []float64 backing array and plans
+// are compact entry records instead of *plan.Node trees. Insert performs
+// no allocation beyond amortized slice growth, and dominance checks walk
+// a contiguous row instead of chasing node pointers.
+//
+// Pruning semantics are bit-for-bit those of the legacy Archive:
+// approximate-dominance rejection first, then exact-dominance eviction
+// with stable compaction, then append — with identical counters.
+type FlatArchive struct {
+	cfg     *FlatConfig
+	costs   []float64 // len = len(entries) * stride
+	entries []plan.Entry
+
+	// inserted and rejected count Insert outcomes for the experiment
+	// harness ("number of considered plans").
+	inserted, rejected, evicted int
+}
+
+// NewFlat creates an empty flat archive sharing the run's configuration.
+func NewFlat(cfg *FlatConfig) *FlatArchive { return &FlatArchive{cfg: cfg} }
+
+// Insert offers a candidate to the archive, implementing the paper's
+// Prune(P, pN, αi): if some stored plan approximately dominates the new
+// cost vector the candidate is discarded; otherwise stored plans that the
+// new vector (exactly) dominates are evicted and the candidate is stored.
+// Returns whether the candidate was stored.
+func (a *FlatArchive) Insert(c objective.Vector, e plan.Entry) bool {
+	ids := a.cfg.ids
+	alphas := a.cfg.alphas
+	n := len(a.entries)
+	for i := 0; i < n; i++ {
+		row := a.costs[i*stride : i*stride+stride]
+		dominates := true
+		for k, o := range ids {
+			if row[o] > c[o]*alphas[k] {
+				dominates = false
+				break
+			}
+		}
+		if dominates {
+			a.rejected++
+			return false
+		}
+	}
+	out := 0
+	for i := 0; i < n; i++ {
+		row := a.costs[i*stride : i*stride+stride]
+		dominated := true
+		for _, o := range ids {
+			if c[o] > row[o] {
+				dominated = false
+				break
+			}
+		}
+		if dominated {
+			a.evicted++
+			continue
+		}
+		if out != i {
+			copy(a.costs[out*stride:(out+1)*stride], row)
+			a.entries[out] = a.entries[i]
+		}
+		out++
+	}
+	a.entries = a.entries[:out]
+	a.costs = a.costs[:out*stride]
+	a.entries = append(a.entries, e)
+	a.costs = append(a.costs, c[:]...)
+	a.inserted++
+	return true
+}
+
+// Len returns the number of stored plans.
+func (a *FlatArchive) Len() int { return len(a.entries) }
+
+// EntryAt returns the i-th stored entry.
+func (a *FlatArchive) EntryAt(i int32) plan.Entry { return a.entries[i] }
+
+// CostAt returns a copy of the i-th stored cost vector.
+func (a *FlatArchive) CostAt(i int32) objective.Vector {
+	var v objective.Vector
+	copy(v[:], a.costs[int(i)*stride:int(i)*stride+stride])
+	return v
+}
+
+// Alpha returns the archive's pruning precision.
+func (a *FlatArchive) Alpha() float64 { return a.cfg.alpha }
+
+// Objectives returns the archive's active objective set.
+func (a *FlatArchive) Objectives() objective.Set { return a.cfg.objs }
+
+// Stats returns cumulative insert/reject/evict counters.
+func (a *FlatArchive) Stats() (inserted, rejected, evicted int) {
+	return a.inserted, a.rejected, a.evicted
+}
+
+// Frontier returns the cost vectors of the stored plans.
+func (a *FlatArchive) Frontier() []objective.Vector {
+	out := make([]objective.Vector, a.Len())
+	for i := range out {
+		out[i] = a.CostAt(int32(i))
+	}
+	return out
+}
+
+// BestBy returns the index of the stored plan minimizing the given scalar
+// metric (-1 for an empty archive). Ties break toward the earliest plan,
+// keeping results deterministic.
+func (a *FlatArchive) BestBy(scalar func(objective.Vector) float64) int32 {
+	best := int32(-1)
+	bestCost := math.Inf(1)
+	for i := 0; i < a.Len(); i++ {
+		if c := scalar(a.CostAt(int32(i))); best < 0 || c < bestCost {
+			best, bestCost = int32(i), c
+		}
+	}
+	return best
+}
+
+// SelectBest implements the paper's SelectBest(P, W, B) over the flat
+// representation: the index of the plan with minimal weighted cost among
+// those respecting the bounds, or — if none respects the bounds — the
+// minimal weighted cost overall. Returns -1 only for an empty archive.
+func (a *FlatArchive) SelectBest(w objective.Weights, b objective.Bounds) int32 {
+	bestIn, bestAny := int32(-1), int32(-1)
+	bestInCost, bestAnyCost := 0.0, 0.0
+	for i := 0; i < a.Len(); i++ {
+		v := a.CostAt(int32(i))
+		c := w.Cost(v)
+		if bestAny < 0 || c < bestAnyCost {
+			bestAny, bestAnyCost = int32(i), c
+		}
+		if b.Respects(v, a.cfg.objs) && (bestIn < 0 || c < bestInCost) {
+			bestIn, bestInCost = int32(i), c
+		}
+	}
+	if bestIn >= 0 {
+		return bestIn
+	}
+	return bestAny
+}
+
+// Reset empties the archive, keeping the backing arrays (and counters at
+// zero) for reuse — the warm-up discipline of the zero-allocation
+// benchmarks, and the engine's per-worker scratch reuse.
+func (a *FlatArchive) Reset() {
+	a.costs = a.costs[:0]
+	a.entries = a.entries[:0]
+	a.inserted, a.rejected, a.evicted = 0, 0, 0
+}

@@ -38,11 +38,15 @@ type Query struct {
 	adjacency []TableSet
 	// cards memoizes EstimateRows per table set.
 	cards map[TableSet]float64
+	// widths memoizes EstimateWidth per table set. Like cards it is
+	// written only on misses, so the optimizer's enumerator pre-warms it
+	// on one goroutine before the parallel phases read it.
+	widths map[TableSet]int
 }
 
 // New creates an empty query against the given catalog.
 func New(name string, cat *catalog.Catalog) *Query {
-	return &Query{Name: name, cat: cat, cards: make(map[TableSet]float64)}
+	return &Query{Name: name, cat: cat, cards: make(map[TableSet]float64), widths: make(map[TableSet]int)}
 }
 
 // Catalog returns the catalog the query is defined against.
@@ -64,7 +68,7 @@ func (q *Query) AddRelation(table string, alias string, filterSel float64) int {
 	id := q.cat.MustLookup(table)
 	q.Relations = append(q.Relations, Relation{Table: id, Alias: alias, FilterSel: filterSel})
 	q.adjacency = append(q.adjacency, 0)
-	q.cards = make(map[TableSet]float64) // invalidate memo
+	q.invalidate()
 	return len(q.Relations) - 1
 }
 
@@ -80,7 +84,13 @@ func (q *Query) AddJoin(l, r int, lcol, rcol string, sel float64) {
 	q.Edges = append(q.Edges, JoinEdge{Left: l, Right: r, LeftCol: lcol, RightCol: rcol, Selectivity: sel})
 	q.adjacency[l] = q.adjacency[l].Add(r)
 	q.adjacency[r] = q.adjacency[r].Add(l)
+	q.invalidate()
+}
+
+// invalidate resets the estimate memos after a schema change.
+func (q *Query) invalidate() {
 	q.cards = make(map[TableSet]float64)
+	q.widths = make(map[TableSet]int)
 }
 
 // AddFKJoin appends a foreign-key join edge whose selectivity is derived
@@ -101,11 +111,13 @@ func (q *Query) NumRelations() int { return len(q.Relations) }
 func (q *Query) AllTables() TableSet { return FullSet(len(q.Relations)) }
 
 // Neighbors returns the relations adjacent (via some join edge) to any
-// relation in s, excluding s itself.
+// relation in s, excluding s itself. It iterates the bitset directly (no
+// intermediate slice): the optimizer's split enumeration calls it per
+// split via ConnectedTo, where an allocation would dominate the cost.
 func (q *Query) Neighbors(s TableSet) TableSet {
 	var n TableSet
-	for _, r := range s.Relations() {
-		n |= q.adjacency[r]
+	for v := s; v != 0; v &= v - 1 {
+		n |= q.adjacency[v.First()]
 	}
 	return n.Minus(s)
 }
@@ -178,15 +190,22 @@ func (q *Query) EstimateRows(s TableSet) float64 {
 }
 
 // EstimateWidth estimates the average output tuple width in bytes for the
-// relations of s (sum of base widths — joins concatenate tuples).
+// relations of s (sum of base widths — joins concatenate tuples). Widths
+// are memoized like cardinalities: the cost model reads them several times
+// per candidate plan, and the per-relation catalog lookups plus a bitset
+// expansion would otherwise dominate the candidate loop.
 func (q *Query) EstimateWidth(s TableSet) int {
+	if w, ok := q.widths[s]; ok {
+		return w
+	}
 	w := 0
-	for _, r := range s.Relations() {
-		w += q.cat.Table(q.Relations[r].Table).Width
+	for v := s; v != 0; v &= v - 1 {
+		w += q.cat.Table(q.Relations[v.First()].Table).Width
 	}
 	if w <= 0 {
 		w = 1
 	}
+	q.widths[s] = w
 	return w
 }
 
