@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	experiments [-fig all|1|2|3|4|5|7|9|10|scaling|parallel|server] [-timeout 2s]
-//	            [-cases 3] [-sf 1] [-seed 1] [-queries 1,12,3] [-out dir]
-//	            [-workers N] [-tables 10,12,14]
+//	experiments [-fig all|1|2|3|4|5|7|9|10|scaling|parallel|server|topology]
+//	            [-timeout 2s] [-cases 3] [-sf 1] [-seed 1] [-queries 1,12,3]
+//	            [-out dir] [-workers N] [-tables 10,12,14]
 //
 // The defaults are scaled down from the paper's setup (two-hour timeout,
 // 20 test cases per configuration) so the full run finishes in minutes;
@@ -26,12 +26,13 @@ import (
 
 	"moqo/internal/bench"
 	"moqo/internal/objective"
+	"moqo/internal/synthetic"
 	"moqo/internal/viz"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, or hotpath (explicit only — not part of all; ignores -timeout)")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
@@ -39,7 +40,7 @@ func main() {
 		queries = flag.String("queries", "", "comma-separated TPC-H query numbers (default: all 22)")
 		outDir  = flag.String("out", "", "directory for CSV output (optional)")
 		workers = flag.Int("workers", 1, "optimizer worker goroutines per run (default 1 keeps the figure experiments paper-faithful sequential; -fig parallel defaults its parallel arm to NumCPU)")
-		tables  = flag.String("tables", "", "comma-separated query sizes for -fig parallel (default 10,12,14) and -fig hotpath (default 6,8,10; the exact arm caps at 8 tables)")
+		tables  = flag.String("tables", "", "comma-separated query sizes for -fig parallel (default 10,12,14), -fig hotpath (default 6,8,10; the exact arm caps at 8 tables), and -fig topology (overrides the chain/cycle/star/tree arms, max 26 — the exhaustive arm scans 2^n subsets; cliques keep their 8,10 defaults)")
 	)
 	flag.Parse()
 
@@ -93,6 +94,9 @@ func main() {
 	}
 	if *fig == "server" || *fig == "all" {
 		serverLoad(cfg, *outDir)
+	}
+	if *fig == "topology" || *fig == "all" {
+		topology(cfg, *tables, *outDir)
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
@@ -237,6 +241,66 @@ func serverLoad(cfg bench.Config, outDir string) {
 		fatalf("server: %v", err)
 	}
 	path := "BENCH_server.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// topology measures the enumeration strategies against each other across
+// join-graph topologies (tables x topology x strategy: scanned sets and
+// splits, candidates, wall time) and always emits BENCH_topology.json
+// (into -out when set, the working directory otherwise) for the CI
+// pipeline to archive. A -tables override applies to the sparse arms
+// (chain, cycle, star, random tree); cliques — where every subset is
+// connected and the graph-aware strategy can only match the scan — keep
+// their default sizes. The -timeout flag is deliberately not plumbed in:
+// its 2s default (tuned for the paper figures) would truncate the
+// largest exhaustive arms into degraded lower bounds, so the experiment
+// keeps TopologySpec's own 60s per-run ceiling, like hotpath.
+func topology(cfg bench.Config, tables, outDir string) {
+	header("Enumeration topology scaling: exhaustive subset scan vs graph-aware csg-cmp")
+	spec := bench.TopologySpec{Seed: cfg.Seed, Workers: cfg.EngineWorkers}
+	if sizes := splitArg(tables); len(sizes) > 0 {
+		var ns []int
+		for _, part := range sizes {
+			n, err := strconv.Atoi(part)
+			if err != nil {
+				fatalf("bad -tables entry %q: %v", part, err)
+			}
+			if n > 26 {
+				// The experiment always runs the exhaustive arm, whose level
+				// materialization alone Gosper-scans 2^n subsets with no
+				// timeout coverage — beyond ~26 tables that arm would run
+				// for hours regardless of -timeout.
+				fatalf("-tables entry %d exceeds 26: the exhaustive comparison arm scans 2^n subsets", n)
+			}
+			ns = append(ns, n)
+		}
+		spec.Arms = []bench.TopologyArm{
+			{Shape: synthetic.Chain, Tables: ns},
+			{Shape: synthetic.Cycle, Tables: ns},
+			{Shape: synthetic.Star, Tables: ns},
+			{Shape: synthetic.RandomTree, Tables: ns},
+			{Shape: synthetic.Clique, Tables: []int{8, 10}},
+		}
+	}
+	pts, err := bench.TopologyScaling(spec)
+	if err != nil {
+		fatalf("topology: %v", err)
+	}
+	fmt.Println("synthetic queries, two objectives, RTA alpha=3, Workers=1; both arms construct")
+	fmt.Println("identical candidates — reductions and speedups are pure enumeration overhead:")
+	fmt.Print(bench.RenderTopology(pts))
+
+	raw, err := bench.TopologyJSON(pts)
+	if err != nil {
+		fatalf("topology: %v", err)
+	}
+	path := "BENCH_topology.json"
 	if outDir != "" {
 		path = filepath.Join(outDir, path)
 	}

@@ -7,6 +7,7 @@
 //
 //	moqod [-addr :8080] [-cache 1024] [-cache-shards 16]
 //	      [-default-timeout 30s] [-max-timeout 2m] [-workers N]
+//	      [-enum auto|graph|exhaustive]
 //
 // Endpoints:
 //
@@ -40,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"moqo"
 	"moqo/internal/server"
 )
 
@@ -51,15 +53,21 @@ func main() {
 		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "optimization timeout for requests without timeout_ms")
 		maxTimeout     = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on per-request timeouts")
 		workers        = flag.Int("workers", runtime.NumCPU(), "default optimizer worker goroutines per request")
+		enum           = flag.String("enum", "auto", "default search-space enumeration strategy for requests without one: auto, graph, exhaustive")
 	)
 	flag.Parse()
 
+	defaultEnum, err := moqo.ParseEnumerationStrategy(*enum)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	svc := server.New(server.Options{
-		CacheCapacity:  *cacheCap,
-		CacheShards:    *cacheShards,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultWorkers: *workers,
+		CacheCapacity:      *cacheCap,
+		CacheShards:        *cacheShards,
+		DefaultTimeout:     *defaultTimeout,
+		MaxTimeout:         *maxTimeout,
+		DefaultWorkers:     *workers,
+		DefaultEnumeration: defaultEnum,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -28,6 +28,13 @@ import (
 //   - Timeout: a timeout changes the result only by degrading it, and
 //     degraded results must never be cached (the moqod cache skips them),
 //     so every cached result is a full result, valid under any timeout.
+//   - Enumeration: the graph-aware and exhaustive strategies emit
+//     candidates in the same canonical order (the csg-cmp loop sorts its
+//     splits into the subset scan's order), so plans, frontiers and
+//     statistics other than enumeration-work counters are identical for
+//     every strategy — a request answered under one strategy is a valid
+//     answer under any other. internal/core's differential tests pin
+//     this equivalence.
 //
 // The key is an explicit, readable string rather than a hash: distinct
 // requests — e.g. differing in a single weight or bound — always map to
@@ -35,6 +42,12 @@ import (
 func (req Request) CacheKey() (string, error) {
 	objs, w, b, alg, alpha, err := req.resolve()
 	if err != nil {
+		return "", err
+	}
+	// Excluded from the key (see above), but still validated: the key
+	// doubles as the request validator in the moqod service, and an
+	// unknown strategy could never produce a result.
+	if _, err := req.Enumeration.coreStrategy(); err != nil {
 		return "", err
 	}
 

@@ -178,3 +178,23 @@ func TestCacheKeyQueryShape(t *testing.T) {
 		keys[k] = true
 	}
 }
+
+// TestCacheKeyIgnoresEnumeration: the enumeration strategy is excluded
+// from the key like Workers — results are identical for every strategy
+// (the engine emits candidates in the same canonical order), so a cached
+// answer computed under one strategy serves requests under any other.
+// Invalid strategies must still be rejected, since the key doubles as
+// the request validator in the moqod service.
+func TestCacheKeyIgnoresEnumeration(t *testing.T) {
+	base := key(t, tpchRequest(t, nil))
+	for _, e := range []moqo.EnumerationStrategy{moqo.EnumAuto, moqo.EnumGraph, moqo.EnumExhaustive} {
+		got := key(t, tpchRequest(t, func(r *moqo.Request) { r.Enumeration = e }))
+		if got != base {
+			t.Errorf("enumeration %v changed the key:\n%s\n%s", e, got, base)
+		}
+	}
+	_, err := tpchRequest(t, func(r *moqo.Request) { r.Enumeration = moqo.EnumerationStrategy(99) }).CacheKey()
+	if err == nil {
+		t.Error("invalid enumeration strategy accepted by CacheKey")
+	}
+}

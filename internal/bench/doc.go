@@ -33,4 +33,10 @@
 //	ServerLoad       — closed-loop throughput and p50/p99 latency of the
 //	                   moqod service at varying concurrency and cache-hit
 //	                   ratios (BENCH_server.json).
+//	TopologyScaling  — enumeration work (scanned sets, split visits) and
+//	                   wall time of the exhaustive vs the graph-aware
+//	                   csg-cmp strategy across join-graph topologies and
+//	                   query sizes (BENCH_topology.json).
+//	Hotpath          — allocation-free flat engine vs the preserved
+//	                   pre-refactor reference (BENCH_hotpath.json).
 package bench

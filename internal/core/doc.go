@@ -26,7 +26,15 @@
 //
 //   - an enumerator (enumerator.go): level-by-level table-set
 //     materialization with dense integer ids, pre-warming the cost
-//     model's cardinality and width memos on one goroutine;
+//     model's cardinality and width memos on one goroutine. Under
+//     Options.Enumeration's graph-aware strategy (the default for
+//     connected join graphs) the levels are built by connected-subgraph
+//     traversal (query.EachConnectedSubset) and the candidate loops
+//     visit only predicate-connected csg-cmp splits, so sparse
+//     topologies pay polynomial enumeration work instead of the
+//     exhaustive Gosper scan's 2^n; the graph-aware loop emits its
+//     splits in the scan's canonical order, making results bit-for-bit
+//     identical across strategies (the differential tests pin this);
 //   - a slice-backed memo table of flat Pareto archives
 //     (pareto.FlatArchive) indexed by those ids — the candidate loops
 //     never hash;

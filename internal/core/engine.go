@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"math"
+	"slices"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -111,7 +113,7 @@ func newEngine(ctx context.Context, m *costmodel.Model, opts Options, alphaInter
 		ctx:           ctx,
 		ctxDone:       ctx.Done(),
 	}
-	e.enum = enumerate(e.q)
+	e.enum = enumerate(e.q, opts.Enumeration)
 	e.memo = newMemoTable(e.enum)
 	e.viewMemo = func(s query.TableSet) splitView {
 		return splitView{arch: e.memo.lookup(s), only: -1}
@@ -328,9 +330,15 @@ func (w *worker) fullSet(id int32, s query.TableSet) {
 // weighted cost — so that optimization finishes quickly. To keep the
 // degraded mode cheap even when the pre-timeout archives are large, each
 // split only combines the weighted-best plan of either side rather than
-// every stored pair: the per-worker reduced scratch map narrows every
-// subset's archive to its single weighted-best entry. Degraded sets do
-// not update the "last table set treated completely" metric.
+// every stored pair: the per-worker reduced scratch map narrows a
+// subset's archive to its single weighted-best entry the first time a
+// split touches it (-1 when the subset has nothing stored). Narrowing
+// lazily keeps the degraded mode proportional to the splits the strategy
+// actually enumerates — under the graph-aware strategy that is far fewer
+// than the 2^|s| subsets an eager pre-pass would have to scan, which
+// matters precisely here: the timeout path must finish fast on the large
+// queries that triggered it. Degraded sets do not update the "last table
+// set treated completely" metric.
 func (w *worker) degradedSet(id int32, s query.TableSet) {
 	e := w.e
 	scalar := func(v objective.Vector) float64 { return e.weights.Cost(v) }
@@ -339,28 +347,28 @@ func (w *worker) degradedSet(id int32, s query.TableSet) {
 	} else {
 		clear(w.reduced)
 	}
-	s.EachSubset(func(sub, _ query.TableSet) bool {
-		if _, done := w.reduced[sub]; done {
-			return true
-		}
-		full := e.memo.lookup(sub)
-		if full == nil || full.Len() == 0 {
-			return true
-		}
-		w.reduced[sub] = full.BestBy(scalar)
-		return true
-	})
 	lookup := func(t query.TableSet) splitView {
 		idx, ok := w.reduced[t]
 		if !ok {
+			idx = -1
+			if full := e.memo.lookup(t); full != nil && full.Len() > 0 {
+				idx = full.BestBy(scalar)
+			}
+			w.reduced[t] = idx
+		}
+		if idx < 0 {
 			return splitView{}
 		}
 		return splitView{arch: e.memo.lookup(t), only: idx}
 	}
 	t := newBestTracker()
+	// The degraded scan still visits every split of s (2^|s| under the
+	// exhaustive strategy), so let a cancellation escape mid-set — there
+	// is no caller left to serve. A plain timeout keeps going: degraded
+	// mode exists to still produce a plan.
 	w.forEachCandidateFrom(s, lookup, func(cost objective.Vector, ent plan.Entry) bool {
 		t.offer(cost, ent, scalar(cost))
-		return true
+		return !w.interrupted()
 	})
 	e.memo.archives[id] = t.archive(e)
 }
@@ -431,11 +439,20 @@ func (w *worker) forEachCandidate(s query.TableSet, fn candidateFn) bool {
 // forEachCandidateFrom is forEachCandidate over an explicit sub-plan view
 // (the degraded mode passes a reduced one-plan-per-subset view; the full
 // mode passes the slice-backed memo, so no split lookup ever hashes).
+// Under the graph-aware strategy the split loop is the csg-cmp
+// enumeration of forEachCandidateGraph; otherwise it is the exhaustive
+// scan over all 2^|s| - 2 ordered subsets. Both visit the same candidate
+// set whenever both apply — only the visiting order (and the scanning
+// work, Stats.EnumSplits) differs.
 func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
+	if w.e.enum.graphAware {
+		return w.forEachCandidateGraph(s, lookup, fn)
+	}
 	e := w.e
 	hasEdgeSplit := false
 	abort := false
 	s.EachSubset(func(left, right query.TableSet) bool {
+		w.splits++
 		if e.opts.LeftDeepOnly && !right.Single() {
 			return true
 		}
@@ -460,6 +477,7 @@ func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableS
 	}
 	// Cartesian fallback: no predicate-connected split exists.
 	s.EachSubset(func(left, right query.TableSet) bool {
+		w.splits++
 		if e.opts.LeftDeepOnly && !right.Single() {
 			return true
 		}
@@ -483,6 +501,62 @@ func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableS
 		return !abort
 	})
 	return !abort
+}
+
+// splitPair is one ordered csg-cmp split buffered by the graph-aware
+// candidate loop before emission.
+type splitPair struct {
+	left, right query.TableSet
+}
+
+// forEachCandidateGraph is the graph-aware candidate loop — the fused
+// form of query.EachConnectedSplit (keep the two in sync; see its
+// comment): instead of scanning every 2-split of s, it enumerates the
+// connected subsets of s minus its anchor relation
+// (query.EachConnectedSubset) and keeps a split only when the anchored
+// complement is stored — which, with the graph-aware enumeration
+// materializing connected sets exclusively, is the csg-cmp condition
+// "both halves connected" as one slice lookup, no per-split BFS. s itself is connected (only connected sets are
+// materialized), so every such split carries a crossing join edge: the
+// ConnectedTo test and the Cartesian fallback of the exhaustive loop
+// cannot apply and are dropped.
+//
+// The surviving ordered pairs (each unordered split in both operand
+// orders, like the exhaustive scan) are buffered in per-worker scratch
+// and emitted in descending left-operand order — exactly the order in
+// which TableSet.EachSubset would have visited them. Candidate order is
+// therefore identical to the exhaustive strategy's, which makes every
+// archive (including approximately pruned ones, whose contents depend
+// on insertion order) bit-for-bit identical across strategies: the
+// enumeration knob changes how fast the answer is found, never the
+// answer. The differential tests pin this equivalence.
+func (w *worker) forEachCandidateGraph(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
+	e := w.e
+	anchor := query.Singleton(s.First())
+	w.pairs = w.pairs[:0]
+	e.q.EachConnectedSubset(s.Minus(anchor), func(rest query.TableSet) bool {
+		w.splits += 2
+		sub := s.Minus(rest)
+		if !lookup(sub).stored() || !lookup(rest).stored() {
+			// sub is disconnected (never enumerated, memo id -1) or a half
+			// was skipped after a cancellation; nothing to combine.
+			return true
+		}
+		w.pairs = append(w.pairs, splitPair{sub, rest}, splitPair{rest, sub})
+		return true
+	})
+	slices.SortFunc(w.pairs, func(a, b splitPair) int {
+		return cmp.Compare(b.left, a.left) // EachSubset order: left descending
+	})
+	for _, p := range w.pairs {
+		if e.opts.LeftDeepOnly && !p.right.Single() {
+			continue
+		}
+		if !w.edgeSplit(lookup(p.left), lookup(p.right), p.left, p.right, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // edgeSplit enumerates the candidates of one predicate-connected split.
@@ -531,11 +605,13 @@ func (e *engine) stats(start time.Time) Stats {
 		}
 	}
 	considered := 0
+	splits := 0
 	maxDoneID := int32(-1)
 	paretoLast := 0
 	for i := range e.workers {
 		w := &e.workers[i]
 		considered += w.considered
+		splits += w.splits
 		if w.maxDoneID > maxDoneID {
 			maxDoneID = w.maxDoneID
 			paretoLast = w.maxDoneLen
@@ -547,6 +623,8 @@ func (e *engine) stats(start time.Time) Stats {
 		Stored:      stored,
 		MemoryBytes: int64(stored) * storedPlanBytes,
 		ParetoLast:  paretoLast,
+		EnumSets:    e.enum.scanned,
+		EnumSplits:  splits,
 		TimedOut:    e.timedOut.Load(),
 		Iterations:  1,
 	}

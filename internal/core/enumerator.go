@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"moqo/internal/objective"
 	"moqo/internal/pareto"
 	"moqo/internal/plan"
@@ -24,6 +26,13 @@ type enumeration struct {
 	n      int
 	levels [][]query.TableSet // levels[k]: sets of cardinality k (k in 1..n)
 	total  int                // number of enumerated sets
+	// scanned counts the table sets visited to build the levels: 2^n - 1
+	// under the exhaustive Gosper scan, exactly `total` under the
+	// graph-aware traversal (Stats.EnumSets).
+	scanned int
+	// graphAware records which strategy the run resolved to; it also
+	// selects the engine's split enumeration (csg-cmp vs all subsets).
+	graphAware bool
 }
 
 // enumerate builds the enumeration for a query. With a connected join
@@ -33,21 +42,50 @@ type enumeration struct {
 // disconnected graph every non-empty subset is treated, since Cartesian
 // products are then unavoidable.
 //
+// How the connected sets are found depends on the strategy. The
+// graph-aware strategy (EnumGraph, and EnumAuto on a connected graph)
+// walks the join graph via query.EachConnectedSubset and touches only
+// the sets it materializes — for an n-table chain that is n(n+1)/2 sets
+// instead of the 2^n - 1 subsets the exhaustive Gosper scan visits and
+// connectivity-checks one by one. Each level is then sorted ascending,
+// which is exactly Gosper order, so the two strategies produce
+// identical levels, identical dense ids, and identical per-set
+// treatment order whenever both apply.
+//
 // As a side effect, every enumerated set's cardinality and width
 // estimates are computed here, on one goroutine. query.EstimateRows and
 // query.EstimateWidth memoize into plain maps, so this warm-up is what
 // makes the cost model safe to call from concurrent workers: during the
 // parallel phases the memos are only ever read.
-func enumerate(q *query.Query) *enumeration {
+func enumerate(q *query.Query, strategy EnumerationStrategy) *enumeration {
 	n := q.NumRelations()
 	all := q.AllTables()
 	connectedOnly := q.Connected(all)
 	e := &enumeration{all: all, n: n, levels: make([][]query.TableSet, n+1)}
 
+	if strategy != EnumExhaustive && connectedOnly {
+		e.graphAware = true
+		q.EachConnectedSubset(all, func(s query.TableSet) bool {
+			e.scanned++
+			k := s.Len()
+			e.levels[k] = append(e.levels[k], s)
+			q.EstimateRows(s)
+			q.EstimateWidth(s)
+			return true
+		})
+		for k := 1; k <= n; k++ {
+			sets := e.levels[k]
+			sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+			e.total += len(sets)
+		}
+		return e
+	}
+
 	for k := 1; k <= n; k++ {
 		var sets []query.TableSet
 		first := query.TableSet(1)<<uint(k) - 1
 		for s := first; s < query.TableSet(1)<<uint(n); s = nextSameCard(s) {
+			e.scanned++
 			if !connectedOnly || q.Connected(s) {
 				sets = append(sets, s)
 				q.EstimateRows(s)

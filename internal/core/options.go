@@ -8,6 +8,46 @@ import (
 	"moqo/internal/plan"
 )
 
+// EnumerationStrategy selects how the engine materializes and splits
+// the join search space.
+type EnumerationStrategy int
+
+// Available enumeration strategies. The zero value is EnumAuto, so an
+// Options that does not mention enumeration gets the graph-aware
+// strategy exactly when the join graph supports it.
+const (
+	// EnumAuto (the zero value) resolves to EnumGraph for connected join
+	// graphs and to EnumExhaustive otherwise.
+	EnumAuto EnumerationStrategy = iota
+	// EnumGraph enumerates connected subgraphs and predicate-connected
+	// csg-cmp splits by neighborhood expansion over the join graph
+	// (query.EachConnectedSubset): levels materialize only connected
+	// table sets and the candidate loop visits only splits whose halves
+	// are both connected, so chains, cycles, stars and trees pay
+	// polynomial enumeration work instead of 2^n. Falls back to
+	// EnumExhaustive when the join graph is disconnected (Cartesian
+	// products are then unavoidable and every subset must be treated).
+	EnumGraph
+	// EnumExhaustive Gosper-scans all 2^n subsets when materializing
+	// levels and tries every 2-split of every set, filtering by
+	// connectivity afterwards — the pre-graph-aware behavior, kept as
+	// the differential-testing baseline and for disconnected graphs.
+	EnumExhaustive
+)
+
+func (s EnumerationStrategy) String() string {
+	switch s {
+	case EnumAuto:
+		return "auto"
+	case EnumGraph:
+		return "graph"
+	case EnumExhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("enumeration(%d)", int(s))
+	}
+}
+
 // Options configures an optimization run.
 type Options struct {
 	// Objectives is the set of active cost objectives (required).
@@ -48,6 +88,18 @@ type Options struct {
 	// value (modulo timeout timing). 0 defaults to 1 (sequential); pass
 	// runtime.NumCPU() to use the whole machine.
 	Workers int
+
+	// Enumeration selects the search-space enumeration strategy. The
+	// zero value (EnumAuto) uses the graph-aware csg-cmp enumeration
+	// whenever the join graph is connected; EnumExhaustive forces the
+	// subset-scanning baseline. Results are bit-for-bit identical under
+	// every strategy — the graph-aware loop emits its splits in the
+	// subset scan's canonical order, so even approximately pruned
+	// (alpha > 1) archives keep the same representatives (the
+	// differential tests pin this, and the plan cache relies on it to
+	// ignore the knob). Only the enumeration work differs
+	// (Stats.EnumSets, Stats.EnumSplits).
+	Enumeration EnumerationStrategy
 }
 
 // Normalize validates the options and fills in defaults.
@@ -76,6 +128,9 @@ func (o Options) Normalize() (Options, error) {
 	}
 	if o.Workers < 1 {
 		return o, fmt.Errorf("core: Workers %d out of range (must be >= 1, or 0 for the default)", o.Workers)
+	}
+	if o.Enumeration < EnumAuto || o.Enumeration > EnumExhaustive {
+		return o, fmt.Errorf("core: unknown enumeration strategy %v", o.Enumeration)
 	}
 	return o, nil
 }
@@ -109,6 +164,18 @@ type Stats struct {
 	// treated completely (the full query's set when no timeout fired) —
 	// the "number of Pareto plans" metric of Figures 5 and 9.
 	ParetoLast int
+	// EnumSets counts the table sets scanned while materializing the
+	// search space: 2^n - 1 for the exhaustive Gosper scan, exactly the
+	// number of connected sets for the graph-aware strategy.
+	EnumSets int
+	// EnumSplits counts the ordered split pairs visited by the candidate
+	// loops, including pairs discarded before any candidate plan was
+	// costed (disconnected or unstored halves). This is the work metric
+	// the enumeration strategy changes: Considered — candidates actually
+	// constructed — is strategy-invariant for exact runs, while the
+	// exhaustive scan visits 2^|s| - 2 split pairs per table set against
+	// the graph-aware strategy's connected splits only.
+	EnumSplits int
 	// TimedOut reports whether the run hit its timeout and degraded.
 	TimedOut bool
 	// Iterations counts IRA iterations (1 for non-iterative algorithms).
@@ -137,6 +204,8 @@ type IterationInfo struct {
 func (s *Stats) merge(it Stats) {
 	s.Duration += it.Duration
 	s.Considered += it.Considered
+	s.EnumSets += it.EnumSets
+	s.EnumSplits += it.EnumSplits
 	// Memory is reported for the last iteration only: earlier iterations'
 	// memory is reused (paper Section 8: "the reported numbers for memory
 	// consumption refer to the memory reserved in the last iteration").

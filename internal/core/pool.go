@@ -19,7 +19,12 @@ import (
 type worker struct {
 	e          *engine
 	considered int
-	checkTick  int
+	// splits counts the ordered split pairs this worker's candidate
+	// loops visited, including pairs filtered out before costing
+	// (Stats.EnumSplits) — the scanning work the enumeration strategy
+	// changes.
+	splits    int
+	checkTick int
 	// maxDoneID/maxDoneLen track the last (largest-id) set this worker
 	// treated completely, feeding the "Pareto plans of the last table set
 	// treated completely" metric. Ids are handed out in ascending order,
@@ -30,6 +35,11 @@ type worker struct {
 	// entry index of every stored subset, rebuilt (capacity reused) for
 	// each degraded table set instead of allocating a fresh map.
 	reduced map[query.TableSet]int32
+	// pairs is the graph-aware candidate loop's per-worker scratch: the
+	// valid ordered splits of the current table set, buffered so they can
+	// be emitted in the exhaustive scan's canonical order (capacity
+	// reused across sets).
+	pairs []splitPair
 }
 
 // observe polls the run's stop signals (amortized by the caller): the

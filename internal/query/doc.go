@@ -10,6 +10,23 @@
 // connectivity of the join graph, and the Cartesian-product fallback test
 // all operate on these bitsets.
 //
+// Two families of search-space enumeration are provided on top of them:
+//
+//   - TableSet.EachSubset — the exhaustive 2-split iteration over all
+//     2^|s| - 2 subsets of a set, used by the engine's exhaustive
+//     strategy and by the Cartesian fallback for disconnected graphs;
+//   - the join-graph traversal primitives (traverse.go):
+//     Query.EachConnectedSubset enumerates every connected subgraph of a
+//     region exactly once by BFS-ordered neighborhood expansion
+//     (Moerkotte & Neumann's EnumerateCsg) — the engine's graph-aware
+//     strategy builds both its level materialization and its candidate
+//     loop on it — and Query.EachConnectedSplit derives from it the
+//     csg-cmp splits (partitions into two connected halves), serving as
+//     the specification form of the split enumeration the engine
+//     inlines. On sparse topologies (chains, cycles, stars, trees)
+//     these touch polynomially many sets where the subset scan
+//     touches 2^n.
+//
 // The package also provides the cardinality estimator used by the cost
 // model: textbook selectivity-based estimation over table-set bitsets,
 // with memoization so every table set is estimated exactly once per query.

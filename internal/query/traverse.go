@@ -1,0 +1,108 @@
+package query
+
+import "math/bits"
+
+// This file provides the join-graph traversal primitives behind the
+// optimizer's graph-aware enumeration strategy: connected-subgraph
+// (csg) enumeration by BFS-ordered neighborhood expansion, following
+// Moerkotte & Neumann's EnumerateCsg, and the derived connected-split
+// (csg-cmp) enumeration the dynamic program uses instead of scanning
+// all 2^|s| subsets of a table set.
+//
+// The primitives operate on the same TableSet/Neighbors bitset
+// machinery as the rest of the package: a recursion step is a handful
+// of word operations (neighborhood, intersection, subset iteration via
+// (sub-1)&n), and no per-emission allocation happens — the enumeration
+// cost is proportional to the sets actually emitted, not to 2^n.
+
+// EachConnectedSubset calls fn for every non-empty subset of universe
+// that induces a connected subgraph of the join graph, each exactly
+// once, until fn returns false. Join edges with an endpoint outside
+// universe are ignored, so the traversal can be restricted to any
+// region of the query (the split enumeration passes s minus its anchor
+// relation). Subsets are generated from their minimum relation outward:
+// start vertices are visited in descending index order and each start v
+// expands only toward relations above v, which is what makes every
+// connected subset appear exactly once.
+//
+// For a universe whose induced subgraph is disconnected, the traversal
+// simply enumerates the connected subsets of each component; no subset
+// spanning two components is ever produced.
+func (q *Query) EachConnectedSubset(universe TableSet, fn func(TableSet) bool) {
+	for u := universe; !u.Empty(); {
+		v := bits.Len64(uint64(u)) - 1 // highest remaining start vertex
+		start := Singleton(v)
+		u = u.Minus(start)
+		if !fn(start) {
+			return
+		}
+		// Prohibit the start and everything below it: subsets with a
+		// smaller minimum are generated from that smaller start instead.
+		if !q.csgRec(universe, start, start|(start-1), fn) {
+			return
+		}
+	}
+}
+
+// csgRec emits every connected subset of universe that extends s with
+// relations outside the prohibited set x (EnumerateCsgRec): the
+// neighborhood of s is the BFS frontier, every non-empty sub-frontier
+// yields one emission, and recursion prohibits the whole frontier so no
+// extension is reachable along two different frontiers.
+func (q *Query) csgRec(universe, s, x TableSet, fn func(TableSet) bool) bool {
+	n := q.Neighbors(s).Intersect(universe).Minus(x)
+	if n.Empty() {
+		return true
+	}
+	for sub := n; !sub.Empty(); sub = (sub - 1) & n {
+		if !fn(s.Union(sub)) {
+			return false
+		}
+	}
+	for sub := n; !sub.Empty(); sub = (sub - 1) & n {
+		if !q.csgRec(universe, s.Union(sub), x.Union(n), fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// EachConnectedSplit calls fn for every split of s into two non-empty
+// halves (sub, rest) that each induce a connected subgraph, until fn
+// returns false. Like TableSet.EachSubset it visits each unordered
+// split twice — as (sub, rest) and (rest, sub) — because join operators
+// are asymmetric. When s itself is connected, every emitted split is
+// predicate-connected (some join edge crosses it), so the enumeration
+// yields exactly the csg-cmp pairs the dynamic program combines; a
+// disconnected s additionally admits splits along component boundaries,
+// which are Cartesian.
+//
+// The implementation anchors at s's minimum relation: the half not
+// containing the anchor is enumerated with EachConnectedSubset over
+// s minus the anchor, and the anchored complement is kept only when it
+// is itself connected. Compared to the 2^|s|-2 ordered subsets the
+// exhaustive scan visits, the work is proportional to the connected
+// subsets avoiding the anchor — linear per split for stars anchored at
+// their hub, quadratic in |s| for chains and cycles.
+//
+// This function is the specification form of the csg-cmp split
+// enumeration: the engine's candidate loop (internal/core,
+// forEachCandidateGraph) inlines the same anchored traversal but
+// replaces the Connected BFS on the complement with a memo-id lookup
+// ("connected" and "materialized" coincide there) and re-orders the
+// emissions canonically. Changes to the anchoring or degenerate-set
+// handling here must be mirrored there; the differential tests in both
+// packages pin the two against the brute-force subset scan.
+func (q *Query) EachConnectedSplit(s TableSet, fn func(sub, rest TableSet) bool) {
+	if s.Empty() || s.Single() {
+		return
+	}
+	anchor := Singleton(s.First())
+	q.EachConnectedSubset(s.Minus(anchor), func(rest TableSet) bool {
+		sub := s.Minus(rest)
+		if !q.Connected(sub) {
+			return true
+		}
+		return fn(sub, rest) && fn(rest, sub)
+	})
+}

@@ -1,0 +1,270 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"moqo/internal/catalog"
+)
+
+// graphQuery builds an n-relation query with the given undirected join
+// edges, on a throwaway catalog.
+func graphQuery(t testing.TB, n int, edges [][2]int) *Query {
+	t.Helper()
+	cat := catalog.New()
+	q := New("graph", cat)
+	for i := 0; i < n; i++ {
+		name := "t" + string(rune('a'+i))
+		cat.AddTable(name, 1000, 32, "pk")
+		q.AddRelation(name, name, 1)
+	}
+	for _, e := range edges {
+		q.AddJoin(e[0], e[1], "pk", "pk", 0.01)
+	}
+	return q
+}
+
+// randomConnectedGraph draws a random spanning tree plus a few extra
+// edges, so the traversal is exercised on trees, near-trees and denser
+// graphs alike.
+func randomConnectedGraph(t testing.TB, r *rand.Rand, n int) *Query {
+	t.Helper()
+	seen := map[[2]int]bool{}
+	var edges [][2]int
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		edges = append(edges, [2]int{a, b})
+	}
+	for i := 1; i < n; i++ {
+		add(i, r.Intn(i))
+	}
+	for extra := r.Intn(n); extra > 0; extra-- {
+		add(r.Intn(n), r.Intn(n))
+	}
+	return graphQuery(t, n, edges)
+}
+
+// bruteConnectedSubsets scans all 2^n subsets of universe and keeps the
+// connected ones — the oracle the traversal must match.
+func bruteConnectedSubsets(q *Query, universe TableSet) map[TableSet]bool {
+	want := map[TableSet]bool{}
+	for bits := TableSet(1); bits < 1<<uint(len(q.Relations)); bits++ {
+		if bits.SubsetOf(universe) && q.Connected(bits) {
+			want[bits] = true
+		}
+	}
+	return want
+}
+
+func TestEachConnectedSubsetMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(9)
+		q := randomConnectedGraph(t, r, n)
+		universe := q.AllTables()
+		if trial%3 == 0 && n > 2 {
+			// Restricting the universe may disconnect it — the traversal
+			// must then enumerate per component without crossing the gap.
+			universe = universe.Minus(Singleton(r.Intn(n)))
+		}
+		want := bruteConnectedSubsets(q, universe)
+		got := map[TableSet]bool{}
+		q.EachConnectedSubset(universe, func(s TableSet) bool {
+			if got[s] {
+				t.Fatalf("trial %d: subset %v emitted twice", trial, s)
+			}
+			if !s.SubsetOf(universe) || !q.Connected(s) {
+				t.Fatalf("trial %d: emitted %v is not a connected subset of %v", trial, s, universe)
+			}
+			got[s] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d): enumerated %d connected subsets, brute force found %d",
+				trial, n, len(got), len(want))
+		}
+	}
+}
+
+// TestEachConnectedSubsetChainCount: a chain of n relations has exactly
+// n(n+1)/2 connected subsets (its contiguous subpaths) — the count that
+// makes the graph-aware enumeration polynomial where the subset scan is
+// exponential.
+func TestEachConnectedSubsetChainCount(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		var edges [][2]int
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{i - 1, i})
+		}
+		q := graphQuery(t, n, edges)
+		count := 0
+		q.EachConnectedSubset(q.AllTables(), func(TableSet) bool { count++; return true })
+		if want := n * (n + 1) / 2; count != want {
+			t.Errorf("chain n=%d: %d connected subsets, want %d", n, count, want)
+		}
+	}
+}
+
+func TestEachConnectedSubsetEarlyStop(t *testing.T) {
+	q := graphQuery(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	calls := 0
+	q.EachConnectedSubset(q.AllTables(), func(TableSet) bool {
+		calls++
+		return calls < 4
+	})
+	if calls != 4 {
+		t.Errorf("early stop after %d calls, want 4", calls)
+	}
+	q.EachConnectedSubset(TableSet(0), func(TableSet) bool {
+		t.Error("empty universe must enumerate nothing")
+		return true
+	})
+}
+
+// bruteConnectedSplits is the oracle for EachConnectedSplit: every
+// ordered split of s with two connected halves, via the exhaustive
+// subset scan.
+func bruteConnectedSplits(q *Query, s TableSet) map[TableSet]TableSet {
+	want := map[TableSet]TableSet{}
+	s.EachSubset(func(sub, rest TableSet) bool {
+		if q.Connected(sub) && q.Connected(rest) {
+			want[sub] = rest
+		}
+		return true
+	})
+	return want
+}
+
+func TestEachConnectedSplitMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(7)
+		q := randomConnectedGraph(t, r, n)
+		// Check the split enumeration on every connected subset, not just
+		// the full set: the dynamic program calls it per table set.
+		q.EachConnectedSubset(q.AllTables(), func(s TableSet) bool {
+			if s.Single() {
+				return true
+			}
+			want := bruteConnectedSplits(q, s)
+			got := map[TableSet]TableSet{}
+			q.EachConnectedSplit(s, func(sub, rest TableSet) bool {
+				if sub.Union(rest) != s || !sub.Disjoint(rest) || sub.Empty() || rest.Empty() {
+					t.Fatalf("split of %v is not a partition: %v | %v", s, sub, rest)
+				}
+				if _, dup := got[sub]; dup {
+					t.Fatalf("split side %v of %v visited twice", sub, s)
+				}
+				got[sub] = rest
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d, set %v: %d ordered splits, brute force found %d",
+					trial, s, len(got), len(want))
+			}
+			for sub := range want {
+				if _, ok := got[sub]; !ok {
+					t.Fatalf("trial %d, set %v: split %v missing", trial, s, sub)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestEachConnectedSplitFullCycle pins complement enumeration at the
+// full set of a cycle: both halves of every split are contiguous arcs,
+// and cutting a cycle needs two edge removals, so the full n-cycle has
+// exactly n(n-1) ordered splits.
+func TestEachConnectedSplitFullCycle(t *testing.T) {
+	n := 7
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{i - 1, i})
+	}
+	edges = append(edges, [2]int{n - 1, 0})
+	q := graphQuery(t, n, edges)
+	count := 0
+	q.EachConnectedSplit(q.AllTables(), func(sub, rest TableSet) bool {
+		count++
+		if !q.Connected(sub) || !q.Connected(rest) {
+			t.Fatalf("cycle split %v | %v has a disconnected half", sub, rest)
+		}
+		return true
+	})
+	if want := n * (n - 1); count != want {
+		t.Errorf("full %d-cycle: %d ordered splits, want %d", n, count, want)
+	}
+}
+
+// TestEachConnectedSplitBridge: a bridge edge between two triangles —
+// the split along the bridge must appear, with each component whole.
+func TestEachConnectedSplitBridge(t *testing.T) {
+	// Triangles {0,1,2} and {3,4,5} joined by the bridge 2-3.
+	q := graphQuery(t, 6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}})
+	left, right := NewTableSet(0, 1, 2), NewTableSet(3, 4, 5)
+	found := false
+	q.EachConnectedSplit(q.AllTables(), func(sub, rest TableSet) bool {
+		if sub == left && rest == right {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("bridge split not enumerated")
+	}
+}
+
+func TestEachConnectedSplitDegenerate(t *testing.T) {
+	q := graphQuery(t, 1, nil)
+	q.EachConnectedSplit(q.AllTables(), func(sub, rest TableSet) bool {
+		t.Error("single-relation query has no splits")
+		return true
+	})
+	q.EachConnectedSplit(TableSet(0), func(sub, rest TableSet) bool {
+		t.Error("empty set has no splits")
+		return true
+	})
+}
+
+// TestConnectedNeighborsEdgeCases pins the contracts the traversal
+// relies on: Connected on empty/singleton sets and Neighbors at the
+// boundaries (empty set, full set, universe complement).
+func TestConnectedNeighborsEdgeCases(t *testing.T) {
+	q := graphQuery(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if q.Connected(TableSet(0)) {
+		t.Error("empty set must not be connected")
+	}
+	if !q.Connected(Singleton(2)) {
+		t.Error("singleton must be connected")
+	}
+	if !q.Connected(q.AllTables()) {
+		t.Error("chain must be connected")
+	}
+	if q.Connected(NewTableSet(0, 2)) {
+		t.Error("non-adjacent pair must be disconnected")
+	}
+	if got := q.Neighbors(TableSet(0)); !got.Empty() {
+		t.Errorf("Neighbors of empty set = %v, want empty", got)
+	}
+	if got := q.Neighbors(q.AllTables()); !got.Empty() {
+		t.Errorf("Neighbors of the full set = %v, want empty (nothing outside)", got)
+	}
+	if got := q.Neighbors(NewTableSet(1, 2)); got != NewTableSet(0, 3) {
+		t.Errorf("Neighbors of the chain middle = %v, want {0,3}", got)
+	}
+
+	single := graphQuery(t, 1, nil)
+	if !single.Connected(single.AllTables()) {
+		t.Error("single-relation query must be connected")
+	}
+	if got := single.Neighbors(single.AllTables()); !got.Empty() {
+		t.Errorf("single-relation Neighbors = %v, want empty", got)
+	}
+}

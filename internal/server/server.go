@@ -53,6 +53,11 @@ type Options struct {
 	// runtime.NumCPU()). Per-request workers are clamped to at most
 	// runtime.NumCPU().
 	DefaultWorkers int
+	// DefaultEnumeration applies to requests without an enumeration
+	// field. The zero value (moqo.EnumAuto) picks the graph-aware
+	// strategy for connected join graphs — results are identical for
+	// every strategy, so this only tunes enumeration work.
+	DefaultEnumeration moqo.EnumerationStrategy
 }
 
 // withDefaults fills in the documented defaults.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -369,5 +370,40 @@ func TestMetricsLatency(t *testing.T) {
 	}
 	if time.Duration(m.UptimeMs*float64(time.Millisecond)) <= 0 {
 		t.Error("no uptime")
+	}
+}
+
+// TestOptimizeEnumerationKnob: the per-request enumeration field is
+// honored (and surfaces the enumeration-work counters in stats), and an
+// unknown strategy is a 400.
+func TestOptimizeEnumerationKnob(t *testing.T) {
+	ts := newTestServer(t, Options{CacheCapacity: -1})
+	body := `{"tpch": 3, "objectives": ["total_time"], "enumeration": "%s"}`
+
+	status, resp, _ := post(t, ts, fmt.Sprintf(body, "graph"))
+	if status != 200 {
+		t.Fatalf("graph enumeration: status %d", status)
+	}
+	if resp.Stats.EnumSets == 0 || resp.Stats.EnumSplits == 0 {
+		t.Errorf("enumeration counters missing from stats: sets=%d splits=%d",
+			resp.Stats.EnumSets, resp.Stats.EnumSplits)
+	}
+
+	status, exResp, _ := post(t, ts, fmt.Sprintf(body, "exhaustive"))
+	if status != 200 {
+		t.Fatalf("exhaustive enumeration: status %d", status)
+	}
+	if exResp.Stats.Considered != resp.Stats.Considered {
+		t.Errorf("strategies disagree on considered candidates: %d vs %d",
+			exResp.Stats.Considered, resp.Stats.Considered)
+	}
+	if exResp.Stats.EnumSets <= resp.Stats.EnumSets {
+		t.Errorf("exhaustive scanned %d sets, graph %d — expected a reduction",
+			exResp.Stats.EnumSets, resp.Stats.EnumSets)
+	}
+
+	status, _, errBody := post(t, ts, fmt.Sprintf(body, "bogus"))
+	if status != 400 || !strings.Contains(errBody, "enumeration") {
+		t.Errorf("bogus strategy: status %d, body %q", status, errBody)
 	}
 }

@@ -44,6 +44,12 @@ type OptimizeRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// MaxDOP caps operator parallelism in produced plans (default 4).
 	MaxDOP int `json:"max_dop,omitempty"`
+	// Enumeration selects the search-space enumeration strategy: auto
+	// (default — graph-aware for connected join graphs), graph, or
+	// exhaustive. Results are identical for any value; only enumeration
+	// work and wall-clock time change, so the plan cache ignores it.
+	// Empty uses the server default.
+	Enumeration string `json:"enumeration,omitempty"`
 
 	// NoCache bypasses the plan cache for this request (it neither reads
 	// nor populates it) — chiefly for measuring, or for forcing a fresh
@@ -131,8 +137,13 @@ type StatsResponse struct {
 	Stored      int     `json:"stored"`
 	MemoryBytes int64   `json:"memory_bytes"`
 	ParetoLast  int     `json:"pareto_last"`
-	TimedOut    bool    `json:"timed_out"`
-	Iterations  int     `json:"iterations"`
+	// EnumSets and EnumSplits report the enumeration work of the run
+	// (table sets scanned, ordered split pairs visited) — the metrics
+	// the enumeration strategy changes.
+	EnumSets   int  `json:"enum_sets"`
+	EnumSplits int  `json:"enum_splits"`
+	TimedOut   bool `json:"timed_out"`
+	Iterations int  `json:"iterations"`
 }
 
 // ErrorResponse is the JSON body of a non-2xx response.
@@ -361,6 +372,14 @@ func (s *Server) toMoqoRequest(wire *OptimizeRequest) (moqo.Request, error) {
 		}
 		req.Algorithm = alg
 	}
+	req.Enumeration = s.opts.DefaultEnumeration
+	if wire.Enumeration != "" {
+		enum, err := moqo.ParseEnumerationStrategy(wire.Enumeration)
+		if err != nil {
+			return req, err
+		}
+		req.Enumeration = enum
+	}
 	req.Alpha = wire.Alpha
 	req.MaxDOP = wire.MaxDOP
 
@@ -412,6 +431,8 @@ func toResponse(res *moqo.Result) (OptimizeResponse, error) {
 			Stored:      res.Stats.Stored,
 			MemoryBytes: res.Stats.MemoryBytes,
 			ParetoLast:  res.Stats.ParetoLast,
+			EnumSets:    res.Stats.EnumSets,
+			EnumSplits:  res.Stats.EnumSplits,
 			TimedOut:    res.Stats.TimedOut,
 			Iterations:  res.Stats.Iterations,
 		},

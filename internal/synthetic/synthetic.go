@@ -23,6 +23,11 @@ const (
 	Clique
 	// RandomTree joins along a random spanning tree.
 	RandomTree
+	// Cycle closes the chain R1-...-Rn-R1 (needs n >= 3; smaller n
+	// degenerate to the chain) — the smallest topology whose connected
+	// subgraphs are not subtrees, exercising the csg-cmp enumeration's
+	// complement handling at the full set.
+	Cycle
 )
 
 func (s Shape) String() string {
@@ -35,6 +40,8 @@ func (s Shape) String() string {
 		return "clique"
 	case RandomTree:
 		return "randomtree"
+	case Cycle:
+		return "cycle"
 	default:
 		return fmt.Sprintf("shape(%d)", int(s))
 	}
@@ -66,8 +73,19 @@ func Build(spec Spec) (*catalog.Catalog, *query.Query, error) {
 	if spec.Tables < 1 {
 		return nil, nil, fmt.Errorf("synthetic: need at least one table, got %d", spec.Tables)
 	}
-	if spec.Tables > 20 {
-		return nil, nil, fmt.Errorf("synthetic: %d tables is beyond any tractable plan space", spec.Tables)
+	// Chains and cycles have polynomially many connected subgraphs, so the
+	// graph-aware enumeration keeps them tractable well past the old cap
+	// of 20. Every other shape's dynamic program is exponential in n no
+	// matter how it is enumerated — a star has 2^(n-1) connected sets, a
+	// random tree can degenerate into one, a clique has them all — so
+	// those keep the original cap.
+	maxTables := 20
+	if spec.Shape == Chain || spec.Shape == Cycle {
+		maxTables = 40
+	}
+	if spec.Tables > maxTables {
+		return nil, nil, fmt.Errorf("synthetic: %d tables is beyond any tractable plan space for a %v (max %d)",
+			spec.Tables, spec.Shape, maxTables)
 	}
 	if spec.MaxRows <= 0 {
 		spec.MaxRows = 1e6
@@ -120,6 +138,13 @@ func Build(spec Spec) (*catalog.Catalog, *query.Query, error) {
 	case RandomTree:
 		for i := 1; i < spec.Tables; i++ {
 			addEdge(i, r.Intn(i)) // attach to a random earlier relation
+		}
+	case Cycle:
+		for i := 1; i < spec.Tables; i++ {
+			addEdge(i-1, i)
+		}
+		if spec.Tables >= 3 {
+			addEdge(spec.Tables-1, 0) // close the ring
 		}
 	default:
 		return nil, nil, fmt.Errorf("synthetic: unknown shape %v", spec.Shape)

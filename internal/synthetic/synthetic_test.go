@@ -8,7 +8,7 @@ import (
 )
 
 func TestShapes(t *testing.T) {
-	for _, shape := range []Shape{Chain, Star, Clique, RandomTree} {
+	for _, shape := range []Shape{Chain, Star, Clique, RandomTree, Cycle} {
 		for _, n := range []int{1, 2, 3, 5, 8} {
 			cat, q, err := Build(Spec{Shape: shape, Tables: n, MaxRows: 1e5, Seed: 7})
 			if err != nil {
@@ -26,6 +26,9 @@ func TestShapes(t *testing.T) {
 			wantEdges := n - 1
 			if shape == Clique {
 				wantEdges = n * (n - 1) / 2
+			}
+			if shape == Cycle && n >= 3 {
+				wantEdges = n // the closing edge
 			}
 			if len(q.Edges) != wantEdges {
 				t.Errorf("%v n=%d: %d edges, want %d", shape, n, len(q.Edges), wantEdges)
@@ -53,6 +56,47 @@ func TestStarTopology(t *testing.T) {
 	}
 	if !q.Connected(query.NewTableSet(0, 1, 2)) {
 		t.Error("center plus dimensions must be connected")
+	}
+}
+
+func TestCycleTopology(t *testing.T) {
+	_, q := MustBuild(Spec{Shape: Cycle, Tables: 5, Seed: 1})
+	// The ring connects the ends, so the "outside" of any arc is itself
+	// an arc — connected, unlike a chain's complement.
+	if !q.Connected(query.NewTableSet(4, 0)) {
+		t.Error("cycle ends must be adjacent")
+	}
+	if !q.Connected(query.NewTableSet(3, 4, 0, 1)) {
+		t.Error("arcs crossing the closing edge must be connected")
+	}
+	if q.Connected(query.NewTableSet(0, 2)) {
+		t.Error("non-adjacent cycle relations must be disconnected")
+	}
+	// Degenerate sizes fall back to the chain (no duplicate edge).
+	_, q2 := MustBuild(Spec{Shape: Cycle, Tables: 2, Seed: 1})
+	if len(q2.Edges) != 1 {
+		t.Errorf("2-table cycle has %d edges, want 1 (chain degeneration)", len(q2.Edges))
+	}
+}
+
+func TestLargeSparseShapesBuild(t *testing.T) {
+	// Sizes beyond the old cap of 20 must build for the shapes whose
+	// connected-subgraph count is polynomial (the ones the graph-aware
+	// enumeration unlocks), and must stay rejected for shapes whose plan
+	// space is exponential regardless of enumeration strategy.
+	for _, shape := range []Shape{Chain, Cycle} {
+		_, q, err := Build(Spec{Shape: shape, Tables: 24, MaxRows: 1e5, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v n=24: %v", shape, err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("%v n=24: %v", shape, err)
+		}
+	}
+	for _, shape := range []Shape{Star, RandomTree, Clique} {
+		if _, _, err := Build(Spec{Shape: shape, Tables: 24, MaxRows: 1e5, Seed: 2}); err == nil {
+			t.Errorf("%v n=24: accepted, want rejection (exponential set count)", shape)
+		}
 	}
 }
 
@@ -103,7 +147,7 @@ func TestDeterminism(t *testing.T) {
 func TestBuildErrors(t *testing.T) {
 	cases := []Spec{
 		{Shape: Chain, Tables: 0},
-		{Shape: Chain, Tables: 21},
+		{Shape: Chain, Tables: 41},
 		{Shape: Shape(99), Tables: 3},
 		{Shape: Chain, Tables: 3, MinRows: 100, MaxRows: 10},
 	}

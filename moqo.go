@@ -167,6 +167,73 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("moqo: unknown algorithm %q", s)
 }
 
+// EnumerationStrategy selects how the optimizer materializes and splits
+// the join search space. The strategy never changes the answer — the
+// engine emits candidates in the same canonical order under every
+// strategy, so plans, frontiers and candidate counts are identical (and
+// the plan cache ignores the knob, like Workers) — it changes how much
+// enumeration work finding the answer takes.
+type EnumerationStrategy int
+
+// Available enumeration strategies. The zero value is EnumAuto, so a
+// Request that does not mention enumeration gets the graph-aware
+// strategy exactly when the join graph supports it.
+const (
+	// EnumAuto (the zero value) picks EnumGraph for connected join
+	// graphs and EnumExhaustive otherwise.
+	EnumAuto EnumerationStrategy = iota
+	// EnumGraph walks the join graph: only connected table sets are
+	// materialized, and the candidate loop enumerates only
+	// predicate-connected csg-cmp splits. Chains, cycles, stars and
+	// trees pay polynomial enumeration work instead of 2^n, which is
+	// what makes 20+ table sparse queries practical. Falls back to
+	// EnumExhaustive when the join graph is disconnected.
+	EnumGraph
+	// EnumExhaustive scans all 2^n subsets and tries every 2-split,
+	// filtering by connectivity afterwards — the baseline the
+	// differential tests compare against, and the only possible
+	// strategy for disconnected join graphs.
+	EnumExhaustive
+)
+
+func (e EnumerationStrategy) String() string {
+	switch e {
+	case EnumAuto:
+		return "auto"
+	case EnumGraph:
+		return "graph"
+	case EnumExhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("enumeration(%d)", int(e))
+	}
+}
+
+// ParseEnumerationStrategy converts a strategy name (as produced by
+// String) back to its identifier.
+func ParseEnumerationStrategy(s string) (EnumerationStrategy, error) {
+	for _, e := range []EnumerationStrategy{EnumAuto, EnumGraph, EnumExhaustive} {
+		if e.String() == s {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("moqo: unknown enumeration strategy %q", s)
+}
+
+// coreStrategy maps the public knob onto the engine's.
+func (e EnumerationStrategy) coreStrategy() (core.EnumerationStrategy, error) {
+	switch e {
+	case EnumAuto:
+		return core.EnumAuto, nil
+	case EnumGraph:
+		return core.EnumGraph, nil
+	case EnumExhaustive:
+		return core.EnumExhaustive, nil
+	default:
+		return 0, fmt.Errorf("moqo: unknown enumeration strategy %v", e)
+	}
+}
+
 // Request describes one optimization problem.
 type Request struct {
 	// Query to optimize (required).
@@ -225,6 +292,15 @@ type Request struct {
 	// changes. 0 defaults to 1 (sequential); pass runtime.NumCPU() to
 	// use the whole machine.
 	Workers int
+
+	// Enumeration selects the search-space enumeration strategy. The
+	// zero value (EnumAuto) uses the graph-aware csg-cmp enumeration
+	// whenever the join graph is connected — polynomial enumeration work
+	// on chains, cycles, stars and trees instead of the exhaustive scan's
+	// 2^n — and the exhaustive scan otherwise. Results are identical
+	// under every strategy; only enumeration work (Stats.EnumSets,
+	// Stats.EnumSplits) and wall-clock time change.
+	Enumeration EnumerationStrategy
 
 	// AllowSampling overrides whether sampling scans are in the plan
 	// space (default: only when TupleLoss is an active objective).
@@ -366,6 +442,10 @@ func OptimizeContext(ctx context.Context, req Request) (*Result, error) {
 	if req.CostParams != nil {
 		params = *req.CostParams
 	}
+	enum, err := req.Enumeration.coreStrategy()
+	if err != nil {
+		return nil, err
+	}
 	m := costmodel.New(req.Query, params)
 	opts := core.Options{
 		Objectives:    objs,
@@ -374,6 +454,7 @@ func OptimizeContext(ctx context.Context, req Request) (*Result, error) {
 		MaxDOP:        req.MaxDOP,
 		AllowSampling: req.AllowSampling,
 		Workers:       req.Workers,
+		Enumeration:   enum,
 	}
 
 	var res core.Result
