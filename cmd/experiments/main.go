@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
@@ -97,6 +97,9 @@ func main() {
 	}
 	if *fig == "topology" || *fig == "all" {
 		topology(cfg, *tables, *outDir)
+	}
+	if *fig == "reuse" || *fig == "all" {
+		reuse(cfg, *tables, *outDir)
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
@@ -273,9 +276,10 @@ func topology(cfg bench.Config, tables, outDir string) {
 			}
 			if n > 26 {
 				// The experiment always runs the exhaustive arm, whose level
-				// materialization alone Gosper-scans 2^n subsets with no
-				// timeout coverage — beyond ~26 tables that arm would run
-				// for hours regardless of -timeout.
+				// materialization Gosper-scans 2^n subsets — beyond ~26
+				// tables the scan cannot finish within the 60s ceiling, so
+				// the arm would degrade to the chain fallback and measure
+				// that instead of the scan.
 				fatalf("-tables entry %d exceeds 26: the exhaustive comparison arm scans 2^n subsets", n)
 			}
 			ns = append(ns, n)
@@ -301,6 +305,54 @@ func topology(cfg bench.Config, tables, outDir string) {
 		fatalf("topology: %v", err)
 	}
 	path := "BENCH_topology.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// reuse measures the parametric frontier-reuse serving path — a weight
+// change answered from a cached FrontierSnapshot (SelectBest scan) vs a
+// cold full DP at the same weights, plus the snapshot serialization
+// round trip — and always emits BENCH_reuse.json (into -out when set,
+// the working directory otherwise) for the CI pipeline to archive. A
+// -tables override replaces the synthetic arms (chain + star per size);
+// the TPC-H arms always run.
+func reuse(cfg bench.Config, tables, outDir string) {
+	header("Frontier reuse: re-weight requests from a cached Pareto snapshot vs cold DP")
+	spec := bench.ReuseSpec{Seed: cfg.Seed, Workers: cfg.EngineWorkers}
+	if sizes := splitArg(tables); len(sizes) > 0 {
+		spec.Arms = []bench.ReuseArm{
+			{Name: "tpch-q3", TPCH: 3},
+			{Name: "tpch-q8", TPCH: 8},
+		}
+		for _, part := range sizes {
+			n, err := strconv.Atoi(part)
+			if err != nil {
+				fatalf("bad -tables entry %q: %v", part, err)
+			}
+			spec.Arms = append(spec.Arms,
+				bench.ReuseArm{Name: fmt.Sprintf("chain-%d", n), Shape: synthetic.Chain, Tables: n},
+				bench.ReuseArm{Name: fmt.Sprintf("star-%d", n), Shape: synthetic.Star, Tables: n},
+			)
+		}
+	}
+	pts, err := bench.ReuseScaling(spec)
+	if err != nil {
+		fatalf("reuse: %v", err)
+	}
+	fmt.Println("RTA alpha=1.5, three objectives; hits are served from a decoded (round-tripped)")
+	fmt.Println("snapshot and one sweep per workload is verified bit-for-bit against a cold run:")
+	fmt.Print(bench.RenderReuse(pts))
+
+	raw, err := bench.ReuseJSON(pts)
+	if err != nil {
+		fatalf("reuse: %v", err)
+	}
+	path := "BENCH_reuse.json"
 	if outDir != "" {
 		path = filepath.Join(outDir, path)
 	}

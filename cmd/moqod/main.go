@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	moqod [-addr :8080] [-cache 1024] [-cache-shards 16]
-//	      [-default-timeout 30s] [-max-timeout 2m] [-workers N]
-//	      [-enum auto|graph|exhaustive]
+//	moqod [-addr :8080] [-cache 1024] [-frontier-cache 512]
+//	      [-cache-shards 16] [-default-timeout 30s] [-max-timeout 2m]
+//	      [-workers N] [-enum auto|graph|exhaustive]
 //
 // Endpoints:
 //
@@ -48,7 +48,8 @@ import (
 func main() {
 	var (
 		addr           = flag.String("addr", ":8080", "listen address")
-		cacheCap       = flag.Int("cache", 1024, "plan cache capacity in entries (negative disables caching)")
+		cacheCap       = flag.Int("cache", 1024, "exact-result plan cache capacity in entries (negative disables caching entirely)")
+		frontierCap    = flag.Int("frontier-cache", 512, "frontier snapshot cache capacity in entries (negative disables the tier); weight/bound changes on a cached frontier are served without re-optimizing")
 		cacheShards    = flag.Int("cache-shards", 0, "plan cache shard count (0 = default)")
 		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "optimization timeout for requests without timeout_ms")
 		maxTimeout     = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on per-request timeouts")
@@ -62,12 +63,13 @@ func main() {
 		fatalf("%v", err)
 	}
 	svc := server.New(server.Options{
-		CacheCapacity:      *cacheCap,
-		CacheShards:        *cacheShards,
-		DefaultTimeout:     *defaultTimeout,
-		MaxTimeout:         *maxTimeout,
-		DefaultWorkers:     *workers,
-		DefaultEnumeration: defaultEnum,
+		CacheCapacity:         *cacheCap,
+		FrontierCacheCapacity: *frontierCap,
+		CacheShards:           *cacheShards,
+		DefaultTimeout:        *defaultTimeout,
+		MaxTimeout:            *maxTimeout,
+		DefaultWorkers:        *workers,
+		DefaultEnumeration:    defaultEnum,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

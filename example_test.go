@@ -41,6 +41,49 @@ func Example() {
 
 // ExampleOptimize_bounded demonstrates bounded-weighted optimization with
 // the IRA: the cheapest plan (by CPU) that keeps tuple loss at zero.
+// ExampleOptimizeSnapshot demonstrates parametric frontier reuse — the
+// paper's Figure 3 scenario, where a user iteratively re-weights the
+// same query: the first optimization extracts a weight-independent
+// FrontierSnapshot, and every re-weight is answered by a SelectBest scan
+// over it (Reoptimize), bit-for-bit equal to a cold optimization at the
+// new weights but orders of magnitude faster.
+func ExampleOptimizeSnapshot() {
+	cat := moqo.TPCHCatalog(1)
+	q, err := moqo.TPCHQuery(5, cat)
+	if err != nil {
+		panic(err)
+	}
+	base := moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.Energy: 0.1},
+	}
+	_, snap, err := moqo.OptimizeSnapshot(base)
+	if err != nil {
+		panic(err)
+	}
+
+	// The user shifts priorities toward energy: same frontier, new scan.
+	reweighted := base
+	reweighted.Weights = map[moqo.Objective]float64{moqo.TotalTime: 0.2, moqo.Energy: 5}
+	warm, _, err := moqo.Reoptimize(reweighted, snap)
+	if err != nil {
+		panic(err)
+	}
+	cold, err := moqo.Optimize(reweighted)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reused frontier: %v\n", warm.Stats.ReusedFrontier)
+	fmt.Printf("identical to cold run: %v\n", warm.PlanText() == cold.PlanText() &&
+		warm.Cost(moqo.Energy) == cold.Cost(moqo.Energy))
+	// Output:
+	// reused frontier: true
+	// identical to cold run: true
+}
+
 func ExampleOptimize_bounded() {
 	cat := moqo.TPCHCatalog(1)
 	q, err := moqo.TPCHQuery(14, cat)

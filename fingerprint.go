@@ -12,11 +12,39 @@ import (
 	"moqo/internal/plan"
 )
 
+// FrontierKey returns the weight- and bound-free prefix of CacheKey: a
+// canonical fingerprint of everything that determines the request's
+// (α-approximate) Pareto *frontier* — the catalog version, the query join
+// graph, the resolved algorithm, alpha, the objectives, per-objective
+// precisions, MaxDOP, the sampling decision, and the cost-model
+// calibration — but not the user's weights and bounds, which the
+// frontier is independent of (the paper's §3 observation that motivates
+// frontier reuse: pruning compares cost vectors, never weighted costs).
+//
+// Two requests that differ only in weights and/or bounds therefore share
+// a FrontierKey, which is what the moqod frontier cache keys its
+// snapshot tier by: a weight or bound change on a cached frontier is
+// answered with a SelectBest scan instead of a new dynamic program.
+//
+// CacheKey is, by construction, FrontierKey plus a suffix containing
+// only the "|w=" and "|b=" components (the prefix-property test pins
+// this), so the exact-result tier and the frontier tier always agree on
+// what a request is.
+//
+// Note the *resolved* algorithm is part of the prefix: an AlgoAuto
+// request resolves to RTA or IRA depending on whether bounds are
+// present, so two AlgoAuto requests on opposite sides of that line use
+// different frontiers (RTA's is reusable outright, IRA's seeds a
+// refinement) and correctly get different FrontierKeys.
+func (req Request) FrontierKey() (string, error) {
+	fk, _, _, _, err := req.frontierKeyResolved()
+	return fk, err
+}
+
 // CacheKey returns a canonical fingerprint of everything that determines
-// the request's Result: the catalog version (a content hash of statistics
-// and indexes), the query join graph, the resolved algorithm, alpha,
-// the objectives, weights, bounds, per-objective precisions, MaxDOP, the
-// sampling decision, and the cost-model calibration. Two requests with
+// the request's Result: FrontierKey (catalog version, join graph,
+// resolved algorithm, alpha, objectives, precisions, MaxDOP, sampling,
+// cost-model calibration) plus the weight/bound suffix. Two requests with
 // equal cache keys produce identical plans, frontiers and cost vectors, so
 // the key is safe to use as a plan-cache key (internal/cache, the moqod
 // service).
@@ -40,20 +68,48 @@ import (
 // requests — e.g. differing in a single weight or bound — always map to
 // distinct keys, so cache collisions are impossible by construction.
 func (req Request) CacheKey() (string, error) {
-	objs, w, b, alg, alpha, err := req.resolve()
+	fk, objs, w, b, err := req.frontierKeyResolved()
 	if err != nil {
 		return "", err
 	}
-	// Excluded from the key (see above), but still validated: the key
+	var sb strings.Builder
+	sb.Grow(len(fk) + 64)
+	sb.WriteString(fk)
+	sb.WriteString("|w=")
+	for i, o := range objs.IDs() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(fmtFloat(w[o]))
+	}
+	sb.WriteString("|b=")
+	for i, o := range objs.IDs() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(fmtFloat(b[o]))
+	}
+	return sb.String(), nil
+}
+
+// frontierKeyResolved builds the FrontierKey and hands back the resolved
+// objective set, weights and bounds so CacheKey can append its suffix
+// without re-resolving.
+func (req Request) frontierKeyResolved() (string, objective.Set, objective.Weights, objective.Bounds, error) {
+	objs, w, b, alg, alpha, err := req.resolve()
+	if err != nil {
+		return "", 0, w, b, err
+	}
+	// Excluded from the key (see CacheKey), but still validated: the key
 	// doubles as the request validator in the moqod service, and an
 	// unknown strategy could never produce a result.
 	if _, err := req.Enumeration.coreStrategy(); err != nil {
-		return "", err
+		return "", 0, w, b, err
 	}
 
 	var sb strings.Builder
 	sb.Grow(256)
-	sb.WriteString("moqo1|cat=")
+	sb.WriteString("moqo2|cat=")
 	cat := req.Query.Catalog()
 	fmt.Fprintf(&sb, "%016x", cat.Fingerprint())
 
@@ -99,20 +155,6 @@ func (req Request) CacheKey() (string, error) {
 		}
 		sb.WriteString(o.String())
 	}
-	sb.WriteString("|w=")
-	for i, o := range objs.IDs() {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(fmtFloat(w[o]))
-	}
-	sb.WriteString("|b=")
-	for i, o := range objs.IDs() {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(fmtFloat(b[o]))
-	}
 	if len(req.Precisions) > 0 {
 		sb.WriteString("|prec=")
 		for i, o := range objs.IDs() {
@@ -140,7 +182,7 @@ func (req Request) CacheKey() (string, error) {
 	if req.CostParams != nil && *req.CostParams != costmodel.Default() {
 		fmt.Fprintf(&sb, "|params=%v", *req.CostParams)
 	}
-	return sb.String(), nil
+	return sb.String(), objs, w, b, nil
 }
 
 // fmtFloat renders a float in shortest round-trip form (handles ±Inf).

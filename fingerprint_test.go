@@ -1,6 +1,9 @@
 package moqo_test
 
 import (
+	"math/rand"
+	"regexp"
+	"strings"
 	"testing"
 	"time"
 
@@ -135,6 +138,135 @@ func TestCacheKeyRejectsInvalid(t *testing.T) {
 	}
 	if _, err := moqo.Optimize(bounded); err == nil {
 		t.Error("Optimize accepted Precisions on a non-RTA request")
+	}
+}
+
+// frontierKey computes FrontierKey or fails the test.
+func frontierKey(t *testing.T, req moqo.Request) string {
+	t.Helper()
+	k, err := req.FrontierKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// wbSuffix matches a weight/bound suffix: exactly one |w= and one |b=
+// component, in that order, containing only float lists.
+var wbSuffix = regexp.MustCompile(`^\|w=[^|]*\|b=[^|]*$`)
+
+// randomizedRequest draws a random request over a fixed query shape:
+// random objective subset, algorithm, alpha, weights, bounds, DOP,
+// precisions. The boundedness pattern follows the algorithm so the
+// request stays valid (bounds require EXA or IRA).
+func randomizedRequest(t *testing.T, r *rand.Rand) moqo.Request {
+	t.Helper()
+	all := moqo.AllObjectives()
+	n := 2 + r.Intn(3)
+	objs := make([]moqo.Objective, 0, n)
+	for _, i := range r.Perm(len(all))[:n] {
+		objs = append(objs, all[i])
+	}
+	algs := []moqo.Algorithm{moqo.AlgoEXA, moqo.AlgoRTA, moqo.AlgoIRA}
+	alg := algs[r.Intn(len(algs))]
+	req := tpchRequest(t, func(q *moqo.Request) {
+		q.Objectives = objs
+		q.Algorithm = alg
+		q.Alpha = 1 + r.Float64()
+		q.MaxDOP = 1 + r.Intn(4)
+		q.Weights = map[moqo.Objective]float64{objs[0]: r.Float64()}
+		if alg != moqo.AlgoRTA {
+			q.Bounds = map[moqo.Objective]float64{objs[r.Intn(len(objs))]: 1 + r.Float64()*1e6}
+		}
+		if alg == moqo.AlgoRTA && r.Intn(2) == 0 {
+			q.Precisions = map[moqo.Objective]float64{objs[0]: 1 + r.Float64()}
+		}
+	})
+	return req
+}
+
+// reweighted returns a copy of the request with fresh weight values (and
+// fresh bound values on the same objectives, when bounded) — the
+// perturbation the frontier tier must absorb without a key change.
+func reweighted(req moqo.Request, r *rand.Rand) moqo.Request {
+	w := make(map[moqo.Objective]float64, len(req.Weights))
+	for o := range req.Weights {
+		w[o] = r.Float64() * 10
+	}
+	// Sometimes weight a different active objective entirely.
+	if r.Intn(2) == 0 && len(req.Objectives) > 1 {
+		w[req.Objectives[1+r.Intn(len(req.Objectives)-1)]] = r.Float64()
+	}
+	req.Weights = w
+	if len(req.Bounds) > 0 {
+		b := make(map[moqo.Objective]float64, len(req.Bounds))
+		for o := range req.Bounds {
+			b[o] = 1 + r.Float64()*1e6
+		}
+		req.Bounds = b
+	}
+	return req
+}
+
+// TestCacheKeyPrefixProperty pins the FrontierKey/CacheKey contract the
+// two-tier cache rests on: for random requests, CacheKey equals
+// FrontierKey plus a suffix containing only the |w= and |b= components,
+// and two requests differing only in weight/bound values share a
+// FrontierKey while (almost surely) differing in CacheKey.
+func TestCacheKeyPrefixProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		req := randomizedRequest(t, r)
+		ck, fk := key(t, req), frontierKey(t, req)
+		if !strings.HasPrefix(ck, fk) {
+			t.Fatalf("trial %d: CacheKey is not prefixed by FrontierKey:\n%s\n%s", trial, ck, fk)
+		}
+		if suffix := ck[len(fk):]; !wbSuffix.MatchString(suffix) {
+			t.Fatalf("trial %d: CacheKey suffix %q contains more than |w=/|b=", trial, suffix)
+		}
+
+		per := reweighted(req, r)
+		if got := frontierKey(t, per); got != fk {
+			t.Fatalf("trial %d: weight/bound perturbation changed the FrontierKey:\n%s\n%s", trial, fk, got)
+		}
+		if key(t, per) == ck {
+			// The perturbation may collide only if it drew identical values
+			// — with continuous draws that's impossible.
+			t.Fatalf("trial %d: perturbed weights/bounds kept the CacheKey", trial)
+		}
+	}
+}
+
+// TestFrontierKeyDiscriminates: everything that determines the frontier
+// must change the FrontierKey — and the resolved algorithm is part of
+// it, so an AlgoAuto request crossing the bounded/unbounded line (RTA vs
+// IRA) changes keys too.
+func TestFrontierKeyDiscriminates(t *testing.T) {
+	base := frontierKey(t, tpchRequest(t, nil))
+	variants := map[string]func(*moqo.Request){
+		"alpha":     func(r *moqo.Request) { r.Alpha = 2 },
+		"objective": func(r *moqo.Request) { r.Objectives = []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint} },
+		"algorithm": func(r *moqo.Request) { r.Algorithm = moqo.AlgoEXA },
+		"max dop":   func(r *moqo.Request) { r.MaxDOP = 2 },
+		"precisions": func(r *moqo.Request) {
+			r.Algorithm = moqo.AlgoRTA
+			r.Precisions = map[moqo.Objective]float64{moqo.BufferFootprint: 2}
+		},
+		"auto crosses RTA/IRA": func(r *moqo.Request) {
+			r.Bounds = map[moqo.Objective]float64{moqo.TupleLoss: 0.05}
+		},
+	}
+	for name, mutate := range variants {
+		if got := frontierKey(t, tpchRequest(t, mutate)); got == base {
+			t.Errorf("%s: FrontierKey unchanged: %s", name, got)
+		}
+	}
+	// Weights alone never change it.
+	same := frontierKey(t, tpchRequest(t, func(r *moqo.Request) {
+		r.Weights = map[moqo.Objective]float64{moqo.TotalTime: 3, moqo.TupleLoss: 7}
+	}))
+	if same != base {
+		t.Errorf("weights changed the FrontierKey:\n%s\n%s", base, same)
 	}
 }
 

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"moqo"
+	"moqo/internal/synthetic"
+)
+
+// ReuseSpec parameterizes the frontier-reuse experiment: the serving
+// latency of a weight change answered from a cached FrontierSnapshot (a
+// SelectBest scan plus one plan materialization) against a cold dynamic
+// program at the same weights — the paper's Figure 3 scenario (users
+// iteratively re-weighting one query during plan negotiation) as served
+// by moqod's frontier tier. The experiment also measures the snapshot
+// serialization round trip (encode + decode), since cached snapshots may
+// persist to disk or ship between replicas; the re-weight sweep is
+// served from the *decoded* snapshot, so the measured fast path includes
+// everything a remote replica would do after receiving one.
+type ReuseSpec struct {
+	// Arms lists the workloads. Defaults to TPC-H q3 and q8 plus
+	// synthetic chain and star queries up to 12 tables (the ≥10-table
+	// sizes are where cold DP latency makes reuse matter most).
+	Arms []ReuseArm
+	// Objectives of the runs (default: time, buffer footprint, energy).
+	Objectives []moqo.Objective
+	// Alpha is the RTA precision (default 1.5).
+	Alpha float64
+	// Sweeps is the number of random re-weight requests served from the
+	// snapshot (default 64).
+	Sweeps int
+	// ColdRuns is the number of cold optimizations for the baseline
+	// percentile (default 5).
+	ColdRuns int
+	// Workers per optimizer run (default 1).
+	Workers int
+	// MaxRows is the maximal synthetic base-table cardinality (1e5).
+	MaxRows float64
+	// Seed drives the workload and the weight sweep.
+	Seed int64
+}
+
+// ReuseArm is one workload of the experiment: a TPC-H query (TPCH > 0)
+// or a synthetic topology.
+type ReuseArm struct {
+	Name   string
+	TPCH   int
+	Shape  synthetic.Shape
+	Tables int
+}
+
+// withDefaults fills in the defaults.
+func (s ReuseSpec) withDefaults() ReuseSpec {
+	if len(s.Arms) == 0 {
+		s.Arms = []ReuseArm{
+			{Name: "tpch-q3", TPCH: 3},
+			{Name: "tpch-q8", TPCH: 8},
+			{Name: "chain-10", Shape: synthetic.Chain, Tables: 10},
+			{Name: "chain-12", Shape: synthetic.Chain, Tables: 12},
+			{Name: "star-12", Shape: synthetic.Star, Tables: 12},
+		}
+	}
+	if len(s.Objectives) == 0 {
+		s.Objectives = []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint, moqo.Energy}
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 1.5
+	}
+	if s.Sweeps == 0 {
+		s.Sweeps = 64
+	}
+	if s.ColdRuns == 0 {
+		s.ColdRuns = 5
+	}
+	if s.Workers == 0 {
+		s.Workers = 1
+	}
+	if s.MaxRows == 0 {
+		s.MaxRows = 1e5
+	}
+	return s
+}
+
+// ReusePoint is one measured workload of the experiment.
+type ReusePoint struct {
+	Workload  string  `json:"workload"`
+	Tables    int     `json:"tables"`
+	Algorithm string  `json:"algorithm"`
+	Alpha     float64 `json:"alpha"`
+	// Frontier is the snapshot's plan count; SnapshotBytes its estimated
+	// in-memory size (EncodedBytes the serialized size).
+	Frontier      int `json:"frontier"`
+	SnapshotBytes int `json:"snapshot_bytes"`
+	EncodedBytes  int `json:"encoded_bytes"`
+	// ColdP50Ms is the cold full-DP latency (median over ColdRuns).
+	ColdP50Ms float64 `json:"cold_p50_ms"`
+	// HitP50Us/HitP99Us are frontier-hit latencies over the re-weight
+	// sweep: moqo.ReoptimizeContext on the decoded snapshot.
+	HitP50Us float64 `json:"hit_p50_us"`
+	HitP99Us float64 `json:"hit_p99_us"`
+	// EncodeUs/DecodeUs measure the serialization round trip.
+	EncodeUs float64 `json:"encode_us"`
+	DecodeUs float64 `json:"decode_us"`
+	// Speedup is cold p50 over hit p50 — the headline metric.
+	Speedup float64 `json:"speedup"`
+	// Verified: one sweep was checked bit-for-bit (plan and frontier
+	// JSON) against a cold run at the same weights.
+	Verified bool `json:"verified"`
+}
+
+// ReuseScaling measures the frontier-reuse serving path across the
+// spec's workloads. Each workload runs RTA cold (baseline percentile and
+// snapshot extraction), round-trips the snapshot through the binary
+// format, then serves a random re-weight sweep from the decoded
+// snapshot, verifying one sweep bit-for-bit against a cold run.
+func ReuseScaling(spec ReuseSpec) ([]ReusePoint, error) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var out []ReusePoint
+	for _, arm := range spec.Arms {
+		pt, err := reuseArm(spec, arm, rng)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", arm.Name, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// reuseArm measures one workload.
+func reuseArm(spec ReuseSpec, arm ReuseArm, rng *rand.Rand) (ReusePoint, error) {
+	var q *moqo.Query
+	switch {
+	case arm.TPCH > 0:
+		cat := moqo.TPCHCatalog(1)
+		var err error
+		q, err = moqo.TPCHQuery(arm.TPCH, cat)
+		if err != nil {
+			return ReusePoint{}, err
+		}
+	default:
+		_, sq, err := synthetic.Build(synthetic.Spec{
+			Shape:   arm.Shape,
+			Tables:  arm.Tables,
+			MaxRows: spec.MaxRows,
+			Seed:    spec.Seed,
+		})
+		if err != nil {
+			return ReusePoint{}, err
+		}
+		q = sq
+	}
+
+	weights := func() map[moqo.Objective]float64 {
+		w := make(map[moqo.Objective]float64, len(spec.Objectives))
+		for _, o := range spec.Objectives {
+			w[o] = 0.05 + rng.Float64()
+		}
+		return w
+	}
+	request := func(w map[moqo.Objective]float64) moqo.Request {
+		return moqo.Request{
+			Query:      q,
+			Algorithm:  moqo.AlgoRTA,
+			Alpha:      spec.Alpha,
+			Objectives: spec.Objectives,
+			Weights:    w,
+			Workers:    spec.Workers,
+		}
+	}
+
+	pt := ReusePoint{
+		Workload:  arm.Name,
+		Tables:    q.NumRelations(),
+		Algorithm: moqo.AlgoRTA.String(),
+		Alpha:     spec.Alpha,
+	}
+
+	// Cold baseline: full DP at fresh weights each run.
+	cold := make([]float64, spec.ColdRuns)
+	for i := range cold {
+		start := time.Now()
+		if _, err := moqo.Optimize(request(weights())); err != nil {
+			return ReusePoint{}, err
+		}
+		cold[i] = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	sort.Float64s(cold)
+	pt.ColdP50Ms = cold[len(cold)/2]
+
+	// Snapshot extraction and serialization round trip.
+	_, snap, err := moqo.OptimizeSnapshot(request(weights()))
+	if err != nil {
+		return ReusePoint{}, err
+	}
+	if snap == nil {
+		return ReusePoint{}, fmt.Errorf("no frontier snapshot extracted")
+	}
+	pt.Frontier = snap.Len()
+	pt.SnapshotBytes = snap.SizeBytes()
+	start := time.Now()
+	encoded, err := snap.MarshalBinary()
+	pt.EncodeUs = float64(time.Since(start)) / float64(time.Microsecond)
+	if err != nil {
+		return ReusePoint{}, err
+	}
+	pt.EncodedBytes = len(encoded)
+	start = time.Now()
+	decoded, err := moqo.UnmarshalFrontierSnapshot(encoded)
+	pt.DecodeUs = float64(time.Since(start)) / float64(time.Microsecond)
+	if err != nil {
+		return ReusePoint{}, err
+	}
+
+	// Re-weight sweep served from the decoded snapshot.
+	hits := make([]float64, spec.Sweeps)
+	for i := range hits {
+		req := request(weights())
+		start := time.Now()
+		res, _, err := moqo.Reoptimize(req, decoded)
+		hits[i] = float64(time.Since(start)) / float64(time.Microsecond)
+		if err != nil {
+			return ReusePoint{}, err
+		}
+		if i == 0 {
+			// One sweep is verified bit-for-bit against a cold run.
+			coldRes, err := moqo.Optimize(req)
+			if err != nil {
+				return ReusePoint{}, err
+			}
+			same, err := sameAnswer(res, coldRes)
+			if err != nil {
+				return ReusePoint{}, err
+			}
+			if !same {
+				return ReusePoint{}, fmt.Errorf("frontier-hit answer differs from cold DP")
+			}
+			pt.Verified = true
+		}
+	}
+	sort.Float64s(hits)
+	pt.HitP50Us = hits[len(hits)/2]
+	pt.HitP99Us = hits[int(float64(len(hits))*0.99)]
+	if pt.HitP50Us > 0 {
+		pt.Speedup = pt.ColdP50Ms * 1000 / pt.HitP50Us
+	}
+	return pt, nil
+}
+
+// sameAnswer compares two results bit-for-bit on plan and frontier.
+func sameAnswer(a, b *moqo.Result) (bool, error) {
+	aj, err := a.PlanJSON()
+	if err != nil {
+		return false, err
+	}
+	bj, err := b.PlanJSON()
+	if err != nil {
+		return false, err
+	}
+	if !bytes.Equal(aj, bj) {
+		return false, nil
+	}
+	av, bv := a.FrontierVectors(), b.FrontierVectors()
+	if len(av) != len(bv) {
+		return false, nil
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// RenderReuse renders the reuse measurements as a text table.
+func RenderReuse(pts []ReusePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %3s %9s %12s %12s %12s %9s %9s %7s\n",
+		"workload", "n", "frontier", "cold p50", "hit p50", "hit p99", "enc", "dec", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10s %3d %9d %10.2fms %10.1fus %10.1fus %7.1fus %7.1fus %6.0fx\n",
+			p.Workload, p.Tables, p.Frontier, p.ColdP50Ms, p.HitP50Us, p.HitP99Us,
+			p.EncodeUs, p.DecodeUs, p.Speedup)
+	}
+	return b.String()
+}
+
+// ReuseJSON serializes the measurements as the BENCH_reuse.json payload
+// the CI pipeline archives (and the README serving-latency table cites).
+func ReuseJSON(pts []ReusePoint) ([]byte, error) {
+	payload := struct {
+		Benchmark string       `json:"benchmark"`
+		NumCPU    int          `json:"num_cpu"`
+		Points    []ReusePoint `json:"points"`
+	}{
+		Benchmark: "frontier-reuse-scaling",
+		NumCPU:    runtime.NumCPU(),
+		Points:    pts,
+	}
+	return json.MarshalIndent(payload, "", "  ")
+}

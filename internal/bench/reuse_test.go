@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"moqo/internal/synthetic"
+)
+
+// smallReuseSpec keeps the experiment harness test fast.
+func smallReuseSpec() ReuseSpec {
+	return ReuseSpec{
+		Arms: []ReuseArm{
+			{Name: "tpch-q3", TPCH: 3},
+			{Name: "chain-8", Shape: synthetic.Chain, Tables: 8},
+		},
+		Sweeps:   8,
+		ColdRuns: 3,
+		Seed:     1,
+	}
+}
+
+func TestReuseScaling(t *testing.T) {
+	pts, err := ReuseScaling(smallReuseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if !p.Verified {
+			t.Errorf("%s: frontier-hit answer was not verified against a cold run", p.Workload)
+		}
+		if p.Frontier == 0 {
+			t.Errorf("%s: empty frontier", p.Workload)
+		}
+		if p.EncodedBytes == 0 {
+			t.Errorf("%s: empty serialization", p.Workload)
+		}
+		if p.HitP50Us <= 0 || p.ColdP50Ms <= 0 {
+			t.Errorf("%s: degenerate latencies: cold %.3fms hit %.1fus", p.Workload, p.ColdP50Ms, p.HitP50Us)
+		}
+		if p.Speedup <= 1 {
+			t.Errorf("%s: frontier hit not faster than cold DP (%.1fx)", p.Workload, p.Speedup)
+		}
+	}
+}
+
+func TestReuseRenderAndJSON(t *testing.T) {
+	pts, err := ReuseScaling(smallReuseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := RenderReuse(pts)
+	if !strings.Contains(table, "speedup") || !strings.Contains(table, "tpch-q3") {
+		t.Errorf("render missing columns:\n%s", table)
+	}
+	raw, err := ReuseJSON(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Benchmark string       `json:"benchmark"`
+		Points    []ReusePoint `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Benchmark != "frontier-reuse-scaling" || len(payload.Points) != 2 {
+		t.Errorf("unexpected payload: %s", raw)
+	}
+}

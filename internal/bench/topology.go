@@ -23,9 +23,12 @@ import (
 // enumeration overhead.
 //
 // Keep arm sizes at or below ~26 tables: the exhaustive arm's level
-// materialization Gosper-scans all 2^n subsets on one goroutine with no
-// timeout coverage, so larger sizes run for hours regardless of
-// Timeout (cmd/experiments enforces the cap on its -tables override).
+// materialization Gosper-scans all 2^n subsets on one goroutine, and
+// past that size the scan cannot finish within any reasonable Timeout —
+// it now degrades to the chain fallback instead of running for hours,
+// but a degraded arm measures the fallback, not the scan, and the
+// strategy comparison loses its meaning (cmd/experiments enforces the
+// cap on its -tables override).
 type TopologySpec struct {
 	// Arms lists the (topology, sizes) grid. Defaults to chains and
 	// cycles up to 24 tables (past the old 20-table practical ceiling),

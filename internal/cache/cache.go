@@ -6,6 +6,14 @@
 // canonical request fingerprint (moqo.Request.CacheKey) turns every
 // repetition into a lookup.
 //
+// moqod composes two instances of this cache into a two-tier plan cache:
+// an exact-result tier keyed by moqo.Request.CacheKey, and a frontier
+// tier keyed by the weight/bound-free moqo.Request.FrontierKey whose
+// FrontierSnapshot values answer weight and bound changes with a
+// SelectBest scan instead of a new optimization (the paper's Figure 3
+// re-weighting scenario). The OnEvict hook feeds the frontier tier's
+// snapshot-bytes gauge.
+//
 // Design:
 //
 //   - Sharding: keys hash onto 2^k independently locked shards, so
@@ -113,6 +121,8 @@ type Cache[V any] struct {
 	coalesced atomic.Uint64
 	evictions atomic.Uint64
 	capacity  int
+
+	onEvict func(key string, v V)
 }
 
 // New builds a cache holding about capacity entries across the given
@@ -141,6 +151,14 @@ func New[V any](capacity, shards int) *Cache[V] {
 	}
 	return c
 }
+
+// OnEvict registers a callback invoked whenever a stored value leaves
+// the cache — an LRU eviction, or replacement of an existing key by Put.
+// It lets a tier keep gauge-style accounting of what it currently holds
+// (e.g. the moqod frontier tier's snapshot-bytes gauge). The callback
+// runs with the value's shard locked: it must be fast and must not call
+// back into the cache. Register it once, before the cache is shared.
+func (c *Cache[V]) OnEvict(fn func(key string, v V)) { c.onEvict = fn }
 
 // shardFor hashes the key onto its shard: an inlined FNV-1a over the
 // string, so the hot path (every Get/Put/Do touches it up to three times)
@@ -185,7 +203,11 @@ func (c *Cache[V]) Put(key string, v V) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
-		el.Value.(*entry[V]).val = v
+		e := el.Value.(*entry[V])
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.val)
+		}
+		e.val = v
 		s.lru.MoveToFront(el)
 		return
 	}
@@ -193,8 +215,12 @@ func (c *Cache[V]) Put(key string, v V) {
 		oldest := s.lru.Back()
 		if oldest != nil {
 			s.lru.Remove(oldest)
-			delete(s.m, oldest.Value.(*entry[V]).key)
+			e := oldest.Value.(*entry[V])
+			delete(s.m, e.key)
 			c.evictions.Add(1)
+			if c.onEvict != nil {
+				c.onEvict(e.key, e.val)
+			}
 		}
 	}
 	s.m[key] = s.lru.PushFront(&entry[V]{key: key, val: v})

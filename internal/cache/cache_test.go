@@ -36,6 +36,30 @@ func TestEvictionOrder(t *testing.T) {
 
 // TestPutRefresh: re-putting an existing key must not evict anything and
 // must refresh both value and recency.
+// TestOnEvict: the eviction hook fires for LRU evictions and for Put
+// replacements — exactly once per value leaving the cache — so a
+// gauge-style accounting (the moqod snapshot-bytes gauge) balances.
+func TestOnEvict(t *testing.T) {
+	c := New[int](2, 1)
+	var gone []string
+	c.OnEvict(func(key string, v int) { gone = append(gone, fmt.Sprintf("%s=%d", key, v)) })
+
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if len(gone) != 0 {
+		t.Fatalf("hook fired with the cache under capacity: %v", gone)
+	}
+	c.Put("a", 10) // replacement: old value leaves
+	c.Put("c", 3)  // eviction: b is LRU
+	want := []string{"a=1", "b=2"}
+	if len(gone) != len(want) || gone[0] != want[0] || gone[1] != want[1] {
+		t.Fatalf("hook calls %v, want %v", gone, want)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
 func TestPutRefresh(t *testing.T) {
 	c := New[int](2, 1)
 	c.Put("a", 1)

@@ -23,6 +23,10 @@ type Result struct {
 	Frontier *pareto.Archive
 	// Stats reports the optimization effort.
 	Stats Stats
+	// Snapshot is the compact, weight/bound-free frontier extraction, set
+	// only when Options.CaptureSnapshot was on and the run completed
+	// without degrading (see FrontierSnapshot).
+	Snapshot *FrontierSnapshot
 }
 
 // EXA runs the exact multi-objective dynamic program of Ganguly et al.
@@ -56,7 +60,11 @@ func EXAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 	}
 	final := e.materializeFrontier(flat)
 	st := e.stats(start)
-	return Result{Best: final.SelectBest(w, b), Frontier: final, Stats: st}, nil
+	res := Result{Best: final.SelectBest(w, b), Frontier: final, Stats: st}
+	if opts.CaptureSnapshot && !st.TimedOut {
+		res.Snapshot = e.snapshot(flat, 1, st)
+	}
+	return res, nil
 }
 
 // startErr rejects a context that is already cancelled before any work
@@ -103,7 +111,11 @@ func RTAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, op
 	}
 	final := e.materializeFrontier(flat)
 	st := e.stats(start)
-	return Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}, nil
+	res := Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}
+	if opts.CaptureSnapshot && !st.TimedOut {
+		res.Snapshot = e.snapshot(flat, opts.Alpha, st)
+	}
+	return res, nil
 }
 
 // rtaParetoPlans is FindParetoPlans of Algorithm 2: it derives the internal
@@ -144,6 +156,33 @@ func IRA(m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Optio
 // the whole refinement loop exactly like Options.Timeout (the incumbent of
 // the last completed iteration is returned with Stats.TimedOut set).
 func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options) (Result, error) {
+	return iraRun(ctx, m, w, b, opts, nil)
+}
+
+// IRASeededContext runs IRA seeded from a cached frontier snapshot of the
+// same weight/bound-free request (the frontier cache's re-weight path for
+// bounded MOQO). Seeding is sound because the snapshot records its own
+// set-level precision: if the Theorem 6 stopping condition already holds
+// over the snapshot at that precision — or the snapshot is exact — the
+// answer is a SelectBest scan and no dynamic program runs at all.
+// Otherwise the refinement loop starts at the first iteration strictly
+// finer than the snapshot instead of starting cold, skipping the coarse
+// iterations the snapshot already subsumes. Either way the returned plan
+// carries the same guarantee as cold IRA: it is certified αU-approximate
+// by the same stopping condition (or by an exact final iteration).
+func IRASeededContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options, seed *FrontierSnapshot) (Result, error) {
+	if seed == nil {
+		return Result{}, fmt.Errorf("core: nil frontier seed")
+	}
+	return iraRun(ctx, m, w, b, opts, seed)
+}
+
+// iraRun is the shared body of IRAContext (seed == nil: cold) and
+// IRASeededContext.
+func iraRun(ctx context.Context, m *costmodel.Model, w objective.Weights, b objective.Bounds, opts Options, seed *FrontierSnapshot) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts, err := opts.Normalize()
 	if err != nil {
 		return Result{}, err
@@ -151,11 +190,25 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 	if !w.Valid() || !b.Valid() {
 		return Result{}, fmt.Errorf("core: invalid weights or bounds")
 	}
+	if seed != nil && seed.Objectives() != opts.Objectives {
+		return Result{}, fmt.Errorf("core: frontier seed objectives %v do not match request %v", seed.Objectives(), opts.Objectives)
+	}
 	if err := startErr(ctx); err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
 	alphaU := opts.Alpha
+
+	if seed != nil && (seed.setAlpha <= 1 || iraStop(seed, w, b, opts.Objectives, seed.setAlpha, alphaU)) {
+		// The seed alone certifies an αU-approximate answer: it is exact,
+		// or the stopping condition holds over it at its own precision.
+		res, err := SelectFromSnapshot(seed, w, b)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Stats.Duration = time.Since(start)
+		return res, nil
+	}
 	l := opts.Objectives.Len()
 	denom := float64(3*l - 3)
 	if denom < 1 {
@@ -167,6 +220,7 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 	// trees are materialized once, for the iteration actually returned.
 	var finalFlat *pareto.FlatArchive
 	var finalEngine *engine
+	lastAlpha := alphaU
 	deadline := time.Time{}
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
@@ -183,6 +237,14 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 		if alpha < 1 {
 			alpha = 1
 		}
+		if seed != nil && alpha >= seed.setAlpha && alpha > 1 && i < maxIRAIterations {
+			// The seed's precision already subsumes this iteration (and its
+			// stopping condition was evaluated above): skip straight to the
+			// strictly finer iterations. The i-cap keeps a pathological
+			// near-1 seed precision from skipping forever.
+			continue
+		}
+		lastAlpha = alpha
 
 		iterOpts := opts
 		if !deadline.IsZero() {
@@ -227,8 +289,24 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 		}
 	}
 	total.Duration = time.Since(start)
+	// A seeded run that had to refine still reused the frontier: the seed
+	// absorbed every iteration at or above its precision, and the wire
+	// contract (stats.reused_frontier) covers seeded refinements too.
+	total.ReusedFrontier = seed != nil
 	final := finalEngine.materializeFrontier(finalFlat)
-	return Result{Best: final.SelectBest(w, b), Frontier: final, Stats: total}, nil
+	res := Result{Best: final.SelectBest(w, b), Frontier: final, Stats: total}
+	if opts.CaptureSnapshot && !total.TimedOut {
+		res.Snapshot = finalEngine.snapshot(finalFlat, lastAlpha, total)
+	}
+	return res, nil
+}
+
+// frontierView is read-only access to a frontier's cost rows, satisfied
+// by both pareto.FlatArchive (the running iteration) and FrontierSnapshot
+// (the cached seed).
+type frontierView interface {
+	Len() int
+	CostAt(i int32) objective.Vector
 }
 
 // iraStop evaluates the termination condition of Algorithm 3:
@@ -241,6 +319,10 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 // cheaper and at most factor α over the bounds) could beat the incumbent's
 // αU-slack, the incumbent is certifiably αU-approximate (Theorem 6).
 //
+// The archive is any frontier view at precision alpha — a flat archive of
+// the running iteration, or a cached FrontierSnapshot at its recorded
+// precision (the seeded path).
+//
 // When P holds no strictly-in-bounds plan the incumbent's weighted cost is
 // taken as +Inf: any plan within the relaxed bounds then forces another
 // refinement iteration, because a bound-respecting true optimum may still
@@ -252,7 +334,7 @@ func IRAContext(ctx context.Context, m *costmodel.Model, w objective.Weights, b 
 // plan respects even the relaxed bounds, no feasible plan can exist at all
 // — the α-approximate Pareto set would contain a within-αB representative
 // of it — and stopping with the weighted-cost fallback is sound.
-func iraStop(archive *pareto.FlatArchive, w objective.Weights, b objective.Bounds,
+func iraStop(archive frontierView, w objective.Weights, b objective.Bounds,
 	objs objective.Set, alpha, alphaU float64) bool {
 	threshold := math.Inf(1)
 	n := int32(archive.Len())

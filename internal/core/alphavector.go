@@ -61,5 +61,9 @@ func RTAVectorContext(ctx context.Context, m *costmodel.Model, w objective.Weigh
 	}
 	final := e.materializeFrontier(flat)
 	st := e.stats(start)
-	return Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}, nil
+	res := Result{Best: final.SelectBest(w, objective.NoBounds()), Frontier: final, Stats: st}
+	if opts.CaptureSnapshot && !st.TimedOut {
+		res.Snapshot = e.snapshot(flat, prec.Max(opts.Objectives), st)
+	}
+	return res, nil
 }

@@ -59,5 +59,22 @@
 // context's error, while a context deadline folds into the paper's
 // timeout/degradation path (Section 5.1) — untreated table sets get a
 // single best-weighted plan and the run still returns a usable Result
-// with Stats.TimedOut set.
+// with Stats.TimedOut set. The deadline is observed from the very first
+// phase: if it expires while the enumerator is still materializing
+// levels (the exhaustive strategy's 2^n Gosper scan on 30+ relation
+// queries, or an exponential connected-subset walk), the enumeration
+// falls back to a minimal left-deep chain and the degraded path still
+// returns a plan in O(n) work.
+//
+// Because archive pruning never reads the user's weights or bounds, the
+// final frontier of a completed run is reusable across weight and bound
+// changes. Options.CaptureSnapshot extracts it as a FrontierSnapshot —
+// the frontier's cost rows and compact entries in canonical order plus
+// the closed sub-memo they reference, with a versioned binary
+// serialization — and Result.Snapshot returns it. SelectFromSnapshot
+// answers a re-weighted request from a snapshot with a SelectBest scan
+// (bit-for-bit the cold EXA/RTA answer), and IRASeededContext seeds the
+// bounded refinement loop from one (the Theorem 6 stopping condition
+// evaluated at the snapshot's recorded precision). The moqo package and
+// the moqod service build their frontier-cache tier on these.
 package core

@@ -3,6 +3,7 @@ package core
 import (
 	"cmp"
 	"context"
+	"errors"
 	"math"
 	"slices"
 	"sort"
@@ -113,7 +114,25 @@ func newEngine(ctx context.Context, m *costmodel.Model, opts Options, alphaInter
 		ctx:           ctx,
 		ctxDone:       ctx.Done(),
 	}
-	e.enum = enumerate(e.q, opts.Enumeration)
+	// The deadline is resolved before the search space is materialized:
+	// level materialization itself observes it (the exhaustive strategy's
+	// 2^n Gosper scan used to run to completion oblivious of any timeout)
+	// and falls back to the chain enumeration of the §5.1 degraded path.
+	if opts.Timeout > 0 {
+		e.deadline = time.Now().Add(opts.Timeout)
+		e.hasTimeout = true
+	}
+	if d, ok := ctx.Deadline(); ok && (!e.hasTimeout || d.Before(e.deadline)) {
+		e.deadline = d
+		e.hasTimeout = true
+	}
+	e.enum = enumerate(e.q, opts.Enumeration, e.enumStop)
+	if e.enum.cancelled {
+		e.cancelled.Store(true)
+	}
+	if e.enum.chainFallback {
+		e.timedOut.Store(true)
+	}
 	e.memo = newMemoTable(e.enum)
 	e.viewMemo = func(s query.TableSet) splitView {
 		return splitView{arch: e.memo.lookup(s), only: -1}
@@ -126,15 +145,27 @@ func newEngine(ctx context.Context, m *costmodel.Model, opts Options, alphaInter
 	for i := range e.workers {
 		e.workers[i] = worker{e: e, maxDoneID: -1}
 	}
-	if opts.Timeout > 0 {
-		e.deadline = time.Now().Add(opts.Timeout)
-		e.hasTimeout = true
-	}
-	if d, ok := ctx.Deadline(); ok && (!e.hasTimeout || d.Before(e.deadline)) {
-		e.deadline = d
-		e.hasTimeout = true
-	}
 	return e
+}
+
+// enumStop is the enumerator's stop poll (amortized by the enumerator):
+// a context cancellation abandons the run, a passed deadline — from
+// Options.Timeout or the context — triggers the chain fallback.
+func (e *engine) enumStop() enumSignal {
+	if e.ctxDone != nil {
+		select {
+		case <-e.ctxDone:
+			if errors.Is(e.ctx.Err(), context.DeadlineExceeded) {
+				return enumTimeout
+			}
+			return enumCancel
+		default:
+		}
+	}
+	if e.hasTimeout && time.Now().After(e.deadline) {
+		return enumTimeout
+	}
+	return enumGo
 }
 
 // cancelErr returns the context's error if the run was abandoned because
@@ -445,6 +476,9 @@ func (w *worker) forEachCandidate(s query.TableSet, fn candidateFn) bool {
 // set whenever both apply — only the visiting order (and the scanning
 // work, Stats.EnumSplits) differs.
 func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
+	if w.e.enum.chainFallback {
+		return w.forEachCandidateChain(s, lookup, fn)
+	}
 	if w.e.enum.graphAware {
 		return w.forEachCandidateGraph(s, lookup, fn)
 	}
@@ -557,6 +591,58 @@ func (w *worker) forEachCandidateGraph(s query.TableSet, lookup func(query.Table
 		}
 	}
 	return true
+}
+
+// forEachCandidateChain is the candidate loop of the enumeration's chain
+// fallback (the deadline expired while the search space was still being
+// materialized): every non-singleton set is a left-deep prefix {r0..rk},
+// and its only split peels the highest relation off — O(1) splits per set
+// where the exhaustive scan would visit 2^|s| - 2, which is what lets the
+// degraded path finish promptly on the 30+ relation queries that trigger
+// it. Predicate-connected splits get the full join-operator menu; a
+// prefix with no edge to the peeled relation falls back to Cartesian
+// nested loops, so a plan always exists. Both operand orders are emitted
+// in the canonical descending-left order.
+func (w *worker) forEachCandidateChain(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
+	e := w.e
+	peel := query.Singleton(s.Top())
+	left := s.Minus(peel)
+	vl, vr := lookup(left), lookup(peel)
+	w.splits += 2
+	if !vl.stored() || !vr.stored() {
+		return true
+	}
+	if e.q.ConnectedTo(left, peel) {
+		// peel holds the highest bit of s, so peel > left: the canonical
+		// (descending-left) order is (peel, left) then (left, peel).
+		if !e.opts.LeftDeepOnly || left.Single() {
+			if !w.edgeSplit(vr, vl, peel, left, fn) {
+				return false
+			}
+		}
+		return w.edgeSplit(vl, vr, left, peel, fn)
+	}
+	cartesian := func(va, vb splitView, a, b query.TableSet) bool {
+		if e.opts.LeftDeepOnly && !b.Single() {
+			return true
+		}
+		return va.each(func(ai int32, ca objective.Vector) bool {
+			return vb.each(func(bi int32, cb objective.Vector) bool {
+				for dop := 1; dop <= e.opts.MaxDOP; dop++ {
+					w.considered++
+					cost := e.m.JoinCostVec(plan.BlockNLJoin, dop, a, b, &ca, &cb)
+					if !fn(cost, plan.JoinEntry(plan.BlockNLJoin, dop, a, ai, b, bi)) {
+						return false
+					}
+				}
+				return true
+			})
+		})
+	}
+	if !cartesian(vr, vl, peel, left) {
+		return false
+	}
+	return cartesian(vl, vr, left, peel)
 }
 
 // edgeSplit enumerates the candidates of one predicate-connected split.

@@ -33,7 +33,35 @@ type enumeration struct {
 	// graphAware records which strategy the run resolved to; it also
 	// selects the engine's split enumeration (csg-cmp vs all subsets).
 	graphAware bool
+	// chainFallback records that the run's deadline expired while the
+	// levels were still being materialized (the 2^n Gosper scan, or an
+	// exponentially large connected-subset walk). The levels were rebuilt
+	// as the minimal left-deep chain — all singletons plus the prefix
+	// sets {r0..rk} — and the engine's candidate loops peel one relation
+	// per split, so the §5.1 degraded path still produces a plan in O(n)
+	// work instead of ignoring the timeout until workers start.
+	chainFallback bool
+	// cancelled records that the run's context was cancelled (not a
+	// deadline) mid-materialization: there is no caller left to serve, so
+	// the levels are abandoned and the engine reports ctx.Err().
+	cancelled bool
 }
+
+// enumSignal is the enumerator's amortized stop poll: keep scanning, fall
+// back to the degraded chain enumeration (deadline), or abandon the run
+// (cancellation).
+type enumSignal int
+
+const (
+	enumGo enumSignal = iota
+	enumTimeout
+	enumCancel
+)
+
+// enumCheckMask amortizes the stop poll to one check per 4096 scanned
+// sets — cheap against the per-set work, yet a pre-expired deadline stops
+// a 2^40 scan within microseconds.
+const enumCheckMask = 4095
 
 // enumerate builds the enumeration for a query. With a connected join
 // graph only connected table sets are materialized (the standard
@@ -57,11 +85,29 @@ type enumeration struct {
 // query.EstimateWidth memoize into plain maps, so this warm-up is what
 // makes the cost model safe to call from concurrent workers: during the
 // parallel phases the memos are only ever read.
-func enumerate(q *query.Query, strategy EnumerationStrategy) *enumeration {
+//
+// stop is polled (amortized, every enumCheckMask+1 scanned sets) during
+// materialization. An expired deadline switches to the chain-fallback
+// levels — the open-item fix for hand-built 30+ relation queries under
+// the exhaustive strategy, whose 2^n scan used to run to completion
+// before the timeout machinery could see it. A cancellation abandons the
+// enumeration entirely.
+func enumerate(q *query.Query, strategy EnumerationStrategy, stop func() enumSignal) *enumeration {
 	n := q.NumRelations()
 	all := q.AllTables()
 	connectedOnly := q.Connected(all)
 	e := &enumeration{all: all, n: n, levels: make([][]query.TableSet, n+1)}
+	if stop == nil {
+		stop = func() enumSignal { return enumGo }
+	}
+	interrupted := enumGo
+	check := func() bool {
+		if e.scanned&enumCheckMask != 0 {
+			return true
+		}
+		interrupted = stop()
+		return interrupted == enumGo
+	}
 
 	if strategy != EnumExhaustive && connectedOnly {
 		e.graphAware = true
@@ -71,8 +117,11 @@ func enumerate(q *query.Query, strategy EnumerationStrategy) *enumeration {
 			e.levels[k] = append(e.levels[k], s)
 			q.EstimateRows(s)
 			q.EstimateWidth(s)
-			return true
+			return check()
 		})
+		if e.interrupt(q, interrupted) {
+			return e
+		}
 		for k := 1; k <= n; k++ {
 			sets := e.levels[k]
 			sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
@@ -91,6 +140,11 @@ func enumerate(q *query.Query, strategy EnumerationStrategy) *enumeration {
 				q.EstimateRows(s)
 				q.EstimateWidth(s)
 			}
+			if !check() {
+				if e.interrupt(q, interrupted) {
+					return e
+				}
+			}
 			if s == all {
 				break // Gosper past the full set would overflow the range
 			}
@@ -99,6 +153,51 @@ func enumerate(q *query.Query, strategy EnumerationStrategy) *enumeration {
 		e.total += len(sets)
 	}
 	return e
+}
+
+// interrupt applies a non-go stop signal: chain fallback on timeout,
+// abandonment on cancellation. Reports whether materialization is over.
+func (e *enumeration) interrupt(q *query.Query, sig enumSignal) bool {
+	switch sig {
+	case enumTimeout:
+		e.buildChainFallback(q)
+		return true
+	case enumCancel:
+		e.cancelled = true
+		e.levels = make([][]query.TableSet, e.n+1)
+		e.total = 0
+		return true
+	}
+	return false
+}
+
+// buildChainFallback replaces the partially materialized levels with the
+// minimal left-deep chain over the from-clause order: all n singletons at
+// level 1, then exactly one prefix set {r0..rk} per higher level. Every
+// prefix splits into (previous prefix, next relation), so the degraded
+// candidate loop (forEachCandidateChain) treats the whole query in O(n)
+// splits and the §5.1 path still returns a plan — where the old behavior
+// ground through the rest of a 2^n scan first.
+func (e *enumeration) buildChainFallback(q *query.Query) {
+	e.chainFallback = true
+	e.graphAware = false
+	e.levels = make([][]query.TableSet, e.n+1)
+	for r := 0; r < e.n; r++ {
+		s := query.Singleton(r)
+		e.levels[1] = append(e.levels[1], s)
+		q.EstimateRows(s)
+		q.EstimateWidth(s)
+	}
+	for k := 2; k <= e.n; k++ {
+		s := query.FullSet(k)
+		e.levels[k] = []query.TableSet{s}
+		q.EstimateRows(s)
+		q.EstimateWidth(s)
+	}
+	e.total = 2*e.n - 1
+	if e.n == 1 {
+		e.total = 1
+	}
 }
 
 // memoDenseMaxRelations bounds the direct bitset->id index: up to this

@@ -45,7 +45,7 @@ func disconnectedQuery(t testing.TB) *query.Query {
 
 func TestEnumerateSingleRelation(t *testing.T) {
 	q := singleRelationQuery(t)
-	e := enumerate(q, EnumExhaustive)
+	e := enumerate(q, EnumExhaustive, nil)
 	if e.n != 1 || e.total != 1 {
 		t.Fatalf("n=%d total=%d, want 1 and 1", e.n, e.total)
 	}
@@ -59,7 +59,7 @@ func TestEnumerateSingleRelation(t *testing.T) {
 
 func TestEnumerateTwoRelations(t *testing.T) {
 	q := twoRelationQuery(t)
-	e := enumerate(q, EnumExhaustive)
+	e := enumerate(q, EnumExhaustive, nil)
 	if e.total != 3 {
 		t.Fatalf("total = %d, want 3 (two singletons + the pair)", e.total)
 	}
@@ -76,7 +76,7 @@ func TestEnumerateTwoRelations(t *testing.T) {
 // n*(n+1)/2 connected subpaths.
 func TestEnumerateConnectedOnly(t *testing.T) {
 	q := chainQuery(t) // customer–orders–lineitem chain, n = 3
-	e := enumerate(q, EnumExhaustive)
+	e := enumerate(q, EnumExhaustive, nil)
 	if want := 3 * 4 / 2; e.total != want {
 		t.Fatalf("total = %d, want %d connected subpaths", e.total, want)
 	}
@@ -97,7 +97,7 @@ func TestEnumerateConnectedOnly(t *testing.T) {
 // plans have to cross component boundaries via Cartesian products.
 func TestEnumerateDisconnectedKeepsAllSubsets(t *testing.T) {
 	q := disconnectedQuery(t)
-	e := enumerate(q, EnumExhaustive)
+	e := enumerate(q, EnumExhaustive, nil)
 	if want := 1<<3 - 1; e.total != want {
 		t.Fatalf("total = %d, want %d (all non-empty subsets)", e.total, want)
 	}
@@ -108,7 +108,7 @@ func TestEnumerateDisconnectedKeepsAllSubsets(t *testing.T) {
 // the range (clique: every subset is connected, so every level is full).
 func TestEnumerateFullSetEarlyBreak(t *testing.T) {
 	q := starQuery(t) // n = 4, star: subsets containing the center + singletons
-	e := enumerate(q, EnumExhaustive)
+	e := enumerate(q, EnumExhaustive, nil)
 	top := e.levels[e.n]
 	if len(top) != 1 || top[0] != e.all {
 		t.Fatalf("top level = %v, want exactly [%v]", top, e.all)
@@ -135,7 +135,7 @@ func TestEnumerateFullSetEarlyBreak(t *testing.T) {
 // sets outside the enumeration.
 func TestMemoTableIDs(t *testing.T) {
 	q := chainQuery(t)
-	e := enumerate(q, EnumExhaustive)
+	e := enumerate(q, EnumExhaustive, nil)
 	m := newMemoTable(e)
 
 	seen := make(map[int32]bool)

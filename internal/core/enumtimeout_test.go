@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+	"moqo/internal/synthetic"
+)
+
+// TestExhaustiveEnumerationObservesDeadline: the exhaustive strategy's
+// 2^n level materialization must observe the timeout (ROADMAP open item:
+// it used to Gosper-scan all subsets before the degraded path could
+// fire) and fall back to the §5.1 degraded chain — still returning a
+// valid plan, promptly.
+func TestExhaustiveEnumerationObservesDeadline(t *testing.T) {
+	q := buildShape(t, synthetic.Chain, 24, 1)
+	m := costmodel.NewDefault(q)
+	two := objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+	opts := Options{
+		Objectives:  two,
+		Alpha:       3,
+		Enumeration: EnumExhaustive,
+		Timeout:     time.Millisecond,
+	}
+	start := time.Now()
+	res, err := RTA(m, objective.UniformWeights(two), opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.TimedOut {
+		t.Fatal("run with a 1ms timeout on a 24-table exhaustive scan did not report TimedOut")
+	}
+	if res.Best == nil {
+		t.Fatal("degraded run returned no plan")
+	}
+	if res.Best.Tables != q.AllTables() {
+		t.Fatalf("degraded plan covers %v, want all tables", res.Best.Tables)
+	}
+	// The scan must have been cut short: well under the 2^24 - 1 sets the
+	// old behavior ground through (the amortized check fires every 4096).
+	if res.Stats.EnumSets >= 1<<22 {
+		t.Fatalf("enumeration scanned %d sets; the deadline was ignored", res.Stats.EnumSets)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("degraded run took %v; the fallback is not prompt", elapsed)
+	}
+}
+
+// TestExhaustiveEnumerationChainFallbackDisconnected: the chain fallback
+// must also produce a plan when the peeled relation has no predicate to
+// the prefix (Cartesian nested loops fill the gap). A star query peeled
+// from the highest relation hits that case for every prefix that skips
+// the hub-adjacent order.
+func TestExhaustiveEnumerationChainFallbackDisconnected(t *testing.T) {
+	// Relations 0..n-1 with the hub at index n-1: every prefix {r0..rk}
+	// for k < n-1 is predicate-disconnected internally, so the fallback
+	// must survive Cartesian-only prefixes.
+	q := buildShape(t, synthetic.Star, 16, 2)
+	m := costmodel.NewDefault(q)
+	two := objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+	opts := Options{
+		Objectives:  two,
+		Alpha:       3,
+		Enumeration: EnumExhaustive,
+		Timeout:     time.Millisecond,
+	}
+	res, err := RTA(m, objective.UniformWeights(two), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Tables != q.AllTables() {
+		t.Fatal("star chain-fallback did not produce a full plan")
+	}
+	if !res.Stats.TimedOut {
+		t.Skip("enumeration finished before the timeout; fallback not exercised")
+	}
+}
+
+// TestEnumerationCancelDuringScan: a context cancellation during level
+// materialization abandons the run promptly with the context's error
+// instead of degrading.
+func TestEnumerationCancelDuringScan(t *testing.T) {
+	q := buildShape(t, synthetic.Chain, 26, 1)
+	m := costmodel.NewDefault(q)
+	two := objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+	opts := Options{Objectives: two, Alpha: 3, Enumeration: EnumExhaustive}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RTAContext(ctx, m, objective.UniformWeights(two), opts)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+// TestEnumerationDeadlineGraphWalk: the graph-aware walk observes the
+// deadline too — a clique's connected-subset walk is as exponential as
+// the Gosper scan.
+func TestEnumerationDeadlineGraphWalk(t *testing.T) {
+	q := buildShape(t, synthetic.Clique, 20, 1)
+	m := costmodel.NewDefault(q)
+	two := objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+	opts := Options{
+		Objectives:  two,
+		Alpha:       3,
+		Enumeration: EnumGraph,
+		Timeout:     time.Millisecond,
+	}
+	res, err := RTA(m, objective.UniformWeights(two), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Tables != q.AllTables() {
+		t.Fatal("clique graph-walk fallback did not produce a full plan")
+	}
+	if !res.Stats.TimedOut {
+		t.Fatal("run with a 1ms timeout on a 20-clique walk did not report TimedOut")
+	}
+}

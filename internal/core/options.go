@@ -100,6 +100,15 @@ type Options struct {
 	// ignore the knob). Only the enumeration work differs
 	// (Stats.EnumSets, Stats.EnumSplits).
 	Enumeration EnumerationStrategy
+
+	// CaptureSnapshot asks the multi-objective algorithms (EXA, RTA,
+	// RTAVector, IRA) to extract a FrontierSnapshot of the final frontier
+	// into Result.Snapshot — the compact, weight/bound-free form the
+	// frontier cache stores. Degraded (timed-out) runs never produce a
+	// snapshot: their frontiers are truncated and must not be reused.
+	// The extraction is a post-pass over the finished memo; the hot path
+	// is unaffected when the flag is off.
+	CaptureSnapshot bool
 }
 
 // Normalize validates the options and fills in defaults.
@@ -178,6 +187,12 @@ type Stats struct {
 	EnumSplits int
 	// TimedOut reports whether the run hit its timeout and degraded.
 	TimedOut bool
+	// ReusedFrontier reports that the result was served from a cached
+	// FrontierSnapshot (a SelectBest scan, or an IRA refinement seeded
+	// from one) instead of a cold dynamic program. The effort counters
+	// (Considered, Stored, EnumSets, ...) then describe the originating
+	// run; Duration is the serve time of the reuse path itself.
+	ReusedFrontier bool
 	// Iterations counts IRA iterations (1 for non-iterative algorithms).
 	Iterations int
 	// IterationDetail records one entry per IRA iteration (empty for

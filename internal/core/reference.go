@@ -59,7 +59,7 @@ func referenceRun(m *costmodel.Model, w objective.Weights, b objective.Bounds, o
 	}
 	start := time.Now()
 	q := m.Query()
-	enum := enumerate(q, EnumExhaustive)
+	enum := enumerate(q, EnumExhaustive, nil)
 	memo := make(map[query.TableSet]*pareto.Archive, enum.total)
 	newArchive := func() *pareto.Archive {
 		if prec != nil {

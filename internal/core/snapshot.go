@@ -1,0 +1,554 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"time"
+
+	"moqo/internal/objective"
+	"moqo/internal/pareto"
+	"moqo/internal/plan"
+	"moqo/internal/query"
+)
+
+// costStride is the size of one cost row in a snapshot's backing arrays
+// (full nine-dimensional vectors, like pareto.FlatArchive).
+const costStride = int(objective.NumObjectives)
+
+// FrontierSnapshot is a compact, immutable, self-contained copy of the
+// (α-approximate) Pareto frontier of one finished optimization run — the
+// unit the frontier cache stores and ships. The frontier itself is
+// independent of the user's weights and bounds (the paper's central
+// observation, §3: pruning compares cost vectors, never weighted costs),
+// so a snapshot computed under one preference vector answers any later
+// weight or bound change with a SelectBest scan plus a single plan
+// materialization — microseconds instead of a dynamic program.
+//
+// A snapshot holds the frontier's cost rows and compact plan entries in
+// canonical order, plus the closed sub-memo those entries transitively
+// reference, re-indexed densely. Materialization is deferred exactly as
+// in the engine's hot path: *plan.Node trees are rebuilt from the entry
+// chains only for the plans a caller extracts, with shared subtrees
+// cached (plan.Materializer). Because the sub-memo is closed, a snapshot
+// survives serialization (MarshalBinary) and can persist to disk or ship
+// between moqod replicas.
+//
+// Snapshots are never built from degraded (timed-out) runs: a truncated
+// frontier carries no reuse guarantee.
+type FrontierSnapshot struct {
+	objs objective.Set
+	// setAlpha is the set-level approximation precision of the frontier:
+	// 1 for EXA (exact Pareto set), the requested αU for RTA, the final
+	// iteration's α(i) for IRA. It is what the seeded-IRA stopping
+	// condition may assume about the snapshot.
+	setAlpha float64
+	// pruneAlpha and prec mirror the originating run's per-level pruning
+	// configuration (internal precision), so rehydrated archives report
+	// the same Alpha()/Precision() as the cold run's.
+	pruneAlpha float64
+	prec       *objective.Precision
+	all        query.TableSet
+
+	// costs/entries are the frontier rows in canonical order (sorted by
+	// pareto.CompareCanonical, stable over insertion order) — the same
+	// permutation materializeFrontier applies, so SelectBest over the
+	// snapshot picks the same plan as SelectBest over a cold run.
+	costs   []float64
+	entries []plan.Entry
+	// subs is the closed sub-memo: every (table set, index) reachable
+	// from the frontier entries, sets ascending, densely re-indexed.
+	subs []snapshotSet
+
+	// inserted/rejected/evicted are the originating archive's counters.
+	inserted, rejected, evicted int
+	// stats is the originating run's effort (reuse answers report it
+	// with ReusedFrontier set).
+	stats Stats
+}
+
+// snapshotSet is the retained slice of one table set's archive.
+type snapshotSet struct {
+	set     query.TableSet
+	costs   []float64
+	entries []plan.Entry
+}
+
+// Len returns the number of frontier plans.
+func (s *FrontierSnapshot) Len() int { return len(s.entries) }
+
+// CostAt returns the i-th frontier cost vector (canonical order).
+func (s *FrontierSnapshot) CostAt(i int32) objective.Vector {
+	var v objective.Vector
+	copy(v[:], s.costs[int(i)*costStride:(int(i)+1)*costStride])
+	return v
+}
+
+// Objectives returns the active objective set of the originating run.
+func (s *FrontierSnapshot) Objectives() objective.Set { return s.objs }
+
+// SetAlpha returns the set-level approximation precision of the frontier
+// (1 = exact Pareto set).
+func (s *FrontierSnapshot) SetAlpha() float64 { return s.setAlpha }
+
+// Stats returns the originating run's effort statistics.
+func (s *FrontierSnapshot) Stats() Stats { return s.stats }
+
+// SelectBest implements the paper's SelectBest(P, W, B) over the snapshot
+// rows: the index of the frontier plan with minimal weighted cost among
+// those respecting the bounds, falling back to the overall minimum. Ties
+// break toward the earliest (canonical-order) plan, exactly as in the
+// cold path.
+func (s *FrontierSnapshot) SelectBest(w objective.Weights, b objective.Bounds) int32 {
+	return pareto.SelectBestRows(s.costs, w, b, s.objs)
+}
+
+// snapshotMemo adapts a snapshot to plan.Memo for materialization (the
+// frontier-accessor CostAt(i) and the memo CostAt(set, i) differ in
+// signature, so the adapter is a separate type).
+type snapshotMemo struct{ s *FrontierSnapshot }
+
+// find returns the retained slice for a table set (nil for the full set,
+// which lives in the frontier arrays).
+func (m snapshotMemo) find(t query.TableSet) *snapshotSet {
+	subs := m.s.subs
+	i := sort.Search(len(subs), func(i int) bool { return subs[i].set >= t })
+	if i < len(subs) && subs[i].set == t {
+		return &subs[i]
+	}
+	return nil
+}
+
+// EntryAt implements plan.Memo over the snapshot's closed sub-memo.
+func (m snapshotMemo) EntryAt(t query.TableSet, idx int32) plan.Entry {
+	if t == m.s.all {
+		return m.s.entries[idx]
+	}
+	return m.find(t).entries[idx]
+}
+
+// CostAt implements plan.Memo over the snapshot's closed sub-memo.
+func (m snapshotMemo) CostAt(t query.TableSet, idx int32) objective.Vector {
+	if t == m.s.all {
+		return m.s.CostAt(idx)
+	}
+	sub := m.find(t)
+	var v objective.Vector
+	copy(v[:], sub.costs[int(idx)*costStride:(int(idx)+1)*costStride])
+	return v
+}
+
+// Plans materializes all frontier plans, in canonical order, sharing
+// common subtrees — the snapshot counterpart of materializeFrontier.
+func (s *FrontierSnapshot) Plans() []*plan.Node {
+	mt := plan.NewMaterializer(snapshotMemo{s})
+	out := make([]*plan.Node, s.Len())
+	for i := range out {
+		out[i] = mt.Plan(s.all, int32(i))
+	}
+	return out
+}
+
+// archive rehydrates the snapshot into the legacy tree-backed archive,
+// with the originating run's pruning configuration and counters.
+func (s *FrontierSnapshot) archive() *pareto.Archive {
+	return pareto.NewMaterialized(s.objs, s.pruneAlpha, s.prec, s.Plans(), s.inserted, s.rejected, s.evicted)
+}
+
+// SizeBytes estimates the snapshot's in-memory footprint (cost rows plus
+// entry records across the frontier and the sub-memo) — the figure behind
+// the moqod snapshot-bytes gauge. It tracks the serialized size closely:
+// both are dominated by the same rows and entries.
+func (s *FrontierSnapshot) SizeBytes() int {
+	const entryBytes = 32 // op + 2 idx (int32) + 2 table sets (uint64), padded
+	n := 8*len(s.costs) + entryBytes*len(s.entries)
+	for i := range s.subs {
+		n += 16 + 8*len(s.subs[i].costs) + entryBytes*len(s.subs[i].entries)
+	}
+	return n + 128
+}
+
+// SelectFromSnapshot answers a weighted (and, for exact snapshots,
+// bounded) request from a cached frontier: a SelectBest scan over the
+// snapshot rows plus plan materialization. This is the re-weight fast
+// path — no dynamic program runs. The returned result is bit-for-bit the
+// one a cold run at the same weights and bounds would produce (plan,
+// cost vector, frontier); its Stats carry the originating run's effort
+// counters with ReusedFrontier set and Duration measuring the scan.
+func SelectFromSnapshot(snap *FrontierSnapshot, w objective.Weights, b objective.Bounds) (Result, error) {
+	if snap == nil || snap.Len() == 0 {
+		return Result{}, fmt.Errorf("core: empty frontier snapshot")
+	}
+	if !w.Valid() || !b.Valid() {
+		return Result{}, fmt.Errorf("core: invalid weights or bounds")
+	}
+	start := time.Now()
+	final := snap.archive()
+	best := final.Plans()[snap.SelectBest(w, b)]
+	st := snap.stats
+	st.ReusedFrontier = true
+	st.Duration = time.Since(start)
+	return Result{Best: best, Frontier: final, Stats: st, Snapshot: snap}, nil
+}
+
+// planRef identifies one stored sub-plan during snapshot extraction.
+type planRef struct {
+	set query.TableSet
+	idx int32
+}
+
+// snapshot extracts a FrontierSnapshot from a finished run: the full
+// set's frontier in canonical order plus the transitively reachable
+// sub-plans, densely re-indexed. Returns nil for an empty archive.
+func (e *engine) snapshot(flat *pareto.FlatArchive, setAlpha float64, st Stats) *FrontierSnapshot {
+	if flat == nil || flat.Len() == 0 {
+		return nil
+	}
+	cfg := e.flatConfig()
+	n := flat.Len()
+
+	// Canonical frontier order: the permutation materializeFrontier's
+	// stable sort applies to the extracted plans.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return pareto.CompareCanonical(flat.CostAt(order[i]), flat.CostAt(order[j])) < 0
+	})
+
+	s := &FrontierSnapshot{
+		objs:       cfg.Objectives(),
+		setAlpha:   setAlpha,
+		pruneAlpha: cfg.Alpha(),
+		prec:       cfg.Precision(),
+		all:        e.enum.all,
+		stats:      st,
+	}
+	s.inserted, s.rejected, s.evicted = flat.Stats()
+
+	// Transitive reachability over the memo, from the frontier entries
+	// down. Index-nested-loop inners (SyntheticInner) are synthetic index
+	// probes, not stored sub-plans, and carry no reference.
+	needed := make(map[query.TableSet]map[int32]bool)
+	var stack []planRef
+	push := func(ent plan.Entry) {
+		if ent.IsScan() {
+			return
+		}
+		stack = append(stack, planRef{ent.LeftSet, ent.LeftIdx})
+		if ent.RightIdx != plan.SyntheticInner {
+			stack = append(stack, planRef{ent.RightSet, ent.RightIdx})
+		}
+	}
+	for _, i := range order {
+		push(flat.EntryAt(i))
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m := needed[r.set]
+		if m == nil {
+			m = make(map[int32]bool)
+			needed[r.set] = m
+		}
+		if m[r.idx] {
+			continue
+		}
+		m[r.idx] = true
+		push(e.memo.EntryAt(r.set, r.idx))
+	}
+
+	// Dense re-indexing: sets ascending, retained indices ascending.
+	sets := make([]query.TableSet, 0, len(needed))
+	for t := range needed {
+		sets = append(sets, t)
+	}
+	slices.Sort(sets)
+	remap := make(map[planRef]int32, len(needed))
+	s.subs = make([]snapshotSet, len(sets))
+	for si, t := range sets {
+		idxs := make([]int32, 0, len(needed[t]))
+		for idx := range needed[t] {
+			idxs = append(idxs, idx)
+		}
+		slices.Sort(idxs)
+		sub := snapshotSet{
+			set:     t,
+			entries: make([]plan.Entry, len(idxs)),
+			costs:   make([]float64, 0, len(idxs)*costStride),
+		}
+		for ni, oi := range idxs {
+			remap[planRef{t, oi}] = int32(ni)
+			sub.entries[ni] = e.memo.EntryAt(t, oi)
+			v := e.memo.CostAt(t, oi)
+			sub.costs = append(sub.costs, v[:]...)
+		}
+		s.subs[si] = sub
+	}
+	rewrite := func(ent plan.Entry) plan.Entry {
+		if ent.IsScan() {
+			return ent
+		}
+		ent.LeftIdx = remap[planRef{ent.LeftSet, ent.LeftIdx}]
+		if ent.RightIdx != plan.SyntheticInner {
+			ent.RightIdx = remap[planRef{ent.RightSet, ent.RightIdx}]
+		}
+		return ent
+	}
+	for i := range s.subs {
+		for j := range s.subs[i].entries {
+			s.subs[i].entries[j] = rewrite(s.subs[i].entries[j])
+		}
+	}
+	s.entries = make([]plan.Entry, n)
+	s.costs = make([]float64, 0, n*costStride)
+	for ni, oi := range order {
+		s.entries[ni] = rewrite(flat.EntryAt(oi))
+		v := flat.CostAt(oi)
+		s.costs = append(s.costs, v[:]...)
+	}
+	return s
+}
+
+// Serialization: a versioned little-endian binary format, so snapshots
+// can persist to disk or ship between moqod replicas. The format is
+// self-contained (closed sub-memo included) and validated on decode.
+const (
+	snapshotMagic   = "MOQF"
+	snapshotVersion = 1
+)
+
+// MarshalBinary encodes the snapshot in the versioned binary format.
+func (s *FrontierSnapshot) MarshalBinary() ([]byte, error) {
+	w := binWriter{buf: make([]byte, 0, s.SizeBytes()+256)}
+	w.raw([]byte(snapshotMagic))
+	w.u16(snapshotVersion)
+	w.u16(uint16(s.objs))
+	w.f64(s.setAlpha)
+	w.f64(s.pruneAlpha)
+	if s.prec != nil {
+		w.u8(1)
+		for _, x := range s.prec {
+			w.f64(x)
+		}
+	} else {
+		w.u8(0)
+	}
+	w.u64(uint64(s.all))
+	w.u64(uint64(s.inserted))
+	w.u64(uint64(s.rejected))
+	w.u64(uint64(s.evicted))
+	w.u64(uint64(s.stats.Duration))
+	w.u64(uint64(s.stats.Considered))
+	w.u64(uint64(s.stats.Stored))
+	w.u64(uint64(s.stats.MemoryBytes))
+	w.u64(uint64(s.stats.ParetoLast))
+	w.u64(uint64(s.stats.EnumSets))
+	w.u64(uint64(s.stats.EnumSplits))
+	w.u64(uint64(s.stats.Iterations))
+	w.section(s.entries, s.costs)
+	w.u32(uint32(len(s.subs)))
+	for i := range s.subs {
+		w.u64(uint64(s.subs[i].set))
+		w.section(s.subs[i].entries, s.subs[i].costs)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalFrontierSnapshot decodes a snapshot encoded by MarshalBinary,
+// validating the format version, all array lengths, and that every entry
+// reference resolves within the snapshot's closed sub-memo.
+func UnmarshalFrontierSnapshot(data []byte) (*FrontierSnapshot, error) {
+	r := binReader{buf: data}
+	if string(r.raw(4)) != snapshotMagic {
+		return nil, fmt.Errorf("core: not a frontier snapshot (bad magic)")
+	}
+	if v := r.u16(); v != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported frontier snapshot version %d", v)
+	}
+	s := &FrontierSnapshot{}
+	s.objs = objective.Set(r.u16())
+	s.setAlpha = r.f64()
+	s.pruneAlpha = r.f64()
+	if r.u8() == 1 {
+		var p objective.Precision
+		for i := range p {
+			p[i] = r.f64()
+		}
+		s.prec = &p
+	}
+	s.all = query.TableSet(r.u64())
+	s.inserted = int(r.u64())
+	s.rejected = int(r.u64())
+	s.evicted = int(r.u64())
+	s.stats.Duration = time.Duration(r.u64())
+	s.stats.Considered = int(r.u64())
+	s.stats.Stored = int(r.u64())
+	s.stats.MemoryBytes = int64(r.u64())
+	s.stats.ParetoLast = int(r.u64())
+	s.stats.EnumSets = int(r.u64())
+	s.stats.EnumSplits = int(r.u64())
+	s.stats.Iterations = int(r.u64())
+	s.entries, s.costs = r.section()
+	nsubs := int(r.u32())
+	if r.err == nil && nsubs > r.remaining()/8 {
+		return nil, fmt.Errorf("core: corrupt frontier snapshot: sub-memo count %d exceeds payload", nsubs)
+	}
+	if r.err == nil {
+		s.subs = make([]snapshotSet, nsubs)
+		for i := 0; i < nsubs && r.err == nil; i++ {
+			s.subs[i].set = query.TableSet(r.u64())
+			s.subs[i].entries, s.subs[i].costs = r.section()
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("core: corrupt frontier snapshot: %w", r.err)
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("core: corrupt frontier snapshot: %d trailing bytes", len(r.buf)-r.off)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validate checks structural invariants after decode: sets sorted and
+// unique, every cost slice row-aligned with its entries, every entry
+// reference resolvable, every cost finite and non-negative.
+func (s *FrontierSnapshot) validate() error {
+	if len(s.entries) == 0 {
+		return fmt.Errorf("core: frontier snapshot with empty frontier")
+	}
+	lenOf := func(t query.TableSet) (int, bool) {
+		if sub := (snapshotMemo{s}).find(t); sub != nil {
+			return len(sub.entries), true
+		}
+		return 0, false
+	}
+	for i := range s.subs {
+		if i > 0 && s.subs[i-1].set >= s.subs[i].set {
+			return fmt.Errorf("core: corrupt frontier snapshot: sub-memo sets out of order")
+		}
+		if s.subs[i].set == s.all {
+			return fmt.Errorf("core: corrupt frontier snapshot: full set in sub-memo")
+		}
+	}
+	check := func(ents []plan.Entry, costs []float64) error {
+		if len(costs) != len(ents)*costStride {
+			return fmt.Errorf("core: corrupt frontier snapshot: cost rows misaligned")
+		}
+		for _, x := range costs {
+			if math.IsNaN(x) || x < 0 {
+				return fmt.Errorf("core: corrupt frontier snapshot: invalid cost value")
+			}
+		}
+		for _, ent := range ents {
+			if ent.IsScan() {
+				continue
+			}
+			if n, ok := lenOf(ent.LeftSet); !ok || int(ent.LeftIdx) >= n || ent.LeftIdx < 0 {
+				return fmt.Errorf("core: corrupt frontier snapshot: dangling left reference %v[%d]", ent.LeftSet, ent.LeftIdx)
+			}
+			if ent.RightIdx == plan.SyntheticInner {
+				if !ent.RightSet.Single() {
+					return fmt.Errorf("core: corrupt frontier snapshot: non-singleton index-probe inner")
+				}
+				continue
+			}
+			if n, ok := lenOf(ent.RightSet); !ok || int(ent.RightIdx) >= n || ent.RightIdx < 0 {
+				return fmt.Errorf("core: corrupt frontier snapshot: dangling right reference %v[%d]", ent.RightSet, ent.RightIdx)
+			}
+		}
+		return nil
+	}
+	if err := check(s.entries, s.costs); err != nil {
+		return err
+	}
+	for i := range s.subs {
+		if err := check(s.subs[i].entries, s.subs[i].costs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// binWriter appends little-endian primitives to a growing buffer.
+type binWriter struct{ buf []byte }
+
+func (w *binWriter) raw(p []byte) { w.buf = append(w.buf, p...) }
+func (w *binWriter) u8(x uint8)   { w.buf = append(w.buf, x) }
+func (w *binWriter) u16(x uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, x) }
+func (w *binWriter) u32(x uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, x) }
+func (w *binWriter) u64(x uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, x) }
+func (w *binWriter) f64(x float64) {
+	w.u64(math.Float64bits(x))
+}
+
+// section writes one (entries, costs) archive slice.
+func (w *binWriter) section(ents []plan.Entry, costs []float64) {
+	w.u32(uint32(len(ents)))
+	for _, e := range ents {
+		w.u32(uint32(e.Op))
+		w.u32(uint32(e.LeftIdx))
+		w.u32(uint32(e.RightIdx))
+		w.u64(uint64(e.LeftSet))
+		w.u64(uint64(e.RightSet))
+	}
+	for _, c := range costs {
+		w.f64(c)
+	}
+}
+
+// binReader reads little-endian primitives, latching the first error.
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *binReader) raw(n int) []byte {
+	if r.err != nil || r.remaining() < n {
+		r.err = fmt.Errorf("truncated at offset %d", r.off)
+		return make([]byte, n)
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *binReader) u8() uint8    { return r.raw(1)[0] }
+func (r *binReader) u16() uint16  { return binary.LittleEndian.Uint16(r.raw(2)) }
+func (r *binReader) u32() uint32  { return binary.LittleEndian.Uint32(r.raw(4)) }
+func (r *binReader) u64() uint64  { return binary.LittleEndian.Uint64(r.raw(8)) }
+func (r *binReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// section reads one (entries, costs) archive slice.
+func (r *binReader) section() ([]plan.Entry, []float64) {
+	n := int(r.u32())
+	const perEntry = 28 + 8*costStride // encoded bytes per stored plan
+	if r.err != nil || n > r.remaining()/perEntry+1 {
+		if r.err == nil {
+			r.err = fmt.Errorf("entry count %d exceeds payload at offset %d", n, r.off)
+		}
+		return nil, nil
+	}
+	ents := make([]plan.Entry, n)
+	for i := range ents {
+		ents[i].Op = int32(r.u32())
+		ents[i].LeftIdx = int32(r.u32())
+		ents[i].RightIdx = int32(r.u32())
+		ents[i].LeftSet = query.TableSet(r.u64())
+		ents[i].RightSet = query.TableSet(r.u64())
+	}
+	costs := make([]float64, n*costStride)
+	for i := range costs {
+		costs[i] = r.f64()
+	}
+	return ents, costs
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+)
+
+// snapRTA runs RTA with snapshot capture and returns both.
+func snapRTA(t *testing.T, m *costmodel.Model, w objective.Weights, opts Options) (Result, *FrontierSnapshot) {
+	t.Helper()
+	opts.CaptureSnapshot = true
+	res, err := RTA(m, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot == nil {
+		t.Fatal("RTA with CaptureSnapshot returned no snapshot")
+	}
+	return res, res.Snapshot
+}
+
+// TestSnapshotMatchesRun: the snapshot's frontier is exactly the run's
+// materialized frontier — same length, same canonical order, same cost
+// vectors, same plan trees.
+func TestSnapshotMatchesRun(t *testing.T) {
+	for _, alpha := range []float64{1, 1.5, 3} {
+		m := costmodel.NewDefault(starQuery(t))
+		opts := smallOpts(threeObjs)
+		opts.Alpha = alpha
+		w := objective.UniformWeights(threeObjs)
+		res, snap := snapRTA(t, m, w, opts)
+
+		if snap.Len() != res.Frontier.Len() {
+			t.Fatalf("alpha %v: snapshot has %d plans, frontier %d", alpha, snap.Len(), res.Frontier.Len())
+		}
+		plans := snap.Plans()
+		for i, p := range res.Frontier.Plans() {
+			if snap.CostAt(int32(i)) != p.Cost {
+				t.Fatalf("alpha %v: cost %d differs: %v vs %v", alpha, i, snap.CostAt(int32(i)), p.Cost)
+			}
+			if plans[i].Format(m.Query()) != p.Format(m.Query()) {
+				t.Fatalf("alpha %v: plan %d differs:\n%s\nvs\n%s", alpha, i,
+					plans[i].Format(m.Query()), p.Format(m.Query()))
+			}
+		}
+	}
+}
+
+// TestSelectFromSnapshotMatchesCold: for random re-weights (and, for
+// exact snapshots, re-bounds) the snapshot-served result is bit-for-bit
+// the cold run's — plan, cost vector, frontier.
+func TestSelectFromSnapshotMatchesCold(t *testing.T) {
+	q := starQuery(t)
+	m := costmodel.NewDefault(q)
+	opts := smallOpts(threeObjs)
+	opts.Alpha = 1.5
+	r := rand.New(rand.NewSource(7))
+	_, snap := snapRTA(t, m, objective.UniformWeights(threeObjs), opts)
+
+	for trial := 0; trial < 25; trial++ {
+		w := randomWeights(r, threeObjs)
+		cold, err := RTA(m, w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := SelectFromSnapshot(snap, w, objective.NoBounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Stats.ReusedFrontier {
+			t.Fatal("reuse result not flagged ReusedFrontier")
+		}
+		if warm.Best.Cost != cold.Best.Cost {
+			t.Fatalf("trial %d: best cost differs: %v vs %v", trial, warm.Best.Cost, cold.Best.Cost)
+		}
+		if warm.Best.Format(q) != cold.Best.Format(q) {
+			t.Fatalf("trial %d: best plan differs:\n%s\nvs\n%s", trial, warm.Best.Format(q), cold.Best.Format(q))
+		}
+		if !reflect.DeepEqual(warm.Frontier.Frontier(), cold.Frontier.Frontier()) {
+			t.Fatalf("trial %d: frontier vectors differ", trial)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip: MarshalBinary/UnmarshalFrontierSnapshot is an
+// exact round trip — the decoded snapshot is deep-equal and serves the
+// same SelectBest answers.
+func TestSnapshotRoundTrip(t *testing.T) {
+	q := starQuery(t)
+	m := costmodel.NewDefault(q)
+	opts := smallOpts(threeObjs)
+	opts.Alpha = 1.5
+	_, snap := snapRTA(t, m, objective.UniformWeights(threeObjs), opts)
+
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalFrontierSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatal("decoded snapshot is not deep-equal to the original")
+	}
+	data2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encoding the decoded snapshot changed the bytes")
+	}
+
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		w := randomWeights(r, threeObjs)
+		a, err := SelectFromSnapshot(snap, w, objective.NoBounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SelectFromSnapshot(back, w, objective.NoBounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Best.Cost != b.Best.Cost || a.Best.Format(q) != b.Best.Format(q) {
+			t.Fatalf("trial %d: decoded snapshot serves a different plan", trial)
+		}
+	}
+}
+
+// TestSnapshotDecodeRejectsCorruption: truncations, trailing garbage,
+// bad magic/version and dangling references are all rejected.
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	m := costmodel.NewDefault(chainQuery(t))
+	opts := smallOpts(threeObjs)
+	opts.Alpha = 1.5
+	_, snap := snapRTA(t, m, objective.UniformWeights(threeObjs), opts)
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := UnmarshalFrontierSnapshot(data[:len(data)/2]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if _, err := UnmarshalFrontierSnapshot(append(append([]byte{}, data...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := UnmarshalFrontierSnapshot(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte{}, data...)
+	bad[4] = 0xFF // version
+	if _, err := UnmarshalFrontierSnapshot(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := UnmarshalFrontierSnapshot(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+// TestSnapshotNotCapturedWhenDegraded: a timed-out run never yields a
+// snapshot — truncated frontiers must not enter the frontier cache.
+func TestSnapshotNotCapturedWhenDegraded(t *testing.T) {
+	m := costmodel.NewDefault(starQuery(t))
+	opts := smallOpts(threeObjs)
+	opts.Alpha = 1.5
+	opts.Timeout = 1 // nanosecond: degrade immediately
+	opts.CaptureSnapshot = true
+	res, err := RTA(m, objective.UniformWeights(threeObjs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.TimedOut {
+		t.Skip("run finished within a nanosecond; cannot exercise the degraded path")
+	}
+	if res.Snapshot != nil {
+		t.Fatal("degraded run produced a frontier snapshot")
+	}
+}
+
+// TestIRASeededGuarantee: IRA seeded from a snapshot of the same
+// weight/bound-free request meets the same Theorem 6 guarantee as cold
+// IRA, across random weights and bounds.
+func TestIRASeededGuarantee(t *testing.T) {
+	q := chainQuery(t)
+	m := costmodel.NewDefault(q)
+	opts := smallOpts(threeObjs)
+	r := rand.New(rand.NewSource(99))
+
+	minima, err := ObjectiveMinima(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alphaU := range []float64{1.15, 1.5, 2} {
+		iopts := opts
+		iopts.Alpha = alphaU
+		iopts.CaptureSnapshot = true
+
+		// Seed: one cold IRA run under arbitrary weights/bounds.
+		seedW := randomWeights(r, threeObjs)
+		seedB := objective.NoBounds().
+			With(objective.TotalTime, minima[objective.TotalTime]*(1+r.Float64()))
+		seedRes, err := IRA(m, seedW, seedB, iopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seedRes.Snapshot == nil {
+			t.Fatal("IRA with CaptureSnapshot returned no snapshot")
+		}
+
+		for trial := 0; trial < 10; trial++ {
+			w := randomWeights(r, threeObjs)
+			b := objective.NoBounds().
+				With(objective.TotalTime, minima[objective.TotalTime]*(1+r.Float64())).
+				With(objective.TupleLoss, r.Float64())
+			exact, err := EXA(m, w, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exactRespects := b.Respects(exact.Best.Cost, threeObjs)
+
+			res, err := IRASeededContext(nil, m, w, b, iopts, seedRes.Snapshot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Stats.ReusedFrontier {
+				t.Fatalf("alphaU %v trial %d: seeded IRA result not flagged ReusedFrontier", alphaU, trial)
+			}
+			if exactRespects && !b.Respects(res.Best.Cost, threeObjs) {
+				t.Fatalf("alphaU %v trial %d: feasible instance but seeded IRA plan violates bounds", alphaU, trial)
+			}
+			if got, opt := w.Cost(res.Best.Cost), w.Cost(exact.Best.Cost); got > opt*alphaU*(1+1e-9) {
+				t.Fatalf("alphaU %v trial %d: seeded IRA cost %v exceeds %v * optimum %v", alphaU, trial, got, alphaU, opt)
+			}
+		}
+	}
+}
+
+// TestIRASeededRejectsMismatch: a seed over different objectives is
+// rejected rather than silently serving a wrong frontier.
+func TestIRASeededRejectsMismatch(t *testing.T) {
+	m := costmodel.NewDefault(chainQuery(t))
+	opts := smallOpts(threeObjs)
+	opts.Alpha = 1.5
+	opts.CaptureSnapshot = true
+	res, err := IRA(m, objective.UniformWeights(threeObjs), objective.NoBounds(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+	bad := smallOpts(two)
+	bad.Alpha = 1.5
+	if _, err := IRASeededContext(nil, m, objective.UniformWeights(two), objective.NoBounds(), bad, res.Snapshot); err == nil {
+		t.Fatal("seed with mismatched objectives accepted")
+	}
+	if _, err := IRASeededContext(nil, m, objective.UniformWeights(two), objective.NoBounds(), bad, nil); err == nil {
+		t.Fatal("nil seed accepted")
+	}
+}

@@ -58,8 +58,8 @@ func TestEnumerateGraphMatchesExhaustiveLevels(t *testing.T) {
 	for _, tc := range differentialShapes {
 		for seed := int64(1); seed <= 3; seed++ {
 			q := buildShape(t, tc.shape, tc.tables, seed)
-			ex := enumerate(q, EnumExhaustive)
-			gr := enumerate(q, EnumGraph)
+			ex := enumerate(q, EnumExhaustive, nil)
+			gr := enumerate(q, EnumGraph, nil)
 			if !gr.graphAware || ex.graphAware {
 				t.Fatalf("%s: strategies resolved to graphAware=%v/%v", tc.shape, gr.graphAware, ex.graphAware)
 			}
@@ -95,7 +95,7 @@ func TestEnumerateGraphMatchesExhaustiveLevels(t *testing.T) {
 // has to be treated.
 func TestEnumerateGraphFallsBackWhenDisconnected(t *testing.T) {
 	q := disconnectedQuery(t)
-	e := enumerate(q, EnumGraph)
+	e := enumerate(q, EnumGraph, nil)
 	if e.graphAware {
 		t.Fatal("graph strategy did not fall back on a disconnected join graph")
 	}

@@ -35,4 +35,11 @@
 //
 // Precision-vector variants (NewPrecisionArchive, NewFlatPrecisionConfig)
 // support the per-objective RTA extension of internal/core.RTAVector.
+//
+// CompareCanonical and SelectBestRows are the shared row-level
+// primitives behind result reproducibility and frontier reuse: the
+// engine's extracted frontiers and core.FrontierSnapshot both sort by
+// CompareCanonical and select with SelectBestRows' tie-breaking, which
+// is what makes a snapshot-served re-weight answer bit-for-bit equal to
+// a cold run's.
 package pareto

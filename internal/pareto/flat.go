@@ -173,6 +173,52 @@ func (a *FlatArchive) Frontier() []objective.Vector {
 	return out
 }
 
+// CompareCanonical orders two cost vectors lexicographically over all nine
+// objectives — the canonical frontier order shared by the engine's
+// materialized frontiers and the frontier snapshots of the reuse path.
+// Sorting by it (stably, so insertion order breaks ties) makes an
+// extracted frontier independent of how the run was scheduled, which is
+// what lets a snapshot-served answer match a cold run bit for bit.
+func CompareCanonical(a, b objective.Vector) int {
+	for o := 0; o < stride; o++ {
+		switch {
+		case a[o] < b[o]:
+			return -1
+		case a[o] > b[o]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// SelectBestRows is the paper's SelectBest(P, W, B) over a contiguous
+// cost-row slice (stride nine, as stored by FlatArchive and by frontier
+// snapshots): the index of the row with minimal weighted cost among those
+// respecting the bounds, falling back to the minimal weighted cost overall
+// when no row is within bounds. Ties break toward the earliest row, so the
+// choice is deterministic and — over canonically sorted rows — identical
+// to SelectBest over the materialized plans. Returns -1 for no rows.
+func SelectBestRows(costs []float64, w objective.Weights, b objective.Bounds, objs objective.Set) int32 {
+	bestIn, bestAny := int32(-1), int32(-1)
+	bestInCost, bestAnyCost := 0.0, 0.0
+	n := len(costs) / stride
+	for i := 0; i < n; i++ {
+		var v objective.Vector
+		copy(v[:], costs[i*stride:(i+1)*stride])
+		c := w.Cost(v)
+		if bestAny < 0 || c < bestAnyCost {
+			bestAny, bestAnyCost = int32(i), c
+		}
+		if b.Respects(v, objs) && (bestIn < 0 || c < bestInCost) {
+			bestIn, bestInCost = int32(i), c
+		}
+	}
+	if bestIn >= 0 {
+		return bestIn
+	}
+	return bestAny
+}
+
 // BestBy returns the index of the stored plan minimizing the given scalar
 // metric (-1 for an empty archive). Ties break toward the earliest plan,
 // keeping results deterministic.
@@ -192,22 +238,7 @@ func (a *FlatArchive) BestBy(scalar func(objective.Vector) float64) int32 {
 // those respecting the bounds, or — if none respects the bounds — the
 // minimal weighted cost overall. Returns -1 only for an empty archive.
 func (a *FlatArchive) SelectBest(w objective.Weights, b objective.Bounds) int32 {
-	bestIn, bestAny := int32(-1), int32(-1)
-	bestInCost, bestAnyCost := 0.0, 0.0
-	for i := 0; i < a.Len(); i++ {
-		v := a.CostAt(int32(i))
-		c := w.Cost(v)
-		if bestAny < 0 || c < bestAnyCost {
-			bestAny, bestAnyCost = int32(i), c
-		}
-		if b.Respects(v, a.cfg.objs) && (bestIn < 0 || c < bestInCost) {
-			bestIn, bestInCost = int32(i), c
-		}
-	}
-	if bestIn >= 0 {
-		return bestIn
-	}
-	return bestAny
+	return SelectBestRows(a.costs, w, b, a.cfg.objs)
 }
 
 // Reset empties the archive, keeping the backing arrays (and counters at

@@ -69,6 +69,11 @@ func (s TableSet) First() int {
 	return bits.TrailingZeros64(uint64(s))
 }
 
+// Top returns the index of the highest relation in the set; -1 if empty.
+func (s TableSet) Top() int {
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
 // Relations returns the relation indexes of the set in ascending order.
 func (s TableSet) Relations() []int {
 	out := make([]int, 0, s.Len())

@@ -12,13 +12,25 @@
 //	GET  /metrics   — JSON snapshot of request, latency and cache counters
 //	GET  /healthz   — liveness probe
 //
-// Requests are served through a sharded LRU plan cache (internal/cache)
-// keyed by moqo.Request.CacheKey, with single-flight coalescing so a burst
-// of identical requests runs the engine once. Cancellations propagate: a
-// client disconnect aborts the in-flight dynamic program via
-// moqo.OptimizeContext, and per-request deadlines degrade gracefully
-// through the paper's timeout path. Timed-out (degraded) results are never
-// cached, so every cache hit serves a full-fidelity result.
+// Requests are served through a two-tier plan cache (internal/cache):
+//
+//   - An exact-result tier keyed by moqo.Request.CacheKey — a repeat of
+//     the identical request (weights and bounds included) is a lookup.
+//   - A frontier tier keyed by the weight/bound-free
+//     moqo.Request.FrontierKey, holding compact Pareto-frontier
+//     snapshots. A request that differs from a cached one only in
+//     weights or bounds — the paper's Figure 3 re-weighting scenario —
+//     is answered by a SelectBest scan over the snapshot in
+//     microseconds instead of a new dynamic program (EXA/RTA reuse the
+//     frontier outright; IRA seeds its refinement from it).
+//
+// Both tiers coalesce concurrent identical keys (single-flight), so a
+// burst of requests for one query shape — even under distinct weights —
+// runs the engine once. Cancellations propagate: a client disconnect
+// aborts the in-flight dynamic program via moqo.OptimizeContext, and
+// per-request deadlines degrade gracefully through the paper's timeout
+// path. Timed-out (degraded) results are never stored in either tier, so
+// every cached answer is a full-fidelity result.
 package server
 
 import (
@@ -39,12 +51,19 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// CacheCapacity bounds the plan cache (entries). 0 means the default
-	// (1024); negative disables caching entirely.
+	// CacheCapacity bounds the exact-result tier of the plan cache
+	// (entries). 0 means the default (1024); negative disables caching
+	// entirely (both tiers).
 	CacheCapacity int
 	// CacheShards is the shard count of the plan cache (rounded up to a
-	// power of two; 0 picks the cache default).
+	// power of two; 0 picks the cache default). Applies to both tiers.
 	CacheShards int
+	// FrontierCacheCapacity bounds the frontier tier: FrontierSnapshots
+	// keyed by the weight/bound-free moqo.Request.FrontierKey, from which
+	// weight/bound changes are answered with a SelectBest scan instead of
+	// a new optimization. 0 means the default (512); negative disables
+	// the tier (re-weight requests then always recompute).
+	FrontierCacheCapacity int
 	// DefaultTimeout applies to requests without timeout_ms (default 30s).
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps per-request timeouts (default 2m).
@@ -65,6 +84,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheCapacity == 0 {
 		o.CacheCapacity = 1024
 	}
+	if o.FrontierCacheCapacity == 0 {
+		o.FrontierCacheCapacity = 512
+	}
 	if o.DefaultTimeout == 0 {
 		o.DefaultTimeout = 30 * time.Second
 	}
@@ -82,7 +104,12 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts  Options
 	cache *cache.Cache[OptimizeResponse] // nil when caching is disabled
-	start time.Time
+	// frontier is the snapshot tier, keyed by moqo.Request.FrontierKey
+	// (nil when disabled). It is consulted on exact-tier misses for
+	// algorithms with reusable frontiers; a hit serves the request by a
+	// SelectBest scan over the cached snapshot (moqo.ReoptimizeContext).
+	frontier *cache.Cache[*moqo.FrontierSnapshot]
+	start    time.Time
 
 	catMu    sync.Mutex
 	catalogs map[float64]*moqo.Catalog // TPC-H catalogs by scale factor
@@ -90,6 +117,12 @@ type Server struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	inFlight atomic.Int64
+	// reweightServed counts requests answered from a cached frontier
+	// snapshot (hit or coalesced on the frontier tier) rather than a DP.
+	reweightServed atomic.Uint64
+	// snapshotBytes gauges the estimated bytes of snapshots currently in
+	// the frontier tier (adds on store, subtracts via the eviction hook).
+	snapshotBytes atomic.Int64
 
 	latMu      sync.Mutex
 	latencies  []float64 // ring buffer of recent /optimize latencies (ms)
@@ -111,6 +144,12 @@ func New(opts Options) *Server {
 	}
 	if opts.CacheCapacity > 0 {
 		s.cache = cache.New[OptimizeResponse](opts.CacheCapacity, opts.CacheShards)
+		if opts.FrontierCacheCapacity > 0 {
+			s.frontier = cache.New[*moqo.FrontierSnapshot](opts.FrontierCacheCapacity, opts.CacheShards)
+			s.frontier.OnEvict(func(_ string, snap *moqo.FrontierSnapshot) {
+				s.snapshotBytes.Add(-int64(snap.SizeBytes()))
+			})
+		}
 	}
 	return s
 }
@@ -187,7 +226,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		resp, _, err = s.compute(ctx, req)
 	} else {
 		var src cache.Source
-		resp, src, err = s.cache.Do(ctx, key, s.computeFunc(req))
+		resp, src, err = s.cache.Do(ctx, key, func(cctx context.Context) (OptimizeResponse, bool, error) {
+			// Exact-tier miss: consult the frontier tier before running a
+			// cold dynamic program (the re-weight fast path).
+			return s.computeViaFrontier(cctx, req)
+		})
 		if err == nil {
 			resp.Cached = src != cache.Miss
 		}
@@ -210,11 +253,66 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// computeFunc adapts compute to the cache's single-flight signature.
-func (s *Server) computeFunc(req moqo.Request) func(context.Context) (OptimizeResponse, bool, error) {
-	return func(ctx context.Context) (OptimizeResponse, bool, error) {
+// computeViaFrontier serves an exact-tier miss through the frontier
+// tier: if a snapshot for the request's weight/bound-free FrontierKey is
+// cached (or being computed by a concurrent request for the same shape
+// under different weights — the tier's single-flight coalesces them),
+// the request is answered by a SelectBest scan over the snapshot in
+// microseconds. Otherwise this caller runs the cold optimization, and
+// its snapshot populates the tier for every later re-weight.
+func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (OptimizeResponse, bool, error) {
+	if s.frontier == nil || !req.ReusableFrontier() {
 		return s.compute(ctx, req)
 	}
+	fkey, err := req.FrontierKey()
+	if err != nil {
+		return OptimizeResponse{}, false, err
+	}
+	var lead *moqo.Result
+	snap, _, err := s.frontier.Do(ctx, fkey, func(cctx context.Context) (*moqo.FrontierSnapshot, bool, error) {
+		res, sn, cerr := moqo.OptimizeSnapshotContext(cctx, req)
+		if cerr != nil {
+			return nil, false, cerr
+		}
+		lead = res
+		if sn != nil {
+			// Degraded runs return sn == nil and are stored in neither
+			// tier; the store flag below keeps them out of this one.
+			s.snapshotBytes.Add(int64(sn.SizeBytes()))
+		}
+		return sn, sn != nil, nil
+	})
+	if err != nil {
+		return OptimizeResponse{}, false, err
+	}
+	if lead != nil {
+		// This caller ran the cold DP (leader, or a retrier after a
+		// non-shareable outcome): answer from its own full result.
+		resp, rerr := toResponse(lead)
+		if rerr != nil {
+			return OptimizeResponse{}, false, rerr
+		}
+		return resp, !lead.Stats.TimedOut, nil
+	}
+	if snap == nil {
+		return s.compute(ctx, req)
+	}
+	res, newSnap, err := moqo.ReoptimizeContext(ctx, req, snap)
+	if err != nil {
+		return OptimizeResponse{}, false, err
+	}
+	s.reweightServed.Add(1)
+	if newSnap != nil && newSnap != snap {
+		// A seeded IRA refined past the cached snapshot: keep the finer
+		// frontier (Put's eviction hook releases the replaced one).
+		s.snapshotBytes.Add(int64(newSnap.SizeBytes()))
+		s.frontier.Put(fkey, newSnap)
+	}
+	resp, err := toResponse(res)
+	if err != nil {
+		return OptimizeResponse{}, false, err
+	}
+	return resp, !res.Stats.TimedOut, nil
 }
 
 // compute runs one optimization and renders it; the bool reports whether
@@ -281,6 +379,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Entries:   st.Entries,
 			Capacity:  st.Capacity,
 			HitRatio:  st.HitRatio(),
+		}
+	}
+	if s.frontier != nil {
+		st := s.frontier.Stats()
+		m.FrontierCache = FrontierCacheMetrics{
+			Enabled:        true,
+			Hits:           st.Hits,
+			Misses:         st.Misses,
+			Coalesced:      st.Coalesced,
+			Evictions:      st.Evictions,
+			Entries:        st.Entries,
+			Capacity:       st.Capacity,
+			HitRatio:       st.HitRatio(),
+			ReweightServed: s.reweightServed.Load(),
+			SnapshotBytes:  s.snapshotBytes.Load(),
 		}
 	}
 	s.writeJSON(w, http.StatusOK, m)

@@ -292,6 +292,29 @@ func TestPerRequestTimeoutDegrades(t *testing.T) {
 	if !degraded.Stats.TimedOut {
 		t.Skip("machine too fast to observe the 1ms timeout")
 	}
+	// Degraded results must be rejected by BOTH cache tiers: the exact
+	// result tier (no entry to hit) and the frontier tier (no snapshot —
+	// a truncated frontier must never serve re-weights).
+	m := metrics(t, ts)
+	if m.Cache.Entries != 0 {
+		t.Errorf("degraded result entered the exact-result tier (%d entries)", m.Cache.Entries)
+	}
+	if m.FrontierCache.Entries != 0 {
+		t.Errorf("degraded frontier entered the frontier tier (%d entries)", m.FrontierCache.Entries)
+	}
+	if m.FrontierCache.SnapshotBytes != 0 {
+		t.Errorf("degraded run left %d snapshot bytes in the gauge", m.FrontierCache.SnapshotBytes)
+	}
+	// A re-weighted request (same FrontierKey, different weights) must
+	// not be served from a degraded frontier either.
+	reweighted := strings.Replace(expensive(1), `"weights": {"total_time": 1}`, `"weights": {"total_time": 2}`, 1)
+	status, re, raw := post(t, ts, reweighted)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if re.Stats.ReusedFrontier {
+		t.Error("re-weight was served from a degraded frontier")
+	}
 	// The second run may time out too (2s); what matters is that it was
 	// computed fresh rather than served the degraded cache entry.
 	status, full, raw := post(t, ts, expensive(2000))
@@ -317,6 +340,147 @@ func TestFrontierToggle(t *testing.T) {
 	}
 	if !withFrontier.Cached {
 		t.Error("frontier toggle caused a cache miss")
+	}
+}
+
+// reweightRequest renders a q8 RTA request with the given total_time
+// weight — all such requests share a FrontierKey and differ in CacheKey.
+func reweightRequest(weight float64) string {
+	return fmt.Sprintf(`{
+		"tpch": 8, "alpha": 1.5, "algorithm": "rta",
+		"objectives": ["total_time", "buffer_footprint", "energy"],
+		"weights": {"total_time": %g, "energy": 0.3}
+	}`, weight)
+}
+
+// TestReweightServedFromFrontier: a weight change on a cached query
+// shape is answered from the frontier tier (stats.reused_frontier)
+// without a new optimization, and the per-tier metrics account for it.
+func TestReweightServedFromFrontier(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	status, cold, raw := post(t, ts, reweightRequest(1))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if cold.Stats.ReusedFrontier || cold.Cached {
+		t.Fatal("first request cannot be served from a cache")
+	}
+
+	status, warm, raw := post(t, ts, reweightRequest(2))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if !warm.Stats.ReusedFrontier {
+		t.Fatal("re-weight was not served from the frontier tier")
+	}
+	if warm.Cached {
+		t.Error("re-weight reported an exact-tier hit")
+	}
+	// The reused answer is a real answer: compare against an uncached
+	// cold run at the same weights.
+	status, fresh, raw := post(t, ts, `{"no_cache": true,`+reweightRequest(2)[1:])
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if !bytes.Equal(warm.Plan, fresh.Plan) {
+		t.Errorf("frontier-served plan differs from a cold run:\n%s\nvs\n%s", warm.Plan, fresh.Plan)
+	}
+	for k, v := range fresh.Cost {
+		if warm.Cost[k] != v {
+			t.Errorf("frontier-served cost[%s] = %v, cold %v", k, warm.Cost[k], v)
+		}
+	}
+
+	// Exact repeat of the re-weight: now the exact tier answers.
+	status, again, _ := post(t, ts, reweightRequest(2))
+	if status != http.StatusOK {
+		t.Fatal("repeat failed")
+	}
+	if !again.Cached {
+		t.Error("exact repeat missed the exact-result tier")
+	}
+
+	m := metrics(t, ts)
+	if !m.FrontierCache.Enabled {
+		t.Fatal("frontier tier not enabled by default")
+	}
+	if m.FrontierCache.Entries != 1 || m.FrontierCache.Misses != 1 {
+		t.Errorf("frontier tier entries=%d misses=%d, want 1/1", m.FrontierCache.Entries, m.FrontierCache.Misses)
+	}
+	if m.FrontierCache.Hits != 1 {
+		t.Errorf("frontier tier hits=%d, want 1", m.FrontierCache.Hits)
+	}
+	if m.FrontierCache.ReweightServed != 1 {
+		t.Errorf("reweight_served=%d, want 1", m.FrontierCache.ReweightServed)
+	}
+	if m.FrontierCache.SnapshotBytes <= 0 {
+		t.Errorf("snapshot_bytes=%d, want > 0", m.FrontierCache.SnapshotBytes)
+	}
+}
+
+// TestFrontierSingleFlightUnderConcurrentReweights: concurrent requests
+// for one query shape under DISTINCT weights coalesce on the frontier
+// tier — the optimizer runs the cold DP once, every other request is
+// served by a frontier scan (or coalesces onto the in-flight DP).
+func TestFrontierSingleFlightUnderConcurrentReweights(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	const n = 8
+	var wg sync.WaitGroup
+	responses := make([]OptimizeResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, resp, raw := post(t, ts, reweightRequest(float64(i+1)))
+			if status != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", status, raw)
+				return
+			}
+			responses[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	m := metrics(t, ts)
+	// Distinct weights -> distinct CacheKeys, one shared FrontierKey: the
+	// cold DP must have run exactly once.
+	if m.FrontierCache.Misses != 1 {
+		t.Fatalf("frontier tier misses=%d, want 1 (single flight broken)", m.FrontierCache.Misses)
+	}
+	if got := m.FrontierCache.Hits + m.FrontierCache.Coalesced; got != n-1 {
+		t.Errorf("frontier hits+coalesced=%d, want %d", got, n-1)
+	}
+	if m.FrontierCache.ReweightServed != n-1 {
+		t.Errorf("reweight_served=%d, want %d", m.FrontierCache.ReweightServed, n-1)
+	}
+	reused := 0
+	for _, resp := range responses {
+		if resp.Stats.ReusedFrontier {
+			reused++
+		}
+	}
+	if reused != n-1 {
+		t.Errorf("%d responses flagged reused_frontier, want %d", reused, n-1)
+	}
+}
+
+// TestFrontierTierDisabled: a negative FrontierCacheCapacity turns the
+// tier off — re-weights recompute, metrics stay disabled.
+func TestFrontierTierDisabled(t *testing.T) {
+	ts := newTestServer(t, Options{FrontierCacheCapacity: -1})
+	post(t, ts, reweightRequest(1))
+	_, warm, _ := post(t, ts, reweightRequest(2))
+	if warm.Stats.ReusedFrontier {
+		t.Error("re-weight served from a disabled frontier tier")
+	}
+	m := metrics(t, ts)
+	if m.FrontierCache.Enabled {
+		t.Error("frontier tier reported enabled")
 	}
 }
 

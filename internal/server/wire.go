@@ -144,6 +144,12 @@ type StatsResponse struct {
 	EnumSplits int  `json:"enum_splits"`
 	TimedOut   bool `json:"timed_out"`
 	Iterations int  `json:"iterations"`
+	// ReusedFrontier reports that the response was served from a cached
+	// frontier snapshot (a SelectBest scan, or an IRA refinement seeded
+	// from one) instead of a cold dynamic program — the frontier tier's
+	// re-weight fast path. The effort counters above then describe the
+	// originating run; duration_ms is the serve time of the reuse path.
+	ReusedFrontier bool `json:"reused_frontier"`
 }
 
 // ErrorResponse is the JSON body of a non-2xx response.
@@ -157,7 +163,12 @@ type MetricsResponse struct {
 	UptimeMs float64        `json:"uptime_ms"`
 	Requests RequestMetrics `json:"requests"`
 	Cache    CacheMetrics   `json:"cache"`
-	Latency  LatencyMetrics `json:"latency_ms"`
+	// FrontierCache snapshots the frontier tier (all-zero when disabled):
+	// cached Pareto-frontier snapshots keyed by the weight/bound-free
+	// request prefix, from which re-weight traffic is served without
+	// re-optimizing.
+	FrontierCache FrontierCacheMetrics `json:"frontier_cache"`
+	Latency       LatencyMetrics       `json:"latency_ms"`
 }
 
 // RequestMetrics counts /optimize traffic.
@@ -178,6 +189,28 @@ type CacheMetrics struct {
 	Entries   int     `json:"entries"`
 	Capacity  int     `json:"capacity"`
 	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// FrontierCacheMetrics snapshots the frontier tier of the plan cache
+// (all-zero when the tier is disabled). Hits/Misses/Coalesced/Evictions
+// count tier lookups like CacheMetrics does for the exact-result tier;
+// the tier is only consulted on exact-tier misses for algorithms with
+// reusable frontiers (exa, rta, ira).
+type FrontierCacheMetrics struct {
+	Enabled   bool    `json:"enabled"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRatio  float64 `json:"hit_ratio"`
+	// ReweightServed counts requests answered from a cached snapshot —
+	// a SelectBest scan (or seeded IRA) instead of a cold optimization.
+	ReweightServed uint64 `json:"reweight_served"`
+	// SnapshotBytes gauges the estimated memory of the snapshots
+	// currently cached in the tier.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
 }
 
 // LatencyMetrics summarizes served /optimize latencies over a sliding
@@ -426,15 +459,16 @@ func toResponse(res *moqo.Result) (OptimizeResponse, error) {
 		Cost:      cost,
 		Frontier:  frontier,
 		Stats: StatsResponse{
-			DurationMs:  float64(res.Stats.Duration) / float64(time.Millisecond),
-			Considered:  res.Stats.Considered,
-			Stored:      res.Stats.Stored,
-			MemoryBytes: res.Stats.MemoryBytes,
-			ParetoLast:  res.Stats.ParetoLast,
-			EnumSets:    res.Stats.EnumSets,
-			EnumSplits:  res.Stats.EnumSplits,
-			TimedOut:    res.Stats.TimedOut,
-			Iterations:  res.Stats.Iterations,
+			DurationMs:     float64(res.Stats.Duration) / float64(time.Millisecond),
+			Considered:     res.Stats.Considered,
+			Stored:         res.Stats.Stored,
+			MemoryBytes:    res.Stats.MemoryBytes,
+			ParetoLast:     res.Stats.ParetoLast,
+			EnumSets:       res.Stats.EnumSets,
+			EnumSplits:     res.Stats.EnumSplits,
+			TimedOut:       res.Stats.TimedOut,
+			Iterations:     res.Stats.Iterations,
+			ReusedFrontier: res.Stats.ReusedFrontier,
 		},
 	}, nil
 }

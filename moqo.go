@@ -36,7 +36,11 @@
 // dynamic program promptly) and deadline handling (a context deadline
 // degrades gracefully, like Request.Timeout). Request.CacheKey computes
 // the canonical result fingerprint that the moqod service (cmd/moqod)
-// uses to cache plans across requests.
+// uses to cache plans across requests, and Request.FrontierKey its
+// weight/bound-free prefix: OptimizeSnapshot extracts a reusable
+// FrontierSnapshot alongside the result, and Reoptimize answers any
+// later weight or bound change on the same FrontierKey from it — a
+// SelectBest scan instead of a new optimization (see FrontierSnapshot).
 package moqo
 
 import (
@@ -430,12 +434,20 @@ func (req Request) resolve() (objs objective.Set, w objective.Weights, b objecti
 // of the two fires, untreated table sets get a single best-weighted plan,
 // and the call still returns a Result with Stats.TimedOut set.
 func OptimizeContext(ctx context.Context, req Request) (*Result, error) {
+	res, _, err := optimizeContext(ctx, req, false)
+	return res, err
+}
+
+// optimizeContext is the shared body of OptimizeContext (capture=false)
+// and OptimizeSnapshotContext (capture=true, which additionally extracts
+// the compact frontier snapshot of the run for the frontier cache).
+func optimizeContext(ctx context.Context, req Request, capture bool) (*Result, *core.FrontierSnapshot, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	objs, w, b, alg, alpha, err := req.resolve()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	params := costmodel.Default()
@@ -444,17 +456,18 @@ func OptimizeContext(ctx context.Context, req Request) (*Result, error) {
 	}
 	enum, err := req.Enumeration.coreStrategy()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := costmodel.New(req.Query, params)
 	opts := core.Options{
-		Objectives:    objs,
-		Alpha:         alpha,
-		Timeout:       req.Timeout,
-		MaxDOP:        req.MaxDOP,
-		AllowSampling: req.AllowSampling,
-		Workers:       req.Workers,
-		Enumeration:   enum,
+		Objectives:      objs,
+		Alpha:           alpha,
+		Timeout:         req.Timeout,
+		MaxDOP:          req.MaxDOP,
+		AllowSampling:   req.AllowSampling,
+		Workers:         req.Workers,
+		Enumeration:     enum,
+		CaptureSnapshot: capture,
 	}
 
 	var res core.Result
@@ -463,7 +476,7 @@ func OptimizeContext(ctx context.Context, req Request) (*Result, error) {
 		res, err = core.EXAContext(ctx, m, w, b, opts)
 	case AlgoRTA:
 		if !b.Unbounded(objs) {
-			return nil, fmt.Errorf("moqo: RTA does not support bounds; use AlgoIRA")
+			return nil, nil, fmt.Errorf("moqo: RTA does not support bounds; use AlgoIRA")
 		}
 		if len(req.Precisions) > 0 {
 			// Membership was validated by resolve.
@@ -482,10 +495,10 @@ func OptimizeContext(ctx context.Context, req Request) (*Result, error) {
 	case AlgoWeightedSum:
 		res, err = core.WeightedSumDPContext(ctx, m, w, opts)
 	default:
-		return nil, fmt.Errorf("moqo: unknown algorithm %v", alg)
+		return nil, nil, fmt.Errorf("moqo: unknown algorithm %v", alg)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := &Result{
 		Plan:      res.Best,
@@ -498,9 +511,9 @@ func OptimizeContext(ctx context.Context, req Request) (*Result, error) {
 		out.Frontier = res.Frontier.Plans()
 	}
 	if out.Plan == nil {
-		return nil, fmt.Errorf("moqo: no plan found")
+		return nil, nil, fmt.Errorf("moqo: no plan found")
 	}
-	return out, nil
+	return out, res.Snapshot, nil
 }
 
 // TPCHQuery builds TPC-H query num (1-22) against the catalog. The query

@@ -1,0 +1,279 @@
+package moqo_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"moqo"
+)
+
+// reuseQuery builds a fresh TPC-H query (fresh catalog object, so reuse
+// is keyed by content, not pointer identity).
+func reuseQuery(t *testing.T, num int) *moqo.Query {
+	t.Helper()
+	q, err := moqo.TPCHQuery(num, moqo.TPCHCatalog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// randWeights draws strictly positive weights on the given objectives.
+func randWeights(r *rand.Rand, objs []moqo.Objective) map[moqo.Objective]float64 {
+	w := make(map[moqo.Objective]float64, len(objs))
+	for _, o := range objs {
+		w[o] = 0.05 + r.Float64()
+	}
+	return w
+}
+
+// assertSameAnswer asserts two results agree bit-for-bit on plan, cost
+// vector and frontier.
+func assertSameAnswer(t *testing.T, label string, warm, cold *moqo.Result) {
+	t.Helper()
+	wj, err := warm.PlanJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := cold.PlanJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wj, cj) {
+		t.Fatalf("%s: plans differ:\n%s\nvs\n%s", label, wj, cj)
+	}
+	wf, cf := warm.FrontierVectors(), cold.FrontierVectors()
+	if len(wf) != len(cf) {
+		t.Fatalf("%s: frontier sizes differ: %d vs %d", label, len(wf), len(cf))
+	}
+	for i := range wf {
+		if wf[i] != cf[i] {
+			t.Fatalf("%s: frontier[%d] differs: %v vs %v", label, i, wf[i], cf[i])
+		}
+	}
+}
+
+// TestReoptimizeMatchesColdDifferential is the acceptance differential:
+// for EXA and RTA (scalar and per-objective precisions), the
+// frontier-tier answer — SelectBest over the cached snapshot — is
+// bit-for-bit identical to a cold full DP at randomly perturbed weights
+// (and bounds, for EXA), across snapshot serialization.
+func TestReoptimizeMatchesColdDifferential(t *testing.T) {
+	objs := []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint, moqo.TupleLoss}
+	r := rand.New(rand.NewSource(2024))
+
+	cases := []struct {
+		name   string
+		tpch   int
+		mutate func(*moqo.Request)
+		bounds bool
+	}{
+		{name: "rta", tpch: 5, mutate: func(req *moqo.Request) {
+			req.Algorithm = moqo.AlgoRTA
+			req.Alpha = 1.5
+		}},
+		{name: "rta-precisions", tpch: 5, mutate: func(req *moqo.Request) {
+			req.Algorithm = moqo.AlgoRTA
+			req.Alpha = 2
+			req.Precisions = map[moqo.Objective]float64{
+				moqo.TotalTime:       1,
+				moqo.BufferFootprint: 2,
+				moqo.TupleLoss:       1.5,
+			}
+		}},
+		{name: "exa", tpch: 3, mutate: func(req *moqo.Request) {
+			req.Algorithm = moqo.AlgoEXA
+		}, bounds: true},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := reuseQuery(t, tc.tpch)
+			base := moqo.Request{Query: q, Objectives: objs, Weights: randWeights(r, objs)}
+			tc.mutate(&base)
+
+			_, snap, err := moqo.OptimizeSnapshot(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap == nil {
+				t.Fatal("no snapshot extracted")
+			}
+			// The differential crosses the serialization boundary: the warm
+			// side serves from a decoded snapshot, like a restarted or
+			// remote moqod replica would.
+			data, err := snap.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := moqo.UnmarshalFrontierSnapshot(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for trial := 0; trial < 12; trial++ {
+				req := base
+				req.Weights = randWeights(r, objs)
+				if tc.bounds && trial%2 == 1 {
+					req.Bounds = map[moqo.Objective]float64{
+						moqo.TupleLoss: r.Float64(),
+					}
+				} else {
+					req.Bounds = nil
+				}
+				// Fresh query object: content-keyed reuse, not pointer-keyed.
+				req.Query = reuseQuery(t, tc.tpch)
+
+				cold, err := moqo.Optimize(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm, keep, err := moqo.Reoptimize(req, decoded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if keep != decoded {
+					t.Fatal("EXA/RTA reuse returned a different snapshot to cache")
+				}
+				if !warm.Stats.ReusedFrontier {
+					t.Fatal("reuse result not flagged ReusedFrontier")
+				}
+				if warm.Algorithm != cold.Algorithm {
+					t.Fatalf("algorithms differ: %v vs %v", warm.Algorithm, cold.Algorithm)
+				}
+				for _, o := range objs {
+					if warm.Cost(o) != cold.Cost(o) {
+						t.Fatalf("trial %d: cost %v differs: %v vs %v", trial, o, warm.Cost(o), cold.Cost(o))
+					}
+				}
+				assertSameAnswer(t, tc.name, warm, cold)
+			}
+		})
+	}
+}
+
+// TestReoptimizeIRASeeded: a bounded request seeds IRA from the cached
+// snapshot; the answer must respect the bounds whenever the cold answer
+// does and stay within alphaU of the cold bounded optimum (the Theorem 6
+// guarantee — seeded IRA certifies through the same stopping condition,
+// not necessarily at the same iteration).
+func TestReoptimizeIRASeeded(t *testing.T) {
+	objs := []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint, moqo.TupleLoss}
+	r := rand.New(rand.NewSource(7))
+	const alphaU = 1.5
+
+	q := reuseQuery(t, 3)
+	base := moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoIRA,
+		Alpha:      alphaU,
+		Objectives: objs,
+		Weights:    randWeights(r, objs),
+		Bounds:     map[moqo.Objective]float64{moqo.TupleLoss: 0.5},
+	}
+	_, snap, err := moqo.OptimizeSnapshot(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no IRA snapshot extracted")
+	}
+
+	for trial := 0; trial < 8; trial++ {
+		req := base
+		req.Query = reuseQuery(t, 3)
+		req.Weights = randWeights(r, objs)
+		req.Bounds = map[moqo.Objective]float64{moqo.TupleLoss: r.Float64()}
+
+		// The exact bounded optimum, for the guarantee check.
+		exactReq := req
+		exactReq.Algorithm = moqo.AlgoEXA
+		exactReq.Alpha = 0
+		exactReq.Precisions = nil
+		exact, err := moqo.Optimize(exactReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		warm, _, err := moqo.Reoptimize(req, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted := func(res *moqo.Result) float64 {
+			c := 0.0
+			for o, x := range req.Weights {
+				c += x * res.Cost(o)
+			}
+			return c
+		}
+		exactRespects := exact.Cost(moqo.TupleLoss) <= req.Bounds[moqo.TupleLoss]
+		if exactRespects && warm.Cost(moqo.TupleLoss) > req.Bounds[moqo.TupleLoss] {
+			t.Fatalf("trial %d: feasible instance but seeded IRA plan violates bounds", trial)
+		}
+		if got, opt := weighted(warm), weighted(exact); got > opt*alphaU*(1+1e-9) {
+			t.Fatalf("trial %d: seeded IRA weighted cost %v exceeds %v x optimum %v", trial, got, alphaU, opt)
+		}
+	}
+}
+
+// TestSnapshotAPISurface: non-reusable algorithms yield no snapshot,
+// degraded runs yield no snapshot, and Reoptimize rejects a snapshot
+// from a different frontier (alpha change) or algorithm.
+func TestSnapshotAPISurface(t *testing.T) {
+	objs := []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint}
+	q := reuseQuery(t, 3)
+	base := moqo.Request{
+		Query:      q,
+		Algorithm:  moqo.AlgoRTA,
+		Alpha:      1.5,
+		Objectives: objs,
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1},
+	}
+
+	selinger := base
+	selinger.Algorithm = moqo.AlgoSelinger
+	if res, snap, err := moqo.OptimizeSnapshot(selinger); err != nil || res == nil {
+		t.Fatalf("selinger: %v", err)
+	} else if snap != nil {
+		t.Fatal("selinger produced a frontier snapshot")
+	}
+	if selinger.ReusableFrontier() {
+		t.Fatal("selinger reported a reusable frontier")
+	}
+	if !base.ReusableFrontier() {
+		t.Fatal("RTA did not report a reusable frontier")
+	}
+
+	degraded := base
+	degraded.Timeout = time.Nanosecond
+	if res, snap, err := moqo.OptimizeSnapshot(degraded); err != nil {
+		t.Fatal(err)
+	} else if res.Stats.TimedOut && snap != nil {
+		t.Fatal("degraded run produced a frontier snapshot")
+	}
+
+	_, snap, err := moqo.OptimizeSnapshot(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.Alpha = 2
+	if _, _, err := moqo.Reoptimize(other, snap); err == nil {
+		t.Fatal("snapshot at alpha 1.5 accepted for an alpha 2 request")
+	}
+	exa := base
+	exa.Algorithm = moqo.AlgoEXA
+	if _, _, err := moqo.Reoptimize(exa, snap); err == nil {
+		t.Fatal("RTA snapshot accepted for an EXA request")
+	}
+	bounded := base
+	bounded.Bounds = map[moqo.Objective]float64{moqo.TotalTime: 1e12}
+	if _, _, err := moqo.Reoptimize(bounded, snap); err == nil {
+		t.Fatal("RTA snapshot accepted for a bounded request")
+	}
+	if _, _, err := moqo.Reoptimize(base, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}
