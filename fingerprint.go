@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 	"strconv"
-	"strings"
 
 	"moqo/internal/costmodel"
 	"moqo/internal/objective"
@@ -72,24 +71,33 @@ func (req Request) CacheKey() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	var sb strings.Builder
-	sb.Grow(len(fk) + 64)
-	sb.WriteString(fk)
-	sb.WriteString("|w=")
-	for i, o := range objs.IDs() {
-		if i > 0 {
-			sb.WriteByte(',')
+	buf := make([]byte, 0, len(fk)+64)
+	buf = append(buf, fk...)
+	buf = append(buf, "|w="...)
+	first := true
+	for o := objective.ID(0); o < objective.NumObjectives; o++ {
+		if !objs.Contains(o) {
+			continue
 		}
-		sb.WriteString(fmtFloat(w[o]))
-	}
-	sb.WriteString("|b=")
-	for i, o := range objs.IDs() {
-		if i > 0 {
-			sb.WriteByte(',')
+		if !first {
+			buf = append(buf, ',')
 		}
-		sb.WriteString(fmtFloat(b[o]))
+		first = false
+		buf = appendFloat(buf, w[o])
 	}
-	return sb.String(), nil
+	buf = append(buf, "|b="...)
+	first = true
+	for o := objective.ID(0); o < objective.NumObjectives; o++ {
+		if !objs.Contains(o) {
+			continue
+		}
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = appendFloat(buf, b[o])
+	}
+	return string(buf), nil
 }
 
 // frontierKeyResolved builds the FrontierKey and hands back the resolved
@@ -107,65 +115,99 @@ func (req Request) frontierKeyResolved() (string, objective.Set, objective.Weigh
 		return "", 0, w, b, err
 	}
 
-	var sb strings.Builder
-	sb.Grow(256)
-	sb.WriteString("moqo2|cat=")
+	// The key is built with strconv appends into one buffer rather than
+	// fmt verbs: it is on the serving fast path (the moqod tiers compute
+	// keys on every request, including re-weights answered in
+	// microseconds), and fmt's boxing used to dominate that path's
+	// allocations. The byte stream is unchanged.
+	buf := make([]byte, 0, 256)
+	buf = append(buf, "moqo2|cat="...)
 	cat := req.Query.Catalog()
-	fmt.Fprintf(&sb, "%016x", cat.Fingerprint())
+	buf = appendHex16(buf, cat.Fingerprint())
 
 	// Join graph: relations in from-clause order (table identity via the
 	// catalog-stable name, plus the filter selectivity), join edges
 	// canonicalized endpoint-low-first and sorted. User-controlled strings
 	// (table and column names) are length-prefixed so no choice of names
 	// can make two different graphs encode identically.
-	sb.WriteString("|q=")
+	buf = append(buf, "|q="...)
 	for i, r := range req.Query.Relations {
 		if i > 0 {
-			sb.WriteByte(',')
+			buf = append(buf, ',')
 		}
 		name := cat.Table(r.Table).Name
-		fmt.Fprintf(&sb, "%d:%s=%s", len(name), name, fmtFloat(r.FilterSel))
+		buf = strconv.AppendInt(buf, int64(len(name)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, name...)
+		buf = append(buf, '=')
+		buf = appendFloat(buf, r.FilterSel)
 	}
-	sb.WriteString("|e=")
+	buf = append(buf, "|e="...)
 	edges := make([]string, 0, len(req.Query.Edges))
+	var eb []byte
 	for _, e := range req.Query.Edges {
 		l, r, lc, rc := e.Left, e.Right, e.LeftCol, e.RightCol
 		if r < l {
 			l, r, lc, rc = r, l, rc, lc
 		}
-		edges = append(edges, fmt.Sprintf("%d.%d:%s-%d.%d:%s=%s",
-			l, len(lc), lc, r, len(rc), rc, fmtFloat(e.Selectivity)))
+		eb = eb[:0]
+		eb = strconv.AppendInt(eb, int64(l), 10)
+		eb = append(eb, '.')
+		eb = strconv.AppendInt(eb, int64(len(lc)), 10)
+		eb = append(eb, ':')
+		eb = append(eb, lc...)
+		eb = append(eb, '-')
+		eb = strconv.AppendInt(eb, int64(r), 10)
+		eb = append(eb, '.')
+		eb = strconv.AppendInt(eb, int64(len(rc)), 10)
+		eb = append(eb, ':')
+		eb = append(eb, rc...)
+		eb = append(eb, '=')
+		eb = appendFloat(eb, e.Selectivity)
+		edges = append(edges, string(eb))
 	}
 	sort.Strings(edges)
-	sb.WriteString(strings.Join(edges, ","))
+	for i, e := range edges {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, e...)
+	}
 
-	fmt.Fprintf(&sb, "|alg=%s", alg)
+	buf = append(buf, "|alg="...)
+	buf = append(buf, alg.String()...)
 	switch alg {
 	case AlgoRTA, AlgoIRA:
-		fmt.Fprintf(&sb, "|alpha=%s", fmtFloat(alpha))
+		buf = append(buf, "|alpha="...)
+		buf = appendFloat(buf, alpha)
 	}
 
 	// Objectives in request order: the order is semantically relevant for
 	// AlgoSelinger (which optimizes the first listed objective) and cheap
 	// to keep canonical for the rest.
-	sb.WriteString("|objs=")
+	buf = append(buf, "|objs="...)
 	for i, o := range req.Objectives {
 		if i > 0 {
-			sb.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		sb.WriteString(o.String())
+		buf = append(buf, o.String()...)
 	}
 	if len(req.Precisions) > 0 {
-		sb.WriteString("|prec=")
-		for i, o := range objs.IDs() {
-			if i > 0 {
-				sb.WriteByte(',')
+		buf = append(buf, "|prec="...)
+		first := true
+		for o := objective.ID(0); o < objective.NumObjectives; o++ {
+			if !objs.Contains(o) {
+				continue
 			}
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
 			p, ok := req.Precisions[o]
 			if !ok {
 				p = 1
 			}
-			sb.WriteString(fmtFloat(p))
+			buf = appendFloat(buf, p)
 		}
 	}
 
@@ -177,18 +219,34 @@ func (req Request) frontierKeyResolved() (string, objective.Set, objective.Weigh
 	if req.AllowSampling != nil {
 		sampling = *req.AllowSampling
 	}
-	fmt.Fprintf(&sb, "|dop=%d|smp=%t", maxDOP, sampling)
+	buf = append(buf, "|dop="...)
+	buf = strconv.AppendInt(buf, int64(maxDOP), 10)
+	buf = append(buf, "|smp="...)
+	buf = strconv.AppendBool(buf, sampling)
 
 	if req.CostParams != nil && *req.CostParams != costmodel.Default() {
-		fmt.Fprintf(&sb, "|params=%v", *req.CostParams)
+		buf = fmt.Appendf(buf, "|params=%v", *req.CostParams)
 	}
-	return sb.String(), objs, w, b, nil
+	return string(buf), objs, w, b, nil
 }
 
-// fmtFloat renders a float in shortest round-trip form (handles ±Inf).
-func fmtFloat(x float64) string {
+// appendFloat appends a float in shortest round-trip form (handles +Inf,
+// the bounds' "unbounded" value).
+func appendFloat(b []byte, x float64) []byte {
 	if math.IsInf(x, 1) {
-		return "inf"
+		return append(b, "inf"...)
 	}
-	return strconv.FormatFloat(x, 'g', -1, 64)
+	return strconv.AppendFloat(b, x, 'g', -1, 64)
+}
+
+// appendHex16 appends a uint64 as 16 zero-padded lowercase hex digits
+// (the catalog-fingerprint field, fmt's %016x).
+func appendHex16(b []byte, x uint64) []byte {
+	const digits = "0123456789abcdef"
+	var d [16]byte
+	for i := 15; i >= 0; i-- {
+		d[i] = digits[x&0xf]
+		x >>= 4
+	}
+	return append(b, d[:]...)
 }

@@ -117,6 +117,10 @@ type TopologyPoint struct {
 
 	Exhaustive TopologyRun `json:"exhaustive"`
 	Graph      TopologyRun `json:"graph"`
+	// Auto is the density-adaptive arm (EnumAuto): per table set it picks
+	// subset scan, tree edge-cut enumeration, or complement-pruned
+	// traversal — the arm a caller gets by default.
+	Auto TopologyRun `json:"auto"`
 
 	// SplitReduction is Exhaustive.EnumSplits / Graph.EnumSplits — the
 	// headline metric: how much split-scanning work the join graph's
@@ -126,6 +130,10 @@ type TopologyPoint struct {
 	SetScanReduction float64 `json:"set_scan_reduction"`
 	// Speedup is Exhaustive.Ms / Graph.Ms.
 	Speedup float64 `json:"speedup"`
+	// AutoSpeedup is Exhaustive.Ms / Auto.Ms — what the adaptive
+	// enumeration delivers end to end, including the mid-density cells
+	// where pure traversal loses to the scan.
+	AutoSpeedup float64 `json:"auto_speedup"`
 }
 
 // TopologyScaling measures enumeration work and wall time across
@@ -178,6 +186,9 @@ func TopologyScaling(spec TopologySpec) ([]TopologyPoint, error) {
 			if pt.Graph, err = run(core.EnumGraph); err != nil {
 				return nil, fmt.Errorf("%s-%d graph: %w", arm.Shape, n, err)
 			}
+			if pt.Auto, err = run(core.EnumAuto); err != nil {
+				return nil, fmt.Errorf("%s-%d auto: %w", arm.Shape, n, err)
+			}
 			pt.Ntotal = pt.Graph.EnumSets
 			if pt.Graph.EnumSplits > 0 {
 				pt.SplitReduction = float64(pt.Exhaustive.EnumSplits) / float64(pt.Graph.EnumSplits)
@@ -188,10 +199,18 @@ func TopologyScaling(spec TopologySpec) ([]TopologyPoint, error) {
 			if pt.Graph.Ms > 0 {
 				pt.Speedup = pt.Exhaustive.Ms / pt.Graph.Ms
 			}
+			if pt.Auto.Ms > 0 {
+				pt.AutoSpeedup = pt.Exhaustive.Ms / pt.Auto.Ms
+			}
 			if !pt.Exhaustive.TimedOut && !pt.Graph.TimedOut &&
 				pt.Exhaustive.Considered != pt.Graph.Considered {
 				return nil, fmt.Errorf("%s-%d: strategies considered %d vs %d candidates — equivalence broken",
 					arm.Shape, n, pt.Exhaustive.Considered, pt.Graph.Considered)
+			}
+			if !pt.Exhaustive.TimedOut && !pt.Auto.TimedOut &&
+				pt.Exhaustive.Considered != pt.Auto.Considered {
+				return nil, fmt.Errorf("%s-%d: auto considered %d vs exhaustive %d candidates — equivalence broken",
+					arm.Shape, n, pt.Auto.Considered, pt.Exhaustive.Considered)
 			}
 			out = append(out, pt)
 		}
@@ -202,18 +221,19 @@ func TopologyScaling(spec TopologySpec) ([]TopologyPoint, error) {
 // RenderTopology renders the topology measurements as a text table.
 func RenderTopology(pts []TopologyPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%10s %3s %12s %12s %9s %12s %12s %8s\n",
-		"shape", "n", "scan splits", "graph splits", "reduction", "scan (ms)", "graph (ms)", "speedup")
+	fmt.Fprintf(&b, "%10s %3s %12s %12s %9s %12s %12s %12s %8s %8s\n",
+		"shape", "n", "scan splits", "graph splits", "reduction", "scan (ms)", "graph (ms)", "auto (ms)", "speedup", "auto spd")
 	for _, p := range pts {
 		mark := ""
-		if p.Exhaustive.TimedOut || p.Graph.TimedOut {
+		if p.Exhaustive.TimedOut || p.Graph.TimedOut || p.Auto.TimedOut {
 			mark = ">" // timed out: numbers are lower bounds
 		}
-		fmt.Fprintf(&b, "%10s %3d %12d %12d %8.0fx %12s %12s %7.2fx\n",
+		fmt.Fprintf(&b, "%10s %3d %12d %12d %8.0fx %12s %12s %12s %7.2fx %7.2fx\n",
 			p.Shape, p.N, p.Exhaustive.EnumSplits, p.Graph.EnumSplits, p.SplitReduction,
 			fmt.Sprintf("%s%.1f", mark, p.Exhaustive.Ms),
 			fmt.Sprintf("%s%.1f", mark, p.Graph.Ms),
-			p.Speedup)
+			fmt.Sprintf("%s%.1f", mark, p.Auto.Ms),
+			p.Speedup, p.AutoSpeedup)
 	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"sync/atomic"
 )
 
 // PageSize is the buffer/disk page size in bytes (Postgres default).
@@ -43,6 +44,12 @@ type Catalog struct {
 	tables  []Table
 	byName  map[string]TableID
 	indexes map[TableID]map[string]Index
+	// fp caches Fingerprint (0 = not yet computed; the sentinel only
+	// costs a recompute in the astronomically unlikely case the hash is
+	// exactly 0). AddTable/AddIndex reset it. Atomic because finished
+	// catalogs are shared across request goroutines, each of which may
+	// fingerprint concurrently.
+	fp atomic.Uint64
 }
 
 // New builds an empty catalog.
@@ -65,6 +72,7 @@ func (c *Catalog) AddTable(name string, rows float64, width int, pkColumn string
 	id := TableID(len(c.tables))
 	c.tables = append(c.tables, Table{ID: id, Name: name, Rows: rows, Width: width, PKColumn: pkColumn})
 	c.byName[name] = id
+	c.fp.Store(0)
 	if pkColumn != "" {
 		c.AddIndex(id, pkColumn, true)
 	}
@@ -82,6 +90,7 @@ func (c *Catalog) AddIndex(t TableID, column string, unique bool) {
 		c.indexes[t] = m
 	}
 	m[column] = Index{Table: t, Column: column, Unique: unique}
+	c.fp.Store(0)
 }
 
 // Table returns the statistics of table t.
@@ -134,11 +143,17 @@ func (c *Catalog) NumTables() int { return len(c.tables) }
 // what versions cached optimization results: the cost model reads nothing
 // of a catalog beyond the hashed fields. User-controlled strings (table
 // and column names) are length-prefixed, so no choice of names can make
-// two different catalogs encode — and therefore hash — identically. The
-// fingerprint is recomputed on every call (catalogs are small), keeping
-// the method safe for concurrent use on a catalog that is no longer being
-// mutated.
+// two different catalogs encode — and therefore hash — identically.
+//
+// The hash is computed on first use and cached — a long-lived catalog
+// serves every request's cache-key build without rehashing. AddTable and
+// AddIndex invalidate the cache; editing statistics in place through the
+// Table pointer after the first Fingerprint call is not tracked (build a
+// fresh catalog for a new statistics version, as the tests do).
 func (c *Catalog) Fingerprint() uint64 {
+	if fp := c.fp.Load(); fp != 0 {
+		return fp
+	}
 	h := fnv.New64a()
 	for i := range c.tables {
 		t := &c.tables[i]
@@ -148,7 +163,9 @@ func (c *Catalog) Fingerprint() uint64 {
 			fmt.Fprintf(h, "i|%d:%s|%t;", len(ix.Column), ix.Column, ix.Unique)
 		}
 	}
-	return h.Sum64()
+	fp := h.Sum64()
+	c.fp.Store(fp)
+	return fp
 }
 
 // MaxRows returns the maximal cardinality over all base tables — the

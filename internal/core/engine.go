@@ -480,6 +480,9 @@ func (w *worker) forEachCandidateFrom(s query.TableSet, lookup func(query.TableS
 		return w.forEachCandidateChain(s, lookup, fn)
 	}
 	if w.e.enum.graphAware {
+		if w.e.enum.adaptive {
+			return w.forEachCandidateAuto(s, lookup, fn)
+		}
 		return w.forEachCandidateGraph(s, lookup, fn)
 	}
 	e := w.e
@@ -566,10 +569,20 @@ type splitPair struct {
 // answer. The differential tests pin this equivalence.
 func (w *worker) forEachCandidateGraph(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
 	e := w.e
-	anchor := query.Singleton(s.First())
+	anchorV := e.q.MaxDegreeVertex(s)
+	anchor := query.Singleton(anchorV)
+	u := s.Minus(anchor)
+	nbr := e.q.Adjacent(anchorV).Intersect(s)
 	w.pairs = w.pairs[:0]
-	e.q.EachConnectedSubset(s.Minus(anchor), func(rest query.TableSet) bool {
+	e.q.EachConnectedSubset(u, func(rest query.TableSet) bool {
 		w.splits += 2
+		if nbr.SubsetOf(rest) && rest != u {
+			// DPhyp-style complement prune (see query.EachConnectedSplit):
+			// rest swallowed the anchor's whole neighborhood without taking
+			// everything, so the complement strands the anchor — it is
+			// disconnected, and its memo lookup would come back unstored.
+			return true
+		}
 		sub := s.Minus(rest)
 		if !lookup(sub).stored() || !lookup(rest).stored() {
 			// sub is disconnected (never enumerated, memo id -1) or a half
@@ -579,6 +592,15 @@ func (w *worker) forEachCandidateGraph(s query.TableSet, lookup func(query.Table
 		w.pairs = append(w.pairs, splitPair{sub, rest}, splitPair{rest, sub})
 		return true
 	})
+	return w.emitPairs(lookup, fn)
+}
+
+// emitPairs sorts the buffered ordered splits into the exhaustive scan's
+// canonical order (left operand descending) and feeds them to edgeSplit,
+// applying the left-deep filter. Shared tail of the graph-aware and
+// edge-cut candidate loops.
+func (w *worker) emitPairs(lookup func(query.TableSet) splitView, fn candidateFn) bool {
+	e := w.e
 	slices.SortFunc(w.pairs, func(a, b splitPair) int {
 		return cmp.Compare(b.left, a.left) // EachSubset order: left descending
 	})
@@ -591,6 +613,127 @@ func (w *worker) forEachCandidateGraph(s query.TableSet, lookup func(query.Table
 		}
 	}
 	return true
+}
+
+// autoScanMaxLen is the set size up to which the adaptive strategy always
+// takes the subset scan: below it, the 2^|s|-2 ordered subsets are fewer
+// than the bookkeeping of a traversal.
+const autoScanMaxLen = 5
+
+// forEachCandidateAuto is the density-adaptive candidate loop behind
+// EnumAuto: per table set it inspects size and internal edge count and
+// routes to the cheapest of three equivalent split enumerations —
+//
+//	|s| <= autoScanMaxLen        -> subset scan (forEachCandidateScan)
+//	edges == |s|-1 (tree)        -> edge-cut enumeration (forEachCandidateTree)
+//	density >= 1/2               -> subset scan
+//	otherwise                    -> anchored csg-cmp traversal (forEachCandidateGraph)
+//
+// All three emit the identical ordered splits in the identical canonical
+// order (each loop's comment argues its case), so the heuristic changes
+// Stats.EnumSplits — the scanning work — and nothing else. EnumGraph pins
+// the pure traversal precisely so the differential tests can hold this
+// loop against it set for set.
+func (w *worker) forEachCandidateAuto(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
+	k := s.Len()
+	if k <= autoScanMaxLen {
+		return w.forEachCandidateScan(s, lookup, fn)
+	}
+	edges := w.e.q.EdgeCount(s)
+	switch {
+	case edges == k-1:
+		return w.forEachCandidateTree(s, lookup, fn)
+	case 4*edges >= k*(k-1): // density 2E/(k(k-1)) >= 1/2
+		return w.forEachCandidateScan(s, lookup, fn)
+	default:
+		return w.forEachCandidateGraph(s, lookup, fn)
+	}
+}
+
+// forEachCandidateScan is the subset scan over a graph-aware memo: every
+// ordered 2-split of s in EachSubset order, kept when both halves are
+// stored. Because the graph-aware enumeration materializes exactly the
+// connected sets, "both stored" is "both connected", and s itself being
+// connected guarantees every surviving split carries a crossing join edge
+// — the exhaustive loop's ConnectedTo test and Cartesian fallback cannot
+// fire and are dropped (a connected s always has at least one valid
+// split, so the fallback is unreachable too). Emission order is literally
+// EachSubset order: canonical by construction, no buffering or sort.
+//
+// On dense sets this beats the traversal: nearly every subset is
+// connected, so the traversal enumerates as many rests as the scan visits
+// subsets but pays neighborhood expansion, pair buffering, and the
+// canonical sort on top.
+func (w *worker) forEachCandidateScan(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
+	e := w.e
+	abort := false
+	s.EachSubset(func(left, right query.TableSet) bool {
+		w.splits++
+		if e.opts.LeftDeepOnly && !right.Single() {
+			return true
+		}
+		vl, vr := lookup(left), lookup(right)
+		if !vl.stored() || !vr.stored() {
+			return true
+		}
+		if !w.edgeSplit(vl, vr, left, right, fn) {
+			abort = true
+			return false
+		}
+		return true
+	})
+	return !abort
+}
+
+// forEachCandidateTree is the edge-cut candidate loop for tree-shaped
+// table sets (edges == |s|-1): in a tree, a split with both halves
+// connected has exactly one crossing edge — fewer is disconnected, two or
+// more closes a cycle — so the valid splits are precisely the |s|-1 edge
+// cuts. One DFS from the set's first relation records pre-order and
+// parents; a reverse pre-order sweep accumulates each vertex's subtree;
+// every non-root vertex then yields the cut (its subtree, the rest), both
+// halves connected by construction. Total work O(|s|) against the
+// traversal's O(|s|) enumerated rests per valid split — the strongest
+// form of complement pruning: no enumerated candidate is ever discarded.
+// The stored() checks remain only for halves skipped after a
+// cancellation. Emission goes through the same canonical sort as the
+// traversal, so candidate order is unchanged.
+func (w *worker) forEachCandidateTree(s query.TableSet, lookup func(query.TableSet) splitView, fn candidateFn) bool {
+	e := w.e
+	root := int8(s.First())
+	w.treeStack[0] = root
+	sp, n := 1, 0
+	visited := query.Singleton(int(root))
+	for sp > 0 {
+		sp--
+		v := w.treeStack[sp]
+		w.treeOrder[n] = v
+		n++
+		w.treeSub[v] = query.Singleton(int(v))
+		for nb := e.q.Adjacent(int(v)).Intersect(s).Minus(visited); !nb.Empty(); {
+			u := nb.First()
+			nb = nb.Minus(query.Singleton(u))
+			visited = visited.Add(u)
+			w.treeParent[u] = v
+			w.treeStack[sp] = int8(u)
+			sp++
+		}
+	}
+	for i := n - 1; i >= 1; i-- {
+		v := w.treeOrder[i]
+		w.treeSub[w.treeParent[v]] = w.treeSub[w.treeParent[v]].Union(w.treeSub[v])
+	}
+	w.pairs = w.pairs[:0]
+	for i := 1; i < n; i++ {
+		cut := w.treeSub[w.treeOrder[i]]
+		rest := s.Minus(cut)
+		w.splits += 2
+		if !lookup(cut).stored() || !lookup(rest).stored() {
+			continue
+		}
+		w.pairs = append(w.pairs, splitPair{cut, rest}, splitPair{rest, cut})
+	}
+	return w.emitPairs(lookup, fn)
 }
 
 // forEachCandidateChain is the candidate loop of the enumeration's chain

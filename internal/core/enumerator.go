@@ -33,6 +33,11 @@ type enumeration struct {
 	// graphAware records which strategy the run resolved to; it also
 	// selects the engine's split enumeration (csg-cmp vs all subsets).
 	graphAware bool
+	// adaptive additionally enables the density-adaptive split enumeration
+	// (forEachCandidateAuto): per table set, scan vs edge-cut vs traversal.
+	// Set only for EnumAuto, so EnumGraph pins the pure traversal as the
+	// differential baseline.
+	adaptive bool
 	// chainFallback records that the run's deadline expired while the
 	// levels were still being materialized (the 2^n Gosper scan, or an
 	// exponentially large connected-subset walk). The levels were rebuilt
@@ -111,6 +116,7 @@ func enumerate(q *query.Query, strategy EnumerationStrategy, stop func() enumSig
 
 	if strategy != EnumExhaustive && connectedOnly {
 		e.graphAware = true
+		e.adaptive = strategy == EnumAuto
 		q.EachConnectedSubset(all, func(s query.TableSet) bool {
 			e.scanned++
 			k := s.Len()
@@ -181,6 +187,7 @@ func (e *enumeration) interrupt(q *query.Query, sig enumSignal) bool {
 func (e *enumeration) buildChainFallback(q *query.Query) {
 	e.chainFallback = true
 	e.graphAware = false
+	e.adaptive = false
 	e.levels = make([][]query.TableSet, e.n+1)
 	for r := 0; r < e.n; r++ {
 		s := query.Singleton(r)

@@ -40,6 +40,14 @@ type worker struct {
 	// be emitted in the exhaustive scan's canonical order (capacity
 	// reused across sets).
 	pairs []splitPair
+	// treeStack/treeOrder/treeParent/treeSub are the edge-cut candidate
+	// loop's per-worker scratch (forEachCandidateTree): DFS stack,
+	// pre-order, parent links, and accumulated subtree sets, indexed by
+	// relation (at most 64).
+	treeStack  [64]int8
+	treeOrder  [64]int8
+	treeParent [64]int8
+	treeSub    [64]query.TableSet
 }
 
 // observe polls the run's stop signals (amortized by the caller): the
@@ -112,21 +120,195 @@ func (w *worker) markDone(id int32, archiveLen int) {
 	w.maxDoneLen = archiveLen
 }
 
+// poolSpawned counts worker-goroutine launches process-wide. The
+// scheduler-churn regression benchmark reads it to show the persistent
+// pool spawns once per run, where the old per-level barrier respawned the
+// whole pool at every cardinality level.
+var poolSpawned atomic.Int64
+
+// deque is one worker's bounded work queue for the current level: a
+// contiguous index range [head, tail) into the level's set slice, packed
+// as head<<32|tail in a single atomic word. The owning worker claims from
+// the head, thieves claim from the tail; both sides CAS the same word, so
+// every index is claimed exactly once and the queue needs no lock and no
+// backing storage. Padded so neighboring deques don't share a cache line.
+type deque struct {
+	pos atomic.Uint64
+	_   [56]byte
+}
+
+func (d *deque) reset(head, tail int32) {
+	d.pos.Store(uint64(uint32(head))<<32 | uint64(uint32(tail)))
+}
+
+// popFront claims the next index for the owner; -1 when drained.
+func (d *deque) popFront() int32 {
+	for {
+		p := d.pos.Load()
+		h, t := int32(uint32(p>>32)), int32(uint32(p))
+		if h >= t {
+			return -1
+		}
+		if d.pos.CompareAndSwap(p, uint64(uint32(h+1))<<32|uint64(uint32(t))) {
+			return h
+		}
+	}
+}
+
+// popBack steals the last index from a victim; -1 when drained.
+func (d *deque) popBack() int32 {
+	for {
+		p := d.pos.Load()
+		h, t := int32(uint32(p>>32)), int32(uint32(p))
+		if h >= t {
+			return -1
+		}
+		if d.pos.CompareAndSwap(p, uint64(uint32(h))<<32|uint64(uint32(t-1))) {
+			return t - 1
+		}
+	}
+}
+
+// levelPool is the engine's persistent worker pool: nw-1 goroutines are
+// spawned once per run (the coordinator doubles as worker 0) and parked on
+// per-worker wake channels between levels. For each level the coordinator
+// partitions the level's set slice into contiguous per-worker chunks
+// (deques), wakes the pool, and participates; a worker that drains its own
+// deque steals from the tails of the others, so a straggler set no longer
+// idles the rest of the pool for the remainder of the level.
+type levelPool struct {
+	e     *engine
+	treat func(w *worker, id int32, s query.TableSet)
+
+	// Per-level inputs, published before the wake-channel sends (the
+	// send/receive pair orders the writes for the woken workers).
+	sets   []query.TableSet
+	base   int32
+	active int // workers participating in the current level
+
+	deques []deque
+	wake   []chan struct{} // one per spawned worker (indices 1..nw-1)
+	wg     sync.WaitGroup
+}
+
+func newLevelPool(e *engine, treat func(w *worker, id int32, s query.TableSet)) *levelPool {
+	nw := len(e.workers)
+	p := &levelPool{
+		e:      e,
+		treat:  treat,
+		deques: make([]deque, nw),
+		wake:   make([]chan struct{}, nw-1),
+	}
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+	}
+	for wi := 1; wi < nw; wi++ {
+		poolSpawned.Add(1)
+		go p.loop(wi)
+	}
+	return p
+}
+
+// loop parks worker wi between levels; a closed wake channel retires it.
+func (p *levelPool) loop(wi int) {
+	for range p.wake[wi-1] {
+		p.drain(wi)
+		p.wg.Done()
+	}
+}
+
+// shutdown retires the spawned workers. Called only after the last level's
+// wg.Wait, so every worker is parked on its wake channel.
+func (p *levelPool) shutdown() {
+	for _, c := range p.wake {
+		close(c)
+	}
+}
+
+// runLevel distributes one level across the pool and blocks until every
+// set of the level is treated (or the run is cancelled).
+func (p *levelPool) runLevel(sets []query.TableSet, base int32) {
+	active := len(p.deques)
+	if active > len(sets) {
+		active = len(sets)
+	}
+	p.sets, p.base, p.active = sets, base, active
+	// Contiguous chunks, balanced to within one set: deque i owns
+	// [lo_i, hi_i). Contiguity keeps an owner's claims sequential over the
+	// level slice (and over memo ids), which the prefetcher likes.
+	q, r := len(sets)/active, len(sets)%active
+	lo := 0
+	for i := 0; i < active; i++ {
+		hi := lo + q
+		if i < r {
+			hi++
+		}
+		p.deques[i].reset(int32(lo), int32(hi))
+		lo = hi
+	}
+	p.wg.Add(active - 1)
+	for i := 1; i < active; i++ {
+		p.wake[i-1] <- struct{}{}
+	}
+	p.drain(0)
+	p.wg.Wait()
+}
+
+// drain runs worker wi's share of the current level: its own deque from
+// the head, then — once empty — the other active deques from their tails
+// (stealing). Deques only shrink within a level, so one pass over every
+// victim leaves all queues empty when drain returns; sets claimed by other
+// workers may still be in flight, which runLevel's wg.Wait covers.
+func (p *levelPool) drain(wi int) {
+	e := p.e
+	w := &e.workers[wi]
+	own := &p.deques[wi]
+	for {
+		i := own.popFront()
+		if i < 0 {
+			break
+		}
+		if e.cancelled.Load() {
+			return
+		}
+		p.treat(w, p.base+i, p.sets[i])
+	}
+	for v := 1; v < p.active; v++ {
+		victim := &p.deques[(wi+v)%p.active]
+		for {
+			i := victim.popBack()
+			if i < 0 {
+				break
+			}
+			if e.cancelled.Load() {
+				return
+			}
+			p.treat(w, p.base+i, p.sets[i])
+		}
+	}
+}
+
 // runLevels drives the level-synchronized dynamic program: for each
 // cardinality level in turn, the level's table sets are distributed to
-// the engine's workers, and the next level starts only after the barrier.
-// treat handles one table set (exhaustively, degraded, or scalar-pruned,
-// depending on the engine mode).
+// the engine's workers, and the next level starts only after every set of
+// the level is treated. treat handles one table set (exhaustively,
+// degraded, or scalar-pruned, depending on the engine mode).
 //
-// Within a level, workers claim sets via an atomic cursor (dynamic load
-// balancing: split counts vary wildly across the sets of one level).
+// Parallel runs go through the persistent levelPool (spawned once here,
+// retired on return); single-set levels and Workers==1 runs stay inline on
+// the coordinator, where waking the pool would cost more than the work.
 // Results are deterministic regardless of the schedule, because each
 // set's archive depends only on the immutable lower levels.
 // A cancelled context short-circuits the remaining levels: every worker
-// goroutine drains through the barrier (no goroutine outlives the run) and
-// the loop returns without touching the remaining sets.
+// parks at the level boundary (no goroutine outlives the run) and the
+// loop returns without touching the remaining sets.
 func (e *engine) runLevels(treat func(w *worker, id int32, s query.TableSet)) {
 	nextID := int32(0)
+	var pool *levelPool
+	if len(e.workers) > 1 {
+		pool = newLevelPool(e, treat)
+		defer pool.shutdown()
+	}
 	for k := 1; k <= e.enum.n; k++ {
 		if e.cancelled.Load() {
 			return
@@ -135,11 +317,7 @@ func (e *engine) runLevels(treat func(w *worker, id int32, s query.TableSet)) {
 		base := nextID
 		nextID += int32(len(sets))
 
-		nw := len(e.workers)
-		if nw > len(sets) {
-			nw = len(sets)
-		}
-		if nw <= 1 {
+		if pool == nil || len(sets) <= 1 {
 			w := &e.workers[0]
 			for i, s := range sets {
 				if e.cancelled.Load() {
@@ -149,22 +327,6 @@ func (e *engine) runLevels(treat func(w *worker, id int32, s query.TableSet)) {
 			}
 			continue
 		}
-
-		var cursor atomic.Int32
-		var wg sync.WaitGroup
-		for wi := 0; wi < nw; wi++ {
-			wg.Add(1)
-			go func(w *worker) {
-				defer wg.Done()
-				for {
-					i := cursor.Add(1) - 1
-					if int(i) >= len(sets) || e.cancelled.Load() {
-						return
-					}
-					treat(w, base+i, sets[i])
-				}
-			}(&e.workers[wi])
-		}
-		wg.Wait()
+		pool.runLevel(sets, base)
 	}
 }

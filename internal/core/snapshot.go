@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"moqo/internal/objective"
@@ -67,6 +68,15 @@ type FrontierSnapshot struct {
 	// stats is the originating run's effort (reuse answers report it
 	// with ReusedFrontier set).
 	stats Stats
+
+	// rehydrate memoizes archive(): a cached snapshot answers many
+	// re-weight requests, and materializing every frontier plan tree per
+	// request would put O(frontier) work back on the fast path. The trees
+	// and the archive are immutable once built, so one materialization
+	// serves all subsequent selections (and concurrent ones: sync.Once
+	// publishes the fully built archive).
+	rehydrate  sync.Once
+	rehydrated *pareto.Archive
 }
 
 // snapshotSet is the retained slice of one table set's archive.
@@ -152,9 +162,15 @@ func (s *FrontierSnapshot) Plans() []*plan.Node {
 }
 
 // archive rehydrates the snapshot into the legacy tree-backed archive,
-// with the originating run's pruning configuration and counters.
+// with the originating run's pruning configuration and counters. The
+// rehydration is memoized: the first selection after a snapshot is cached
+// (or deserialized) pays the plan materialization, every later re-weight
+// against the same snapshot reuses the archive and allocates nothing here.
 func (s *FrontierSnapshot) archive() *pareto.Archive {
-	return pareto.NewMaterialized(s.objs, s.pruneAlpha, s.prec, s.Plans(), s.inserted, s.rejected, s.evicted)
+	s.rehydrate.Do(func() {
+		s.rehydrated = pareto.NewMaterialized(s.objs, s.pruneAlpha, s.prec, s.Plans(), s.inserted, s.rejected, s.evicted)
+	})
+	return s.rehydrated
 }
 
 // SizeBytes estimates the snapshot's in-memory footprint (cost rows plus

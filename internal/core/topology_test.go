@@ -195,6 +195,52 @@ func TestGraphEnumerationMatchesExhaustiveRTA(t *testing.T) {
 	}
 }
 
+// TestAutoEnumerationMatchesExhaustive pins the density-adaptive strategy
+// (EnumAuto: per-set scan vs edge-cut vs traversal) bit-for-bit against
+// the exhaustive scan under approximate pruning — the most order-sensitive
+// setting, since RTA archives depend on candidate insertion order. The
+// heuristic may only change the scanning work (EnumSplits), never the
+// candidates: frontiers, representatives, archive counters and
+// considered/stored counts must all match.
+func TestAutoEnumerationMatchesExhaustive(t *testing.T) {
+	w := objective.UniformWeights(threeObjs)
+	for _, tc := range differentialShapes {
+		for seed := int64(1); seed <= 2; seed++ {
+			q := buildShape(t, tc.shape, tc.tables, seed)
+			m := costmodel.NewDefault(q)
+			opts := Options{Objectives: threeObjs, MaxDOP: 2, Alpha: 1.5, Enumeration: EnumExhaustive}
+			ex, err := RTA(m, w, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Enumeration = EnumAuto
+			au, err := RTA(m, w, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := "auto-" + tc.shape.String()
+			sameFrontier(t, label, au.Frontier, ex.Frontier)
+			if au.Best.Cost != ex.Best.Cost {
+				t.Errorf("%s seed %d: best plans differ", label, seed)
+			}
+			if au.Stats.Considered != ex.Stats.Considered || au.Stats.Stored != ex.Stats.Stored {
+				t.Errorf("%s seed %d: considered/stored %d/%d vs %d/%d — candidate order must match",
+					label, seed, au.Stats.Considered, au.Stats.Stored, ex.Stats.Considered, ex.Stats.Stored)
+			}
+			ai, arj, aev := au.Frontier.Stats()
+			ei, erj, eev := ex.Frontier.Stats()
+			if ai != ei || arj != erj || aev != eev {
+				t.Errorf("%s seed %d: archive counters (ins=%d rej=%d ev=%d) vs (ins=%d rej=%d ev=%d)",
+					label, seed, ai, arj, aev, ei, erj, eev)
+			}
+			if au.Stats.EnumSplits > ex.Stats.EnumSplits {
+				t.Errorf("%s seed %d: adaptive strategy scanned MORE splits (%d) than exhaustive (%d)",
+					label, seed, au.Stats.EnumSplits, ex.Stats.EnumSplits)
+			}
+		}
+	}
+}
+
 // TestGraphEnumerationMatchesReference pins the graph-aware engine
 // against the preserved pre-refactor engine, closing the loop oracle →
 // exhaustive flat engine → graph-aware flat engine.

@@ -19,6 +19,24 @@ type FlatConfig struct {
 	alpha  float64
 	alphas []float64 // pruning precision per ids entry
 	prec   *objective.Precision
+
+	// kind dispatches Insert to a width-specialized dominance kernel
+	// (see kernels.go); o0..o2 are ids resolved to plain ints for the
+	// two- and three-wide kernels.
+	kind       kernelKind
+	o0, o1, o2 int
+}
+
+// resolve fills the kernel-dispatch fields from ids; called by both
+// constructors after ids/alphas are set.
+func (c *FlatConfig) resolve() {
+	c.kind = resolveKernel(c.ids)
+	switch c.kind {
+	case kernel2:
+		c.o0, c.o1 = int(c.ids[0]), int(c.ids[1])
+	case kernel3:
+		c.o0, c.o1, c.o2 = int(c.ids[0]), int(c.ids[1]), int(c.ids[2])
+	}
 }
 
 // NewFlatConfig builds the shared configuration for scalar-alpha pruning
@@ -32,7 +50,9 @@ func NewFlatConfig(objs objective.Set, alpha float64) *FlatConfig {
 	for i := range alphas {
 		alphas[i] = alpha
 	}
-	return &FlatConfig{objs: objs, ids: ids, alpha: alpha, alphas: alphas}
+	c := &FlatConfig{objs: objs, ids: ids, alpha: alpha, alphas: alphas}
+	c.resolve()
+	return c
 }
 
 // NewFlatPrecisionConfig builds the shared configuration for per-objective
@@ -47,7 +67,9 @@ func NewFlatPrecisionConfig(objs objective.Set, prec objective.Precision) *FlatC
 		alphas[i] = prec[o]
 	}
 	p := prec
-	return &FlatConfig{objs: objs, ids: ids, alpha: prec.Max(objs), alphas: alphas, prec: &p}
+	c := &FlatConfig{objs: objs, ids: ids, alpha: prec.Max(objs), alphas: alphas, prec: &p}
+	c.resolve()
+	return c
 }
 
 // Objectives returns the configuration's active objective set.
@@ -94,46 +116,67 @@ func NewFlat(cfg *FlatConfig) *FlatArchive { return &FlatArchive{cfg: cfg} }
 // cost vector the candidate is discarded; otherwise stored plans that the
 // new vector (exactly) dominates are evicted and the candidate is stored.
 // Returns whether the candidate was stored.
+//
+// The scans dispatch to a width-specialized, branch-reduced kernel picked
+// once per configuration (kernels.go); every path computes the exact same
+// comparisons as insertGeneric, so results and counters are bit-identical
+// regardless of the kernel taken.
 func (a *FlatArchive) Insert(c objective.Vector, e plan.Entry) bool {
-	ids := a.cfg.ids
-	alphas := a.cfg.alphas
-	n := len(a.entries)
-	for i := 0; i < n; i++ {
-		row := a.costs[i*stride : i*stride+stride]
-		dominates := true
-		for k, o := range ids {
-			if row[o] > c[o]*alphas[k] {
-				dominates = false
-				break
-			}
+	cfg := a.cfg
+	var rejected bool
+	switch cfg.kind {
+	case kernel2:
+		rejected = anyRowLeq2(a.costs, cfg.o0, cfg.o1,
+			c[cfg.o0]*cfg.alphas[0], c[cfg.o1]*cfg.alphas[1])
+	case kernel3:
+		rejected = anyRowLeq3(a.costs, cfg.o0, cfg.o1, cfg.o2,
+			c[cfg.o0]*cfg.alphas[0], c[cfg.o1]*cfg.alphas[1], c[cfg.o2]*cfg.alphas[2])
+	case kernelFull:
+		var t [stride]float64
+		for o := 0; o < stride; o++ {
+			t[o] = c[o] * cfg.alphas[o]
 		}
-		if dominates {
-			a.rejected++
-			return false
+		rejected = anyRowLeqFull(a.costs, &t)
+	default:
+		var t [stride]float64
+		for k, o := range cfg.ids {
+			t[k] = c[o] * cfg.alphas[k]
 		}
+		rejected = anyRowLeqGeneric(a.costs, cfg.ids, &t)
 	}
-	out := 0
-	for i := 0; i < n; i++ {
-		row := a.costs[i*stride : i*stride+stride]
-		dominated := true
-		for _, o := range ids {
-			if c[o] > row[o] {
-				dominated = false
-				break
-			}
-		}
-		if dominated {
-			a.evicted++
-			continue
-		}
-		if out != i {
-			copy(a.costs[out*stride:(out+1)*stride], row)
-			a.entries[out] = a.entries[i]
-		}
-		out++
+	if rejected {
+		a.rejected++
+		return false
 	}
-	a.entries = a.entries[:out]
-	a.costs = a.costs[:out*stride]
+	switch cfg.kind {
+	case kernel2:
+		a.evict2(cfg.o0, cfg.o1, c[cfg.o0], c[cfg.o1])
+	case kernel3:
+		a.evict3(cfg.o0, cfg.o1, cfg.o2, c[cfg.o0], c[cfg.o1], c[cfg.o2])
+	case kernelFull:
+		a.evictFull(&c)
+	default:
+		a.evictGeneric(cfg.ids, &c)
+	}
+	a.entries = append(a.entries, e)
+	a.costs = append(a.costs, c[:]...)
+	a.inserted++
+	return true
+}
+
+// insertGeneric is Insert restricted to the original early-exit scalar
+// loops, regardless of the configured kernel — the differential oracle the
+// specialized paths are tested against.
+func (a *FlatArchive) insertGeneric(c objective.Vector, e plan.Entry) bool {
+	var t [stride]float64
+	for k, o := range a.cfg.ids {
+		t[k] = c[o] * a.cfg.alphas[k]
+	}
+	if anyRowLeqGeneric(a.costs, a.cfg.ids, &t) {
+		a.rejected++
+		return false
+	}
+	a.evictGeneric(a.cfg.ids, &c)
 	a.entries = append(a.entries, e)
 	a.costs = append(a.costs, c[:]...)
 	a.inserted++

@@ -1,0 +1,166 @@
+package pareto
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"moqo/internal/objective"
+	"moqo/internal/plan"
+)
+
+// kernelObjSets spans every Insert dispatch path: two- and three-wide
+// specialized kernels, the generic path (4 and 6 active objectives), and
+// the full nine-objective kernel.
+var kernelObjSets = []struct {
+	name string
+	objs objective.Set
+}{
+	{"w2", objective.NewSet(objective.TotalTime, objective.BufferFootprint)},
+	{"w3", objective.NewSet(objective.TotalTime, objective.BufferFootprint, objective.Energy)},
+	{"w4", objective.NewSet(objective.TotalTime, objective.IOLoad, objective.CPULoad, objective.Energy)},
+	{"w6", objective.NewSet(objective.TotalTime, objective.StartupTime, objective.IOLoad,
+		objective.CPULoad, objective.BufferFootprint, objective.Energy)},
+	{"w9", objective.AllSet()},
+}
+
+// TestKernelDispatch pins the kernel each objective width resolves to.
+func TestKernelDispatch(t *testing.T) {
+	want := map[string]kernelKind{
+		"w2": kernel2, "w3": kernel3, "w4": kernelGeneric, "w6": kernelGeneric, "w9": kernelFull,
+	}
+	for _, tc := range kernelObjSets {
+		if got := NewFlatConfig(tc.objs, 1.2).kind; got != want[tc.name] {
+			t.Errorf("%s: kernel kind %d, want %d", tc.name, got, want[tc.name])
+		}
+	}
+}
+
+// TestKernelMatchesGenericOracle drives random cost streams through the
+// specialized Insert and through insertGeneric (the retained early-exit
+// scalar loops) on twin archives, demanding identical decisions, frontiers,
+// and counters after every insert — the differential guarantee that the
+// branch-reduced kernels are bit-for-bit the generic loops.
+func TestKernelMatchesGenericOracle(t *testing.T) {
+	for _, tc := range kernelObjSets {
+		for _, alpha := range []float64{1, 1.3} {
+			for seed := int64(0); seed < 10; seed++ {
+				t.Run(fmt.Sprintf("%s/alpha=%v/seed=%d", tc.name, alpha, seed), func(t *testing.T) {
+					r := rand.New(rand.NewSource(9000 + seed))
+					stream := randomStream(r, 400, tc.objs)
+					fast := NewFlat(NewFlatConfig(tc.objs, alpha))
+					oracle := NewFlat(NewFlatConfig(tc.objs, alpha))
+					for i, v := range stream {
+						gotF := fast.Insert(v, plan.Entry{Op: int32(i)})
+						gotO := oracle.insertGeneric(v, plan.Entry{Op: int32(i)})
+						if gotF != gotO {
+							t.Fatalf("insert %d: kernel stored=%v, oracle stored=%v", i, gotF, gotO)
+						}
+						if fast.Len() != oracle.Len() {
+							t.Fatalf("insert %d: kernel len %d != oracle len %d", i, fast.Len(), oracle.Len())
+						}
+					}
+					fi, fr, fe := fast.Stats()
+					oi, or, oe := oracle.Stats()
+					if fi != oi || fr != or || fe != oe {
+						t.Fatalf("counters differ: kernel (ins=%d rej=%d ev=%d), oracle (ins=%d rej=%d ev=%d)",
+							fi, fr, fe, oi, or, oe)
+					}
+					ff, of := fast.Frontier(), oracle.Frontier()
+					for i := range ff {
+						if ff[i] != of[i] {
+							t.Fatalf("frontier entry %d differs:\nkernel %v\noracle %v", i, ff[i], of[i])
+						}
+					}
+					for i := 0; i < fast.Len(); i++ {
+						if fast.EntryAt(int32(i)) != oracle.EntryAt(int32(i)) {
+							t.Fatalf("entry %d differs", i)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// kernelStream pre-generates a stream for benchmarking one objective set.
+func kernelStream(objs objective.Set, n int) []objective.Vector {
+	return randomStream(rand.New(rand.NewSource(77)), n, objs)
+}
+
+// BenchmarkDominanceKernel measures the rejection scan alone — the archive
+// is frozen at a fixed size and every probe is approximately dominated, so
+// the scan runs to a hit (or the full archive) with no mutation. Sweeps the
+// specialized widths and the generic path across archive sizes.
+func BenchmarkDominanceKernel(b *testing.B) {
+	for _, tc := range kernelObjSets {
+		for _, size := range []int{16, 64, 256} {
+			b.Run(fmt.Sprintf("%s/n=%d", tc.name, size), func(b *testing.B) {
+				cfg := NewFlatConfig(tc.objs, 1.2)
+				a := NewFlat(cfg)
+				// Mutually non-dominating rows: row i trades objective ids[0]
+				// against the rest, so the archive stays exactly size long.
+				ids := tc.objs.IDs()
+				for i := 0; i < size; i++ {
+					var v objective.Vector
+					for k, o := range ids {
+						if k == 0 {
+							v[o] = float64(1 + i)
+						} else {
+							v[o] = float64(1 + size - i)
+						}
+					}
+					a.Insert(v, plan.Entry{Op: int32(i)})
+				}
+				if a.Len() != size {
+					b.Fatalf("archive size %d, want %d", a.Len(), size)
+				}
+				// A probe dominated by the middle row: the scan hits halfway.
+				var probe objective.Vector
+				for k, o := range ids {
+					if k == 0 {
+						probe[o] = float64(1 + size/2)
+					} else {
+						probe[o] = float64(1 + size - size/2)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if a.Insert(probe, plan.Entry{}) {
+						b.Fatal("probe must be rejected")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFlatInsert measures the full Insert cycle (rejection scan,
+// eviction compaction, append) over replayed random streams, across
+// active-objective widths and stream lengths. Reset keeps the backing
+// arrays, so steady-state iterations are allocation-free.
+func BenchmarkFlatInsert(b *testing.B) {
+	for _, tc := range kernelObjSets {
+		for _, n := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("%s/stream=%d", tc.name, n), func(b *testing.B) {
+				stream := kernelStream(tc.objs, n)
+				cfg := NewFlatConfig(tc.objs, 1.2)
+				a := NewFlat(cfg)
+				for i, v := range stream { // warm-up sizes the backing arrays
+					a.Insert(v, plan.Entry{Op: int32(i)})
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a.Reset()
+					for j, v := range stream {
+						a.Insert(v, plan.Entry{Op: int32(j)})
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/insert")
+			})
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package pareto
+
+import "moqo/internal/objective"
+
+// Branch-reduced dominance kernels for FlatArchive.Insert.
+//
+// Insert spends its time in two scans over the stride-9 cost rows: the
+// approximate-dominance rejection scan (does any stored row r satisfy
+// r[o] <= c[o]*alpha[o] on every active objective?) and the exact-dominance
+// eviction scan (which stored rows satisfy c[o] <= r[o] on every active
+// objective?). The generic loops branch per objective per row, which stalls
+// the pipeline on unpredictable comparisons and blocks vectorization.
+//
+// The kernels below restructure both scans for the common active-objective
+// widths — 2 (the bench default), 3 (the TPC-H triple), and full 9 — so that
+// each row contributes one flag computed without data-dependent branches:
+// every comparison becomes a SETcc-style 0/1 value (b2u) and the per-
+// objective results are combined with integer AND. The only branch left per
+// row (or per unrolled row group) tests the combined flag, which is highly
+// predictable (almost always "keep scanning"). Per-candidate thresholds
+// t[k] = c[o_k]*alpha[k] are hoisted out of the row loop; the generic path
+// computed the identical product per row, so hoisting cannot change results
+// (same inputs, same operation, same rounding).
+//
+// The generic early-exit loops survive as insertGeneric, the differential
+// oracle: TestKernelMatchesGenericOracle drives random streams through both
+// paths and demands bit-identical archives and counters.
+
+// kernelKind selects the specialized Insert path, resolved once per
+// FlatConfig so the hot loop dispatches on a plain switch.
+type kernelKind uint8
+
+const (
+	kernelGeneric kernelKind = iota // any objective subset; early-exit scalar loops
+	kernel2                         // exactly two active objectives
+	kernel3                         // exactly three active objectives
+	kernelFull                      // all nine objectives active
+)
+
+// resolveKernel picks the widest specialized kernel that matches the
+// active-objective layout.
+func resolveKernel(ids []objective.ID) kernelKind {
+	switch len(ids) {
+	case 2:
+		return kernel2
+	case 3:
+		return kernel3
+	case stride:
+		return kernelFull
+	default:
+		return kernelGeneric
+	}
+}
+
+// b2u converts a comparison result to 0/1 without a data-dependent branch
+// (the compiler lowers this to a flag-materializing SETcc when inlined).
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// anyRowLeq2 reports whether any stride-9 row in costs is <= the two
+// thresholds on both active objectives — the rejection scan for two-wide
+// configurations. Rows are processed four at a time; each row folds into a
+// branch-free flag, and one predictable branch tests the group.
+func anyRowLeq2(costs []float64, o0, o1 int, t0, t1 float64) bool {
+	n := len(costs)
+	i := 0
+	for ; i+4*stride <= n; i += 4 * stride {
+		f0 := b2u(costs[i+o0] <= t0) & b2u(costs[i+o1] <= t1)
+		f1 := b2u(costs[i+stride+o0] <= t0) & b2u(costs[i+stride+o1] <= t1)
+		f2 := b2u(costs[i+2*stride+o0] <= t0) & b2u(costs[i+2*stride+o1] <= t1)
+		f3 := b2u(costs[i+3*stride+o0] <= t0) & b2u(costs[i+3*stride+o1] <= t1)
+		if f0|f1|f2|f3 != 0 {
+			return true
+		}
+	}
+	for ; i < n; i += stride {
+		if b2u(costs[i+o0] <= t0)&b2u(costs[i+o1] <= t1) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyRowLeq3 is anyRowLeq2 for three active objectives.
+func anyRowLeq3(costs []float64, o0, o1, o2 int, t0, t1, t2 float64) bool {
+	n := len(costs)
+	i := 0
+	for ; i+4*stride <= n; i += 4 * stride {
+		f0 := b2u(costs[i+o0] <= t0) & b2u(costs[i+o1] <= t1) & b2u(costs[i+o2] <= t2)
+		f1 := b2u(costs[i+stride+o0] <= t0) & b2u(costs[i+stride+o1] <= t1) & b2u(costs[i+stride+o2] <= t2)
+		f2 := b2u(costs[i+2*stride+o0] <= t0) & b2u(costs[i+2*stride+o1] <= t1) & b2u(costs[i+2*stride+o2] <= t2)
+		f3 := b2u(costs[i+3*stride+o0] <= t0) & b2u(costs[i+3*stride+o1] <= t1) & b2u(costs[i+3*stride+o2] <= t2)
+		if f0|f1|f2|f3 != 0 {
+			return true
+		}
+	}
+	for ; i < n; i += stride {
+		if b2u(costs[i+o0] <= t0)&b2u(costs[i+o1] <= t1)&b2u(costs[i+o2] <= t2) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyRowLeqFull is the rejection scan with all nine objectives active: the
+// thresholds array is indexed directly by objective, and a row folds its
+// nine comparisons into one flag with no early exit inside the row.
+func anyRowLeqFull(costs []float64, t *[stride]float64) bool {
+	for i := 0; i < len(costs); i += stride {
+		f := b2u(costs[i] <= t[0]) & b2u(costs[i+1] <= t[1]) & b2u(costs[i+2] <= t[2]) &
+			b2u(costs[i+3] <= t[3]) & b2u(costs[i+4] <= t[4]) & b2u(costs[i+5] <= t[5]) &
+			b2u(costs[i+6] <= t[6]) & b2u(costs[i+7] <= t[7]) & b2u(costs[i+8] <= t[8])
+		if f != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyRowLeqGeneric is the rejection scan for arbitrary objective subsets —
+// the original early-exit loop, also serving as the differential oracle for
+// the specialized kernels above.
+func anyRowLeqGeneric(costs []float64, ids []objective.ID, t *[stride]float64) bool {
+	for i := 0; i < len(costs); i += stride {
+		dominates := true
+		for k, o := range ids {
+			if costs[i+int(o)] > t[k] {
+				dominates = false
+				break
+			}
+		}
+		if dominates {
+			return true
+		}
+	}
+	return false
+}
+
+// evict2 is the eviction-and-compaction scan for two-wide configurations:
+// rows the candidate dominates (c <= row on both active objectives) are
+// dropped, survivors are compacted in place preserving order. The per-row
+// dominance flag is branch-free; the compaction branch on it remains, since
+// compaction is inherently sequential.
+func (a *FlatArchive) evict2(o0, o1 int, c0, c1 float64) {
+	out := 0
+	n := len(a.entries)
+	for i := 0; i < n; i++ {
+		base := i * stride
+		if b2u(c0 <= a.costs[base+o0])&b2u(c1 <= a.costs[base+o1]) != 0 {
+			a.evicted++
+			continue
+		}
+		if out != i {
+			copy(a.costs[out*stride:(out+1)*stride], a.costs[base:base+stride])
+			a.entries[out] = a.entries[i]
+		}
+		out++
+	}
+	a.entries = a.entries[:out]
+	a.costs = a.costs[:out*stride]
+}
+
+// evict3 is evict2 for three active objectives.
+func (a *FlatArchive) evict3(o0, o1, o2 int, c0, c1, c2 float64) {
+	out := 0
+	n := len(a.entries)
+	for i := 0; i < n; i++ {
+		base := i * stride
+		if b2u(c0 <= a.costs[base+o0])&b2u(c1 <= a.costs[base+o1])&b2u(c2 <= a.costs[base+o2]) != 0 {
+			a.evicted++
+			continue
+		}
+		if out != i {
+			copy(a.costs[out*stride:(out+1)*stride], a.costs[base:base+stride])
+			a.entries[out] = a.entries[i]
+		}
+		out++
+	}
+	a.entries = a.entries[:out]
+	a.costs = a.costs[:out*stride]
+}
+
+// evictFull is the eviction scan with all nine objectives active.
+func (a *FlatArchive) evictFull(c *objective.Vector) {
+	out := 0
+	n := len(a.entries)
+	for i := 0; i < n; i++ {
+		base := i * stride
+		f := b2u(c[0] <= a.costs[base]) & b2u(c[1] <= a.costs[base+1]) & b2u(c[2] <= a.costs[base+2]) &
+			b2u(c[3] <= a.costs[base+3]) & b2u(c[4] <= a.costs[base+4]) & b2u(c[5] <= a.costs[base+5]) &
+			b2u(c[6] <= a.costs[base+6]) & b2u(c[7] <= a.costs[base+7]) & b2u(c[8] <= a.costs[base+8])
+		if f != 0 {
+			a.evicted++
+			continue
+		}
+		if out != i {
+			copy(a.costs[out*stride:(out+1)*stride], a.costs[base:base+stride])
+			a.entries[out] = a.entries[i]
+		}
+		out++
+	}
+	a.entries = a.entries[:out]
+	a.costs = a.costs[:out*stride]
+}
+
+// evictGeneric is the eviction scan for arbitrary objective subsets — the
+// original early-exit loop, also the oracle for the specialized kernels.
+func (a *FlatArchive) evictGeneric(ids []objective.ID, c *objective.Vector) {
+	out := 0
+	n := len(a.entries)
+	for i := 0; i < n; i++ {
+		base := i * stride
+		dominated := true
+		for _, o := range ids {
+			if c[o] > a.costs[base+int(o)] {
+				dominated = false
+				break
+			}
+		}
+		if dominated {
+			a.evicted++
+			continue
+		}
+		if out != i {
+			copy(a.costs[out*stride:(out+1)*stride], a.costs[base:base+stride])
+			a.entries[out] = a.entries[i]
+		}
+		out++
+	}
+	a.entries = a.entries[:out]
+	a.costs = a.costs[:out*stride]
+}

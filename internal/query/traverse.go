@@ -67,6 +67,40 @@ func (q *Query) csgRec(universe, s, x TableSet, fn func(TableSet) bool) bool {
 	return true
 }
 
+// Adjacent returns the bitset of relations sharing a join edge with
+// relation v.
+func (q *Query) Adjacent(v int) TableSet { return q.adjacency[v] }
+
+// EdgeCount returns the number of join edges with both endpoints in s —
+// the density input of the enumeration's per-set heuristic. Each edge's
+// adjacency bits are counted from both endpoints, so the degree sum is
+// halved.
+func (q *Query) EdgeCount(s TableSet) int {
+	deg := 0
+	for v := s; !v.Empty(); v &= v - 1 {
+		deg += q.adjacency[v.First()].Intersect(s).Len()
+	}
+	return deg / 2
+}
+
+// MaxDegreeVertex returns the relation of s with the most join edges into
+// s, breaking ties toward the lowest index (so the choice is deterministic
+// and degenerates to First() on edge-regular sets). The split enumeration
+// anchors here: a high-degree anchor has a large neighborhood, and every
+// complement-side subset must avoid the anchor, so fewer subsets survive —
+// anchoring a star at its hub makes the enumeration linear where a leaf
+// anchor leaves it exponential.
+func (q *Query) MaxDegreeVertex(s TableSet) int {
+	best, bestDeg := s.First(), -1
+	for v := s; !v.Empty(); v &= v - 1 {
+		i := v.First()
+		if d := q.adjacency[i].Intersect(s).Len(); d > bestDeg {
+			best, bestDeg = i, d
+		}
+	}
+	return best
+}
+
 // EachConnectedSplit calls fn for every split of s into two non-empty
 // halves (sub, rest) that each induce a connected subgraph, until fn
 // returns false. Like TableSet.EachSubset it visits each unordered
@@ -77,13 +111,21 @@ func (q *Query) csgRec(universe, s, x TableSet, fn func(TableSet) bool) bool {
 // disconnected s additionally admits splits along component boundaries,
 // which are Cartesian.
 //
-// The implementation anchors at s's minimum relation: the half not
+// The implementation anchors at s's maximum-degree relation: the half not
 // containing the anchor is enumerated with EachConnectedSubset over
 // s minus the anchor, and the anchored complement is kept only when it
 // is itself connected. Compared to the 2^|s|-2 ordered subsets the
 // exhaustive scan visits, the work is proportional to the connected
 // subsets avoiding the anchor — linear per split for stars anchored at
 // their hub, quadratic in |s| for chains and cycles.
+//
+// Before the complement's BFS, a DPhyp-style pruning test rejects rests
+// that swallow the anchor's entire neighborhood: the complement is then
+// {anchor} ∪ (unreached vertices) with the anchor isolated, hence
+// disconnected — unless rest took everything, leaving the (connected)
+// singleton {anchor}. The test is two word operations and skips the BFS
+// for exactly the rests whose complement strands the anchor, the dominant
+// failure mode on mid-density graphs.
 //
 // This function is the specification form of the csg-cmp split
 // enumeration: the engine's candidate loop (internal/core,
@@ -97,8 +139,13 @@ func (q *Query) EachConnectedSplit(s TableSet, fn func(sub, rest TableSet) bool)
 	if s.Empty() || s.Single() {
 		return
 	}
-	anchor := Singleton(s.First())
-	q.EachConnectedSubset(s.Minus(anchor), func(rest TableSet) bool {
+	anchor := Singleton(q.MaxDegreeVertex(s))
+	u := s.Minus(anchor)
+	nbr := q.Neighbors(anchor).Intersect(s)
+	q.EachConnectedSubset(u, func(rest TableSet) bool {
+		if nbr.SubsetOf(rest) && rest != u {
+			return true // complement isolates the anchor: disconnected
+		}
 		sub := s.Minus(rest)
 		if !q.Connected(sub) {
 			return true

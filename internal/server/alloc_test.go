@@ -1,0 +1,57 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// requestPathAllocBudget bounds the allocations of one frontier-served
+// /optimize request: JSON decode of the request, cache-key hashing, the
+// SelectBest scan over the cached snapshot (allocation-free), materializing
+// the one selected plan, and the JSON response encode. Every term is O(1)
+// in the size of the dynamic program — a cold DP allocates five to six
+// orders of magnitude more — so the budget is a fixed count with headroom,
+// not a function of the workload.
+const requestPathAllocBudget = 600
+
+// TestRequestPathAllocs is the serving-path companion of the archive's
+// TestArchiveInsertZeroAlloc CI gate: once a query shape's frontier is
+// cached, a request for the same shape under new weights (request parse →
+// exact-tier miss → frontier-tier hit → SelectBest → response encode) must
+// allocate O(1), independent of the plan-space size. Weights rotate every
+// iteration so the exact tier always misses and the frontier tier always
+// serves; the reweightServed counter proves the measured path is the fast
+// path and not a silent cold optimization.
+func TestRequestPathAllocs(t *testing.T) {
+	srv := New(Options{})
+	h := srv.Handler()
+	do := func(weight float64) {
+		req := httptest.NewRequest(http.MethodPost, "/optimize", strings.NewReader(reweightRequest(weight)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	do(1) // cold run: populates the frontier tier
+	if served := srv.reweightServed.Load(); served != 0 {
+		t.Fatalf("cold request already served from frontier (%d)", served)
+	}
+
+	const runs = 50
+	weight := 1.0
+	avg := testing.AllocsPerRun(runs, func() {
+		weight += 0.25 // distinct weights: exact tier misses, frontier tier hits
+		do(weight)
+	})
+	if served := srv.reweightServed.Load(); served < runs {
+		t.Fatalf("only %d of %d measured requests took the frontier fast path", served, runs)
+	}
+	t.Logf("frontier-served request: %.0f allocs (budget %d)", avg, requestPathAllocBudget)
+	if avg > requestPathAllocBudget {
+		t.Errorf("frontier-served request allocates %.0f objects, budget %d — the serving path regressed toward per-request DP work",
+			avg, requestPathAllocBudget)
+	}
+}

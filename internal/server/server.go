@@ -108,7 +108,7 @@ type Server struct {
 	// (nil when disabled). It is consulted on exact-tier misses for
 	// algorithms with reusable frontiers; a hit serves the request by a
 	// SelectBest scan over the cached snapshot (moqo.ReoptimizeContext).
-	frontier *cache.Cache[*moqo.FrontierSnapshot]
+	frontier *cache.Cache[frontierEntry]
 	start    time.Time
 
 	catMu    sync.Mutex
@@ -145,9 +145,9 @@ func New(opts Options) *Server {
 	if opts.CacheCapacity > 0 {
 		s.cache = cache.New[OptimizeResponse](opts.CacheCapacity, opts.CacheShards)
 		if opts.FrontierCacheCapacity > 0 {
-			s.frontier = cache.New[*moqo.FrontierSnapshot](opts.FrontierCacheCapacity, opts.CacheShards)
-			s.frontier.OnEvict(func(_ string, snap *moqo.FrontierSnapshot) {
-				s.snapshotBytes.Add(-int64(snap.SizeBytes()))
+			s.frontier = cache.New[frontierEntry](opts.FrontierCacheCapacity, opts.CacheShards)
+			s.frontier.OnEvict(func(_ string, ent frontierEntry) {
+				s.snapshotBytes.Add(-int64(ent.snap.SizeBytes()))
 			})
 		}
 	}
@@ -253,6 +253,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// frontierEntry is one frontier-tier record: the snapshot plus its
+// response-form frontier, rendered once when the entry is stored. Every
+// re-weight answered from the snapshot shares the rendered slice (it is
+// weight-independent and never mutated — handlers strip the field on
+// their response copy), so the fast path does not rebuild O(frontier)
+// maps per request.
+type frontierEntry struct {
+	snap     *moqo.FrontierSnapshot
+	frontier []map[string]float64
+}
+
 // computeViaFrontier serves an exact-tier miss through the frontier
 // tier: if a snapshot for the request's weight/bound-free FrontierKey is
 // cached (or being computed by a concurrent request for the same shape
@@ -269,18 +280,19 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 		return OptimizeResponse{}, false, err
 	}
 	var lead *moqo.Result
-	snap, _, err := s.frontier.Do(ctx, fkey, func(cctx context.Context) (*moqo.FrontierSnapshot, bool, error) {
+	ent, _, err := s.frontier.Do(ctx, fkey, func(cctx context.Context) (frontierEntry, bool, error) {
 		res, sn, cerr := moqo.OptimizeSnapshotContext(cctx, req)
 		if cerr != nil {
-			return nil, false, cerr
+			return frontierEntry{}, false, cerr
 		}
 		lead = res
-		if sn != nil {
+		if sn == nil {
 			// Degraded runs return sn == nil and are stored in neither
-			// tier; the store flag below keeps them out of this one.
-			s.snapshotBytes.Add(int64(sn.SizeBytes()))
+			// tier; the store flag keeps them out of this one.
+			return frontierEntry{}, false, nil
 		}
-		return sn, sn != nil, nil
+		s.snapshotBytes.Add(int64(sn.SizeBytes()))
+		return frontierEntry{snap: sn, frontier: renderFrontier(res)}, true, nil
 	})
 	if err != nil {
 		return OptimizeResponse{}, false, err
@@ -294,21 +306,24 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 		}
 		return resp, !lead.Stats.TimedOut, nil
 	}
-	if snap == nil {
+	if ent.snap == nil {
 		return s.compute(ctx, req)
 	}
-	res, newSnap, err := moqo.ReoptimizeContext(ctx, req, snap)
+	res, newSnap, err := moqo.ReoptimizeContext(ctx, req, ent.snap)
 	if err != nil {
 		return OptimizeResponse{}, false, err
 	}
 	s.reweightServed.Add(1)
-	if newSnap != nil && newSnap != snap {
+	shared := ent.frontier
+	if newSnap != nil && newSnap != ent.snap {
 		// A seeded IRA refined past the cached snapshot: keep the finer
-		// frontier (Put's eviction hook releases the replaced one).
+		// frontier (Put's eviction hook releases the replaced one), and
+		// re-render the wire form the refined result implies.
+		shared = renderFrontier(res)
 		s.snapshotBytes.Add(int64(newSnap.SizeBytes()))
-		s.frontier.Put(fkey, newSnap)
+		s.frontier.Put(fkey, frontierEntry{snap: newSnap, frontier: shared})
 	}
-	resp, err := toResponse(res)
+	resp, err := toResponseWithFrontier(res, shared)
 	if err != nil {
 		return OptimizeResponse{}, false, err
 	}

@@ -433,18 +433,11 @@ func (s *Server) toMoqoRequest(wire *OptimizeRequest) (moqo.Request, error) {
 	return req, nil
 }
 
-// toResponse renders an optimization result on the wire. The frontier is
-// always rendered; the handler strips it when the request did not ask for
-// it, so cached entries can serve both shapes.
-func toResponse(res *moqo.Result) (OptimizeResponse, error) {
-	planJSON, err := res.PlanJSON()
-	if err != nil {
-		return OptimizeResponse{}, err
-	}
-	cost := make(map[string]float64, len(res.Objectives()))
-	for _, o := range res.Objectives() {
-		cost[o.String()] = res.Cost(o)
-	}
+// renderFrontier renders a result's frontier points on the wire. The
+// rendered slice depends only on the frontier (not on the request's
+// weights or bounds), so the frontier tier renders it once per snapshot
+// and shares it across every re-weight response.
+func renderFrontier(res *moqo.Result) []map[string]float64 {
 	frontier := make([]map[string]float64, len(res.Frontier))
 	for i, v := range res.FrontierVectors() {
 		point := make(map[string]float64, len(res.Objectives()))
@@ -452,6 +445,28 @@ func toResponse(res *moqo.Result) (OptimizeResponse, error) {
 			point[o.String()] = v.Get(o)
 		}
 		frontier[i] = point
+	}
+	return frontier
+}
+
+// toResponse renders an optimization result on the wire. The frontier is
+// always rendered; the handler strips it when the request did not ask for
+// it, so cached entries can serve both shapes.
+func toResponse(res *moqo.Result) (OptimizeResponse, error) {
+	return toResponseWithFrontier(res, renderFrontier(res))
+}
+
+// toResponseWithFrontier renders a result around an already rendered
+// (possibly shared, read-only) frontier — the re-weight fast path, where
+// only the selected plan and the stats differ per request.
+func toResponseWithFrontier(res *moqo.Result, frontier []map[string]float64) (OptimizeResponse, error) {
+	planJSON, err := res.PlanJSON()
+	if err != nil {
+		return OptimizeResponse{}, err
+	}
+	cost := make(map[string]float64, len(res.Objectives()))
+	for _, o := range res.Objectives() {
+		cost[o.String()] = res.Cost(o)
 	}
 	return OptimizeResponse{
 		Algorithm: res.Algorithm.String(),
