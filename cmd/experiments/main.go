@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, store, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
@@ -100,6 +100,9 @@ func main() {
 	}
 	if *fig == "reuse" || *fig == "all" {
 		reuse(cfg, *tables, *outDir)
+	}
+	if *fig == "store" || *fig == "all" {
+		storeRestart(cfg, *tables, *outDir)
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
@@ -353,6 +356,54 @@ func reuse(cfg bench.Config, tables, outDir string) {
 		fatalf("reuse: %v", err)
 	}
 	path := "BENCH_reuse.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// storeRestart measures the disk-backed frontier store's warm-restart
+// serving path — a restarted process answering known query shapes from
+// the store (lookup + decode + SelectBest scan) vs cold dynamic programs
+// — and always emits BENCH_store.json (into -out when set, the working
+// directory otherwise) for the CI pipeline to archive. A -tables
+// override replaces the synthetic arms (chain + star per size); the
+// TPC-H arms always run.
+func storeRestart(cfg bench.Config, tables, outDir string) {
+	header("Frontier store: warm-restart first requests from disk vs cold DP")
+	spec := bench.StoreSpec{Seed: cfg.Seed, Workers: cfg.EngineWorkers}
+	if sizes := splitArg(tables); len(sizes) > 0 {
+		spec.Arms = []bench.ReuseArm{
+			{Name: "tpch-q3", TPCH: 3},
+			{Name: "tpch-q8", TPCH: 8},
+		}
+		for _, part := range sizes {
+			n, err := strconv.Atoi(part)
+			if err != nil {
+				fatalf("bad -tables entry %q: %v", part, err)
+			}
+			spec.Arms = append(spec.Arms,
+				bench.ReuseArm{Name: fmt.Sprintf("chain-%d", n), Shape: synthetic.Chain, Tables: n},
+				bench.ReuseArm{Name: fmt.Sprintf("star-%d", n), Shape: synthetic.Star, Tables: n},
+			)
+		}
+	}
+	pts, sum, err := bench.StoreWarmRestart(spec)
+	if err != nil {
+		fatalf("store: %v", err)
+	}
+	fmt.Println("RTA alpha=1.5, three objectives; every restart cycle re-opens one shared store")
+	fmt.Println("holding all arms, and one warm answer per arm is verified against a cold run:")
+	fmt.Print(bench.RenderStore(pts, sum))
+
+	raw, err := bench.StoreJSON(pts, sum)
+	if err != nil {
+		fatalf("store: %v", err)
+	}
+	path := "BENCH_store.json"
 	if outDir != "" {
 		path = filepath.Join(outDir, path)
 	}

@@ -8,6 +8,13 @@
 //	moqod [-addr :8080] [-cache 1024] [-frontier-cache 512]
 //	      [-cache-shards 16] [-default-timeout 30s] [-max-timeout 2m]
 //	      [-workers N] [-enum auto|graph|exhaustive]
+//	      [-store DIR] [-store-max-bytes N] [-store-nosync]
+//
+// With -store, frontier snapshots persist to a crash-consistent segment
+// log under DIR: every completed (non-degraded) dynamic program writes
+// its Pareto frontier through to disk, and a restarted daemon answers
+// known query shapes from the store in microseconds instead of
+// re-running their dynamic programs (warm restart).
 //
 // Endpoints:
 //
@@ -55,6 +62,9 @@ func main() {
 		maxTimeout     = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on per-request timeouts")
 		workers        = flag.Int("workers", runtime.NumCPU(), "default optimizer worker goroutines per request")
 		enum           = flag.String("enum", "auto", "default search-space enumeration strategy for requests without one: auto, graph, exhaustive")
+		storePath      = flag.String("store", "", "directory for the disk-backed frontier store (empty disables persistence); a restarted daemon serves known query shapes from it without re-optimizing")
+		storeMaxBytes  = flag.Int64("store-max-bytes", 0, "live-byte budget of the frontier store (0 = default 256 MiB, negative = unbounded)")
+		storeNoSync    = flag.Bool("store-nosync", false, "skip fsync after store appends (faster; a crash may lose the newest snapshots)")
 	)
 	flag.Parse()
 
@@ -62,7 +72,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	svc := server.New(server.Options{
+	svc, err := server.NewE(server.Options{
 		CacheCapacity:         *cacheCap,
 		FrontierCacheCapacity: *frontierCap,
 		CacheShards:           *cacheShards,
@@ -70,7 +80,18 @@ func main() {
 		MaxTimeout:            *maxTimeout,
 		DefaultWorkers:        *workers,
 		DefaultEnumeration:    defaultEnum,
+		StorePath:             *storePath,
+		StoreMaxBytes:         *storeMaxBytes,
+		StoreNoSync:           *storeNoSync,
 	})
+	if err != nil {
+		fatalf("open frontier store: %v", err)
+	}
+	defer func() {
+		if err := svc.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "moqod: close frontier store: %v\n", err)
+		}
+	}()
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

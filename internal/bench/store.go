@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"moqo"
+	"moqo/internal/store"
+	"moqo/internal/synthetic"
+)
+
+// StoreSpec parameterizes the warm-restart experiment: the first-request
+// latency of a freshly started process answering a known query shape
+// from the disk-backed frontier store (store lookup + snapshot decode +
+// SelectBest scan) against a cold dynamic program at the same weights —
+// what a moqod restart costs per shape with and without -store. Every
+// arm's snapshot is written into ONE shared store directory, and every
+// measured restart re-opens that store (log replay included, reported
+// separately as the open latency), so the numbers reflect a store
+// holding the whole workload rather than a single pampered entry.
+type StoreSpec struct {
+	// Arms lists the workloads (shared with the reuse experiment).
+	// Defaults to TPC-H q3 and q8 plus synthetic chain and star queries
+	// up to 12 tables.
+	Arms []ReuseArm
+	// Objectives of the runs (default: time, buffer footprint, energy).
+	Objectives []moqo.Objective
+	// Alpha is the RTA precision (default 1.5).
+	Alpha float64
+	// ColdRuns is the number of cold optimizations for the baseline
+	// percentile (default 5).
+	ColdRuns int
+	// WarmRuns is the number of measured restart cycles per arm — each
+	// one re-opens the store and serves one first request (default 16).
+	WarmRuns int
+	// Workers per optimizer run (default 1).
+	Workers int
+	// MaxRows is the maximal synthetic base-table cardinality (1e5).
+	MaxRows float64
+	// Seed drives the workload and the weight draws.
+	Seed int64
+}
+
+// withDefaults fills in the defaults.
+func (s StoreSpec) withDefaults() StoreSpec {
+	if len(s.Arms) == 0 {
+		s.Arms = []ReuseArm{
+			{Name: "tpch-q3", TPCH: 3},
+			{Name: "tpch-q8", TPCH: 8},
+			{Name: "chain-10", Shape: synthetic.Chain, Tables: 10},
+			{Name: "chain-12", Shape: synthetic.Chain, Tables: 12},
+			{Name: "star-12", Shape: synthetic.Star, Tables: 12},
+		}
+	}
+	if len(s.Objectives) == 0 {
+		s.Objectives = []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint, moqo.Energy}
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 1.5
+	}
+	if s.ColdRuns == 0 {
+		s.ColdRuns = 5
+	}
+	if s.WarmRuns == 0 {
+		s.WarmRuns = 16
+	}
+	if s.Workers == 0 {
+		s.Workers = 1
+	}
+	if s.MaxRows == 0 {
+		s.MaxRows = 1e5
+	}
+	return s
+}
+
+// StorePoint is one measured workload of the experiment.
+type StorePoint struct {
+	Workload  string  `json:"workload"`
+	Tables    int     `json:"tables"`
+	Algorithm string  `json:"algorithm"`
+	Alpha     float64 `json:"alpha"`
+	// Frontier is the snapshot's plan count; EncodedBytes the size of
+	// its record payload in the store.
+	Frontier     int `json:"frontier"`
+	EncodedBytes int `json:"encoded_bytes"`
+	// ColdP50Ms is the cold full-DP latency (median over ColdRuns) — what
+	// the first request costs a restarted server WITHOUT the store.
+	ColdP50Ms float64 `json:"cold_p50_ms"`
+	// OpenP50Us is the store-open latency (segment replay over the whole
+	// workload's entries), paid once per restart, not per request.
+	OpenP50Us float64 `json:"open_p50_us"`
+	// FirstP50Us/FirstP99Us are warm first-request latencies over the
+	// restart cycles: store lookup + snapshot decode + moqo.Reoptimize.
+	FirstP50Us float64 `json:"first_request_p50_us"`
+	FirstP99Us float64 `json:"first_request_p99_us"`
+	// Speedup is cold p50 over warm first-request p50 — the headline
+	// warm-restart metric.
+	Speedup float64 `json:"speedup"`
+	// Verified: one warm first request was checked bit-for-bit (plan and
+	// frontier) against a cold run at the same weights.
+	Verified bool `json:"verified"`
+}
+
+// StoreSummary describes the shared store after all arms wrote through.
+type StoreSummary struct {
+	Entries   int   `json:"entries"`
+	DiskBytes int64 `json:"disk_bytes"`
+}
+
+// storeArm holds one arm's prepared state between the write and restart
+// phases of the experiment.
+type storeArm struct {
+	arm  ReuseArm
+	q    *moqo.Query
+	key  string
+	pt   StorePoint
+	cold *moqo.Result // cold run at the verification weights
+	w0   map[moqo.Objective]float64
+}
+
+// StoreWarmRestart measures the warm-restart serving path. Phase one
+// runs every arm cold (baseline percentile, snapshot extraction) and
+// writes all snapshots through one shared store. Phase two repeatedly
+// re-opens that store — a simulated process restart — and serves each
+// arm's first request from disk, verifying one request per arm
+// bit-for-bit against a cold run at the same weights.
+func StoreWarmRestart(spec StoreSpec) ([]StorePoint, StoreSummary, error) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	dir, err := os.MkdirTemp("", "moqo-store-bench-*")
+	if err != nil {
+		return nil, StoreSummary{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	weights := func() map[moqo.Objective]float64 {
+		w := make(map[moqo.Objective]float64, len(spec.Objectives))
+		for _, o := range spec.Objectives {
+			w[o] = 0.05 + rng.Float64()
+		}
+		return w
+	}
+	request := func(q *moqo.Query, w map[moqo.Objective]float64) moqo.Request {
+		return moqo.Request{
+			Query:      q,
+			Algorithm:  moqo.AlgoRTA,
+			Alpha:      spec.Alpha,
+			Objectives: spec.Objectives,
+			Weights:    w,
+			Workers:    spec.Workers,
+		}
+	}
+
+	// Phase one: cold baselines, snapshot extraction, write-through.
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		return nil, StoreSummary{}, err
+	}
+	arms := make([]*storeArm, 0, len(spec.Arms))
+	for _, arm := range spec.Arms {
+		a, err := prepareStoreArm(spec, arm, st, weights, request)
+		if err != nil {
+			st.Close()
+			return nil, StoreSummary{}, fmt.Errorf("%s: %w", arm.Name, err)
+		}
+		arms = append(arms, a)
+	}
+	sum := StoreSummary{Entries: st.Len(), DiskBytes: st.Stats().Bytes}
+	if err := st.Close(); err != nil {
+		return nil, StoreSummary{}, err
+	}
+
+	// Phase two: restart cycles. Each cycle re-opens the store (replaying
+	// the log over every arm's entry) and serves one first request per
+	// arm from disk.
+	opens := make([]float64, spec.WarmRuns)
+	firsts := make(map[string][]float64, len(arms))
+	for cycle := 0; cycle < spec.WarmRuns; cycle++ {
+		start := time.Now()
+		st, err := store.Open(store.Options{Dir: dir})
+		if err != nil {
+			return nil, StoreSummary{}, err
+		}
+		opens[cycle] = float64(time.Since(start)) / float64(time.Microsecond)
+		for _, a := range arms {
+			// The last cycle re-serves the verification weights so one
+			// measured warm answer is checked against the cold run.
+			verify := cycle == spec.WarmRuns-1
+			w := weights()
+			if verify {
+				w = a.w0
+			}
+			req := request(a.q, w)
+			start := time.Now()
+			data, ok := st.Get(a.key)
+			if !ok {
+				st.Close()
+				return nil, StoreSummary{}, fmt.Errorf("%s: snapshot missing from the store after restart", a.arm.Name)
+			}
+			snap, err := moqo.UnmarshalFrontierSnapshot(data)
+			if err != nil {
+				st.Close()
+				return nil, StoreSummary{}, fmt.Errorf("%s: decode: %w", a.arm.Name, err)
+			}
+			res, _, err := moqo.Reoptimize(req, snap)
+			us := float64(time.Since(start)) / float64(time.Microsecond)
+			if err != nil {
+				st.Close()
+				return nil, StoreSummary{}, fmt.Errorf("%s: reoptimize: %w", a.arm.Name, err)
+			}
+			firsts[a.arm.Name] = append(firsts[a.arm.Name], us)
+			if verify {
+				same, err := sameAnswer(res, a.cold)
+				if err != nil {
+					st.Close()
+					return nil, StoreSummary{}, err
+				}
+				if !same {
+					st.Close()
+					return nil, StoreSummary{}, fmt.Errorf("%s: warm-restart answer differs from cold DP", a.arm.Name)
+				}
+				a.pt.Verified = true
+			}
+		}
+		if err := st.Close(); err != nil {
+			return nil, StoreSummary{}, err
+		}
+	}
+
+	sort.Float64s(opens)
+	openP50 := opens[len(opens)/2]
+	out := make([]StorePoint, 0, len(arms))
+	for _, a := range arms {
+		lat := firsts[a.arm.Name]
+		sort.Float64s(lat)
+		a.pt.OpenP50Us = openP50
+		a.pt.FirstP50Us = lat[len(lat)/2]
+		a.pt.FirstP99Us = lat[int(float64(len(lat))*0.99)]
+		if a.pt.FirstP50Us > 0 {
+			a.pt.Speedup = a.pt.ColdP50Ms * 1000 / a.pt.FirstP50Us
+		}
+		out = append(out, a.pt)
+	}
+	return out, sum, nil
+}
+
+// prepareStoreArm runs one arm's cold phase: baseline percentile,
+// snapshot extraction at the verification weights, write-through.
+func prepareStoreArm(spec StoreSpec, arm ReuseArm, st *store.Store,
+	weights func() map[moqo.Objective]float64,
+	request func(*moqo.Query, map[moqo.Objective]float64) moqo.Request) (*storeArm, error) {
+	var q *moqo.Query
+	switch {
+	case arm.TPCH > 0:
+		cat := moqo.TPCHCatalog(1)
+		var err error
+		q, err = moqo.TPCHQuery(arm.TPCH, cat)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		_, sq, err := synthetic.Build(synthetic.Spec{
+			Shape:   arm.Shape,
+			Tables:  arm.Tables,
+			MaxRows: spec.MaxRows,
+			Seed:    spec.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		q = sq
+	}
+
+	a := &storeArm{arm: arm, q: q, w0: weights()}
+	a.pt = StorePoint{
+		Workload:  arm.Name,
+		Tables:    q.NumRelations(),
+		Algorithm: moqo.AlgoRTA.String(),
+		Alpha:     spec.Alpha,
+	}
+
+	cold := make([]float64, spec.ColdRuns)
+	for i := range cold {
+		start := time.Now()
+		if _, err := moqo.Optimize(request(q, weights())); err != nil {
+			return nil, err
+		}
+		cold[i] = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	sort.Float64s(cold)
+	a.pt.ColdP50Ms = cold[len(cold)/2]
+
+	res, snap, err := moqo.OptimizeSnapshot(request(q, a.w0))
+	if err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("no frontier snapshot extracted")
+	}
+	a.cold = res
+	a.key = snap.Key()
+	a.pt.Frontier = snap.Len()
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	a.pt.EncodedBytes = len(data)
+	if err := st.Put(a.key, data); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// RenderStore renders the warm-restart measurements as a text table.
+func RenderStore(pts []StorePoint, sum StoreSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %3s %9s %9s %12s %12s %12s %7s\n",
+		"workload", "n", "frontier", "bytes", "cold p50", "first p50", "first p99", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10s %3d %9d %9d %10.2fms %10.1fus %10.1fus %6.0fx\n",
+			p.Workload, p.Tables, p.Frontier, p.EncodedBytes, p.ColdP50Ms,
+			p.FirstP50Us, p.FirstP99Us, p.Speedup)
+	}
+	if len(pts) > 0 {
+		fmt.Fprintf(&b, "store: %d entries, %d bytes on disk; open (log replay) p50 %.1fus per restart\n",
+			sum.Entries, sum.DiskBytes, pts[0].OpenP50Us)
+	}
+	return b.String()
+}
+
+// StoreJSON serializes the measurements as the BENCH_store.json payload
+// the CI pipeline archives (and the README warm-restart table cites).
+func StoreJSON(pts []StorePoint, sum StoreSummary) ([]byte, error) {
+	payload := struct {
+		Benchmark string       `json:"benchmark"`
+		NumCPU    int          `json:"num_cpu"`
+		Store     StoreSummary `json:"store"`
+		Points    []StorePoint `json:"points"`
+	}{
+		Benchmark: "frontier-store-warm-restart",
+		NumCPU:    runtime.NumCPU(),
+		Store:     sum,
+		Points:    pts,
+	}
+	return json.MarshalIndent(payload, "", "  ")
+}

@@ -122,7 +122,7 @@ type Cache[V any] struct {
 	evictions atomic.Uint64
 	capacity  int
 
-	onEvict func(key string, v V)
+	onEvict func(key string, v V, reason EvictReason)
 }
 
 // New builds a cache holding about capacity entries across the given
@@ -152,13 +152,28 @@ func New[V any](capacity, shards int) *Cache[V] {
 	return c
 }
 
+// EvictReason says why a stored value left the cache.
+type EvictReason int
+
+const (
+	// Replaced: a Put overwrote the key with a fresh value.
+	Replaced EvictReason = iota
+	// Evicted: the shard was full and the value was its least recently
+	// used entry. Eviction victims are the natural candidates for
+	// demotion to a colder tier (the moqod frontier tier demotes them to
+	// the disk-backed store).
+	Evicted
+)
+
 // OnEvict registers a callback invoked whenever a stored value leaves
-// the cache — an LRU eviction, or replacement of an existing key by Put.
-// It lets a tier keep gauge-style accounting of what it currently holds
-// (e.g. the moqod frontier tier's snapshot-bytes gauge). The callback
-// runs with the value's shard locked: it must be fast and must not call
-// back into the cache. Register it once, before the cache is shared.
-func (c *Cache[V]) OnEvict(fn func(key string, v V)) { c.onEvict = fn }
+// the cache — an LRU eviction, or replacement of an existing key by Put
+// (the reason distinguishes the two). It lets a tier keep gauge-style
+// accounting of what it currently holds (e.g. the moqod frontier tier's
+// snapshot-bytes gauge) and react to capacity pressure (demotion). The
+// callback runs with the value's shard locked: it must be fast and must
+// not call back into the cache. Register it once, before the cache is
+// shared.
+func (c *Cache[V]) OnEvict(fn func(key string, v V, reason EvictReason)) { c.onEvict = fn }
 
 // shardFor hashes the key onto its shard: an inlined FNV-1a over the
 // string, so the hot path (every Get/Put/Do touches it up to three times)
@@ -205,7 +220,7 @@ func (c *Cache[V]) Put(key string, v V) {
 	if el, ok := s.m[key]; ok {
 		e := el.Value.(*entry[V])
 		if c.onEvict != nil {
-			c.onEvict(e.key, e.val)
+			c.onEvict(e.key, e.val, Replaced)
 		}
 		e.val = v
 		s.lru.MoveToFront(el)
@@ -219,7 +234,7 @@ func (c *Cache[V]) Put(key string, v V) {
 			delete(s.m, e.key)
 			c.evictions.Add(1)
 			if c.onEvict != nil {
-				c.onEvict(e.key, e.val)
+				c.onEvict(e.key, e.val, Evicted)
 			}
 		}
 	}

@@ -37,12 +37,15 @@ func TestEvictionOrder(t *testing.T) {
 // TestPutRefresh: re-putting an existing key must not evict anything and
 // must refresh both value and recency.
 // TestOnEvict: the eviction hook fires for LRU evictions and for Put
-// replacements — exactly once per value leaving the cache — so a
-// gauge-style accounting (the moqod snapshot-bytes gauge) balances.
+// replacements — exactly once per value leaving the cache, with the
+// reason telling the two apart — so a gauge-style accounting (the moqod
+// snapshot-bytes gauge) balances and demotion only sees true evictions.
 func TestOnEvict(t *testing.T) {
 	c := New[int](2, 1)
 	var gone []string
-	c.OnEvict(func(key string, v int) { gone = append(gone, fmt.Sprintf("%s=%d", key, v)) })
+	c.OnEvict(func(key string, v int, reason EvictReason) {
+		gone = append(gone, fmt.Sprintf("%s=%d/%d", key, v, reason))
+	})
 
 	c.Put("a", 1)
 	c.Put("b", 2)
@@ -51,7 +54,7 @@ func TestOnEvict(t *testing.T) {
 	}
 	c.Put("a", 10) // replacement: old value leaves
 	c.Put("c", 3)  // eviction: b is LRU
-	want := []string{"a=1", "b=2"}
+	want := []string{fmt.Sprintf("a=1/%d", Replaced), fmt.Sprintf("b=2/%d", Evicted)}
 	if len(gone) != len(want) || gone[0] != want[0] || gone[1] != want[1] {
 		t.Fatalf("hook calls %v, want %v", gone, want)
 	}

@@ -389,12 +389,18 @@ func UnmarshalFrontierSnapshot(data []byte) (*FrontierSnapshot, error) {
 	s.objs = objective.Set(r.u16())
 	s.setAlpha = r.f64()
 	s.pruneAlpha = r.f64()
-	if r.u8() == 1 {
+	switch flag := r.u8(); flag {
+	case 0:
+	case 1:
 		var p objective.Precision
 		for i := range p {
 			p[i] = r.f64()
 		}
 		s.prec = &p
+	default:
+		if r.err == nil {
+			return nil, fmt.Errorf("core: corrupt frontier snapshot: precision flag %d", flag)
+		}
 	}
 	s.all = query.TableSet(r.u64())
 	s.inserted = int(r.u64())
@@ -434,10 +440,31 @@ func UnmarshalFrontierSnapshot(data []byte) (*FrontierSnapshot, error) {
 
 // validate checks structural invariants after decode: sets sorted and
 // unique, every cost slice row-aligned with its entries, every entry
-// reference resolvable, every cost finite and non-negative.
+// reference resolvable, every cost finite and non-negative, every
+// operator code within the engine's plan space, and every join a proper
+// split of its containing set. The split invariant (operands disjoint,
+// non-empty, and unioning exactly to the container) forces strict
+// cardinality descent along entry chains, so a decoded snapshot can
+// never send the materializer into a reference cycle.
 func (s *FrontierSnapshot) validate() error {
 	if len(s.entries) == 0 {
 		return fmt.Errorf("core: frontier snapshot with empty frontier")
+	}
+	if s.objs == 0 || s.objs&^objective.AllSet() != 0 {
+		return fmt.Errorf("core: corrupt frontier snapshot: objective set %#x", uint16(s.objs))
+	}
+	if !alphaValid(s.setAlpha) || !alphaValid(s.pruneAlpha) {
+		return fmt.Errorf("core: corrupt frontier snapshot: invalid alpha")
+	}
+	if s.prec != nil {
+		for _, x := range s.prec {
+			if !alphaValid(x) {
+				return fmt.Errorf("core: corrupt frontier snapshot: invalid precision")
+			}
+		}
+	}
+	if s.all.Empty() {
+		return fmt.Errorf("core: corrupt frontier snapshot: empty table set")
 	}
 	lenOf := func(t query.TableSet) (int, bool) {
 		if sub := (snapshotMemo{s}).find(t); sub != nil {
@@ -453,7 +480,7 @@ func (s *FrontierSnapshot) validate() error {
 			return fmt.Errorf("core: corrupt frontier snapshot: full set in sub-memo")
 		}
 	}
-	check := func(ents []plan.Entry, costs []float64) error {
+	check := func(container query.TableSet, ents []plan.Entry, costs []float64) error {
 		if len(costs) != len(ents)*costStride {
 			return fmt.Errorf("core: corrupt frontier snapshot: cost rows misaligned")
 		}
@@ -464,7 +491,13 @@ func (s *FrontierSnapshot) validate() error {
 		}
 		for _, ent := range ents {
 			if ent.IsScan() {
+				if err := validScanEntry(container, ent); err != nil {
+					return err
+				}
 				continue
+			}
+			if err := validJoinEntry(container, ent); err != nil {
+				return err
 			}
 			if n, ok := lenOf(ent.LeftSet); !ok || int(ent.LeftIdx) >= n || ent.LeftIdx < 0 {
 				return fmt.Errorf("core: corrupt frontier snapshot: dangling left reference %v[%d]", ent.LeftSet, ent.LeftIdx)
@@ -481,13 +514,69 @@ func (s *FrontierSnapshot) validate() error {
 		}
 		return nil
 	}
-	if err := check(s.entries, s.costs); err != nil {
+	if err := check(s.all, s.entries, s.costs); err != nil {
 		return err
 	}
 	for i := range s.subs {
-		if err := check(s.subs[i].entries, s.subs[i].costs); err != nil {
+		if err := check(s.subs[i].set, s.subs[i].entries, s.subs[i].costs); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// alphaValid reports whether x is a usable approximation precision: a
+// finite value of at least 1 (also rejecting NaN).
+func alphaValid(x float64) bool { return x >= 1 && !math.IsInf(x, 1) }
+
+// validScanEntry checks a scan entry against the engine's plan space:
+// scans are stored only for singleton sets, carry no operand references,
+// and their op code must decode to a known algorithm (with a rate index
+// inside SampleRates for sampling scans — an out-of-range index would
+// panic in Entry.ScanOp during materialization).
+func validScanEntry(container query.TableSet, ent plan.Entry) error {
+	if !container.Single() {
+		return fmt.Errorf("core: corrupt frontier snapshot: scan of non-singleton set %v", container)
+	}
+	if ent.RightSet != 0 || ent.LeftIdx != 0 || ent.RightIdx != 0 {
+		return fmt.Errorf("core: corrupt frontier snapshot: scan entry with operand references")
+	}
+	alg, param := plan.ScanAlg(ent.Op>>8), ent.Op&0xff
+	if ent.Op < 0 || ent.Op&^0xffff != 0 {
+		return fmt.Errorf("core: corrupt frontier snapshot: scan op %#x out of range", ent.Op)
+	}
+	switch alg {
+	case plan.SeqScan, plan.IndexScan:
+		if param != 0 {
+			return fmt.Errorf("core: corrupt frontier snapshot: scan op %#x has spurious rate index", ent.Op)
+		}
+	case plan.SampleScan:
+		if int(param) >= len(plan.SampleRates) {
+			return fmt.Errorf("core: corrupt frontier snapshot: sample rate index %d out of range", param)
+		}
+	default:
+		return fmt.Errorf("core: corrupt frontier snapshot: unknown scan algorithm %d", alg)
+	}
+	return nil
+}
+
+// validJoinEntry checks a join entry's op code and split shape: known
+// algorithm, DOP within [1, MaxDOP], operands disjoint and non-empty,
+// unioning exactly to the containing set.
+func validJoinEntry(container query.TableSet, ent plan.Entry) error {
+	alg, dop := plan.JoinAlg(ent.Op>>8), ent.Op&0xff
+	if ent.Op < 0 || ent.Op&^0xffff != 0 || alg < plan.HashJoin || alg > plan.BlockNLJoin {
+		return fmt.Errorf("core: corrupt frontier snapshot: join op %#x out of range", ent.Op)
+	}
+	if dop < 1 || int(dop) > plan.MaxDOP {
+		return fmt.Errorf("core: corrupt frontier snapshot: join DOP %d out of range", dop)
+	}
+	if ent.RightSet.Empty() {
+		return fmt.Errorf("core: corrupt frontier snapshot: join with empty inner set")
+	}
+	if !ent.LeftSet.Disjoint(ent.RightSet) || ent.LeftSet.Union(ent.RightSet) != container {
+		return fmt.Errorf("core: corrupt frontier snapshot: entry operands %v ⋈ %v are not a split of %v",
+			ent.LeftSet, ent.RightSet, container)
 	}
 	return nil
 }

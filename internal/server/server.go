@@ -47,6 +47,7 @@ import (
 
 	"moqo"
 	"moqo/internal/cache"
+	"moqo/internal/store"
 )
 
 // Options configures a Server.
@@ -77,6 +78,21 @@ type Options struct {
 	// strategy for connected join graphs — results are identical for
 	// every strategy, so this only tunes enumeration work.
 	DefaultEnumeration moqo.EnumerationStrategy
+	// StorePath enables the disk-backed frontier store: marshaled
+	// frontier snapshots persist under this directory, keyed by
+	// FrontierKey, so a restarted server answers known query shapes from
+	// disk instead of re-running their dynamic programs. Empty disables
+	// persistence. The frontier tier must be enabled for the store to
+	// see traffic.
+	StorePath string
+	// StoreMaxBytes bounds the store's live bytes (0 = the store default,
+	// 256 MiB; negative = unbounded), mirroring the in-memory tier's LRU
+	// boundedness on disk.
+	StoreMaxBytes int64
+	// StoreNoSync skips the fsync after each store append — faster
+	// writes, and a crash may lose the most recent snapshots (recovery
+	// still drops whatever was torn; nothing damaged is ever served).
+	StoreNoSync bool
 }
 
 // withDefaults fills in the documented defaults.
@@ -109,7 +125,21 @@ type Server struct {
 	// algorithms with reusable frontiers; a hit serves the request by a
 	// SelectBest scan over the cached snapshot (moqo.ReoptimizeContext).
 	frontier *cache.Cache[frontierEntry]
-	start    time.Time
+	// store persists frontier snapshots across restarts (nil when
+	// disabled): written through on DP completion, consulted on frontier
+	// tier misses before a cold DP runs, refreshed on memory eviction
+	// (demotion). Keys are FrontierKeys, which embed the catalog
+	// fingerprint and key-format version — so a catalog or version
+	// change invalidates stale disk entries by never looking them up.
+	store *store.Store
+	// demote carries snapshots from the frontier tier's eviction hook
+	// (which runs under a shard lock and must not block) to the
+	// background writer that refreshes their recency in the store. Set
+	// once at construction, closed once by Close.
+	demote    chan *moqo.FrontierSnapshot
+	demoteWG  sync.WaitGroup
+	closeOnce sync.Once
+	start     time.Time
 
 	catMu    sync.Mutex
 	catalogs map[float64]*moqo.Catalog // TPC-H catalogs by scale factor
@@ -123,6 +153,15 @@ type Server struct {
 	// snapshotBytes gauges the estimated bytes of snapshots currently in
 	// the frontier tier (adds on store, subtracts via the eviction hook).
 	snapshotBytes atomic.Int64
+	// storeDecodeDropped counts disk entries that passed the store's
+	// checksums but failed snapshot decoding or key verification —
+	// dropped and deleted, never served. /metrics folds it into the
+	// store's corrupt_dropped.
+	storeDecodeDropped atomic.Uint64
+	// demoteDropped counts evicted snapshots the demotion queue had no
+	// room for (the store still holds their write-through copy, just
+	// with stale recency).
+	demoteDropped atomic.Uint64
 
 	latMu      sync.Mutex
 	latencies  []float64 // ring buffer of recent /optimize latencies (ms)
@@ -133,8 +172,21 @@ type Server struct {
 // latencyWindow is the sliding-window size of the latency metrics.
 const latencyWindow = 1024
 
-// New builds a Server.
+// New builds a Server, panicking if the frontier store cannot be opened
+// (only possible with Options.StorePath set — use NewE to handle the
+// error).
 func New(opts Options) *Server {
+	s, err := NewE(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewE builds a Server, opening the disk-backed frontier store when
+// Options.StorePath is set. Callers that enable the store should Close
+// the server on shutdown.
+func NewE(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:      opts,
@@ -146,12 +198,106 @@ func New(opts Options) *Server {
 		s.cache = cache.New[OptimizeResponse](opts.CacheCapacity, opts.CacheShards)
 		if opts.FrontierCacheCapacity > 0 {
 			s.frontier = cache.New[frontierEntry](opts.FrontierCacheCapacity, opts.CacheShards)
-			s.frontier.OnEvict(func(_ string, ent frontierEntry) {
+			if opts.StorePath != "" {
+				st, err := store.Open(store.Options{
+					Dir:      opts.StorePath,
+					MaxBytes: opts.StoreMaxBytes,
+					NoSync:   opts.StoreNoSync,
+				})
+				if err != nil {
+					return nil, err
+				}
+				s.store = st
+				s.demote = make(chan *moqo.FrontierSnapshot, demoteQueueDepth)
+				s.demoteWG.Add(1)
+				go s.demoteLoop()
+			}
+			s.frontier.OnEvict(func(_ string, ent frontierEntry, reason cache.EvictReason) {
 				s.snapshotBytes.Add(-int64(ent.snap.SizeBytes()))
+				if s.demote != nil && reason == cache.Evicted && ent.snap != nil {
+					// Demotion: a capacity eviction refreshes the snapshot's
+					// recency in the disk store (its bytes were already
+					// written through on DP completion; this keeps hot
+					// shapes from aging out of the disk budget). Replaced
+					// entries are superseded by a finer snapshot the caller
+					// writes through itself. The hook runs under a shard
+					// lock, so hand off without blocking and drop on a full
+					// queue.
+					select {
+					case s.demote <- ent.snap:
+					default:
+						s.demoteDropped.Add(1)
+					}
+				}
 			})
 		}
 	}
-	return s
+	return s, nil
+}
+
+// demoteQueueDepth bounds the eviction→store demotion queue.
+const demoteQueueDepth = 64
+
+// demoteLoop drains the demotion queue: marshaling off the eviction
+// hook's shard lock, then re-putting to refresh the store's recency.
+func (s *Server) demoteLoop() {
+	defer s.demoteWG.Done()
+	for snap := range s.demote {
+		data, err := snap.MarshalBinary()
+		if err != nil {
+			continue
+		}
+		_ = s.store.Put(snap.Key(), data)
+	}
+}
+
+// storePut marshals a snapshot and writes it through to the disk store
+// (no-op without a store).
+func (s *Server) storePut(snap *moqo.FrontierSnapshot) {
+	if s.store == nil || snap == nil {
+		return
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		return
+	}
+	_ = s.store.Put(snap.Key(), data)
+}
+
+// storeGet consults the disk store for a frontier snapshot under fkey.
+// Entries that fail decoding or key verification — version skew, or
+// damage the store's checksums cannot see — are deleted and counted,
+// never served.
+func (s *Server) storeGet(fkey string) *moqo.FrontierSnapshot {
+	if s.store == nil {
+		return nil
+	}
+	data, ok := s.store.Get(fkey)
+	if !ok {
+		return nil
+	}
+	snap, err := moqo.UnmarshalFrontierSnapshot(data)
+	if err != nil || snap.Key() != fkey {
+		s.storeDecodeDropped.Add(1)
+		_ = s.store.Delete(fkey)
+		return nil
+	}
+	return snap
+}
+
+// Close shuts the server's background work down and closes the frontier
+// store, flushing pending demotions. Call it only after the HTTP
+// handler has stopped serving (http.Server.Shutdown); it is safe on a
+// store-less server and more than once.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		close(s.demote)
+		s.demoteWG.Wait()
+	})
+	return s.store.Close()
 }
 
 // Handler returns the service's HTTP handler.
@@ -281,6 +427,13 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 	}
 	var lead *moqo.Result
 	ent, _, err := s.frontier.Do(ctx, fkey, func(cctx context.Context) (frontierEntry, bool, error) {
+		// Memory miss: consult the disk store before running a cold DP —
+		// the warm-restart fast path. A disk hit repopulates the memory
+		// tier and is served exactly like a memory hit below.
+		if sn := s.storeGet(fkey); sn != nil {
+			s.snapshotBytes.Add(int64(sn.SizeBytes()))
+			return frontierEntry{snap: sn, frontier: renderSnapshotFrontier(sn)}, true, nil
+		}
 		res, sn, cerr := moqo.OptimizeSnapshotContext(cctx, req)
 		if cerr != nil {
 			return frontierEntry{}, false, cerr
@@ -288,10 +441,15 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 		lead = res
 		if sn == nil {
 			// Degraded runs return sn == nil and are stored in neither
-			// tier; the store flag keeps them out of this one.
+			// tier nor the disk store; the store flag keeps them out of
+			// this one.
 			return frontierEntry{}, false, nil
 		}
 		s.snapshotBytes.Add(int64(sn.SizeBytes()))
+		// Write through on DP completion: one appended record per cold DP,
+		// so a restart replays the tier from disk instead of re-running
+		// dynamic programs.
+		s.storePut(sn)
 		return frontierEntry{snap: sn, frontier: renderFrontier(res)}, true, nil
 	})
 	if err != nil {
@@ -318,10 +476,12 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 	if newSnap != nil && newSnap != ent.snap {
 		// A seeded IRA refined past the cached snapshot: keep the finer
 		// frontier (Put's eviction hook releases the replaced one), and
-		// re-render the wire form the refined result implies.
+		// re-render the wire form the refined result implies. The store
+		// gets the finer snapshot too, superseding its seed on disk.
 		shared = renderFrontier(res)
 		s.snapshotBytes.Add(int64(newSnap.SizeBytes()))
 		s.frontier.Put(fkey, frontierEntry{snap: newSnap, frontier: shared})
+		s.storePut(newSnap)
 	}
 	resp, err := toResponseWithFrontier(res, shared)
 	if err != nil {
@@ -409,6 +569,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			HitRatio:       st.HitRatio(),
 			ReweightServed: s.reweightServed.Load(),
 			SnapshotBytes:  s.snapshotBytes.Load(),
+		}
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		m.FrontierStore = FrontierStoreMetrics{
+			Enabled:        true,
+			Hits:           st.Hits,
+			Misses:         st.Misses,
+			Writes:         st.Writes,
+			Bytes:          st.Bytes,
+			Evictions:      st.Evictions,
+			CorruptDropped: st.CorruptDropped + s.storeDecodeDropped.Load(),
+			Compactions:    st.Compactions,
+			Entries:        st.Entries,
 		}
 	}
 	s.writeJSON(w, http.StatusOK, m)

@@ -14,9 +14,29 @@ import (
 
 func newTestServer(t *testing.T, opts Options) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(opts).Handler())
-	t.Cleanup(ts.Close)
+	ts, _ := newTestServerC(t, opts)
 	return ts
+}
+
+// newTestServerC additionally returns a stop function that shuts the
+// HTTP server and the service (frontier store included) down — for tests
+// that restart a server mid-test; both are also stopped at cleanup
+// (stopping twice is safe).
+func newTestServerC(t *testing.T, opts Options) (*httptest.Server, func()) {
+	t.Helper()
+	svc, err := NewE(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	stop := func() {
+		ts.Close()
+		if err := svc.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return ts, stop
 }
 
 // post sends an optimize request and decodes the response (status, body).
@@ -404,8 +424,11 @@ func TestReweightServedFromFrontier(t *testing.T) {
 	if !m.FrontierCache.Enabled {
 		t.Fatal("frontier tier not enabled by default")
 	}
-	if m.FrontierCache.Entries != 1 || m.FrontierCache.Misses != 1 {
-		t.Errorf("frontier tier entries=%d misses=%d, want 1/1", m.FrontierCache.Entries, m.FrontierCache.Misses)
+	if m.FrontierCache.Entries != 1 {
+		t.Errorf("frontier tier entries=%d, want 1", m.FrontierCache.Entries)
+	}
+	if m.FrontierCache.Misses != 1 {
+		t.Errorf("frontier tier misses=%d, want 1", m.FrontierCache.Misses)
 	}
 	if m.FrontierCache.Hits != 1 {
 		t.Errorf("frontier tier hits=%d, want 1", m.FrontierCache.Hits)
@@ -569,5 +592,234 @@ func TestOptimizeEnumerationKnob(t *testing.T) {
 	status, _, errBody := post(t, ts, fmt.Sprintf(body, "bogus"))
 	if status != 400 || !strings.Contains(errBody, "enumeration") {
 		t.Errorf("bogus strategy: status %d, body %q", status, errBody)
+	}
+}
+
+// storeOpts enables the disk-backed frontier store on dir. NoSync keeps
+// the tests fast; crash consistency has its own tests in internal/store.
+func storeOpts(dir string) Options {
+	return Options{StorePath: dir, StoreNoSync: true}
+}
+
+// sameAnswer asserts two responses carry the identical plan and costs.
+func sameAnswer(t *testing.T, label string, want, got OptimizeResponse) {
+	t.Helper()
+	if !bytes.Equal(want.Plan, got.Plan) {
+		t.Errorf("%s: plans differ:\n%s\nvs\n%s", label, want.Plan, got.Plan)
+	}
+	if len(got.Cost) != len(want.Cost) {
+		t.Errorf("%s: cost maps differ: %v vs %v", label, want.Cost, got.Cost)
+	}
+	for o, c := range want.Cost {
+		if got.Cost[o] != c {
+			t.Errorf("%s: cost[%s] = %v, want %v", label, o, got.Cost[o], c)
+		}
+	}
+}
+
+// TestWarmRestartServesFromStore: a server restarted on the same store
+// directory answers a known query shape from disk — no dynamic program,
+// bit-for-bit the original answer (plan, costs, frontier) — and further
+// re-weights on the disk-loaded snapshot keep matching cold runs.
+func TestWarmRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	withFrontier := `{"frontier": true,` + reweightRequest(1)[1:]
+
+	tsA, stopA := newTestServerC(t, storeOpts(dir))
+	status, cold, raw := post(t, tsA, withFrontier)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if cold.Stats.ReusedFrontier {
+		t.Fatal("first request cannot reuse a frontier")
+	}
+	mA := metrics(t, tsA)
+	if !mA.FrontierStore.Enabled {
+		t.Fatal("frontier store not enabled")
+	}
+	if mA.FrontierStore.Writes != 1 {
+		t.Errorf("store writes=%d, want 1 (write-through on DP completion)", mA.FrontierStore.Writes)
+	}
+	if mA.FrontierStore.Entries != 1 {
+		t.Errorf("store entries=%d, want 1", mA.FrontierStore.Entries)
+	}
+	if mA.FrontierStore.Bytes <= 0 {
+		t.Errorf("store bytes=%d, want > 0", mA.FrontierStore.Bytes)
+	}
+	stopA()
+
+	// Restart: fresh process state, same directory.
+	tsB, _ := newTestServerC(t, storeOpts(dir))
+	status, warm, raw := post(t, tsB, withFrontier)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if !warm.Stats.ReusedFrontier {
+		t.Fatal("restarted server re-ran the dynamic program instead of serving from disk")
+	}
+	if warm.Cached {
+		t.Error("restarted server reported an exact-tier hit")
+	}
+	sameAnswer(t, "warm restart", cold, warm)
+	if len(warm.Frontier) != len(cold.Frontier) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(warm.Frontier), len(cold.Frontier))
+	}
+	for i := range cold.Frontier {
+		for o, v := range cold.Frontier[i] {
+			if warm.Frontier[i][o] != v {
+				t.Errorf("frontier[%d][%s] = %v, want %v", i, o, warm.Frontier[i][o], v)
+			}
+		}
+	}
+
+	// A re-weight on the disk-loaded snapshot still matches a cold run.
+	status, re, raw := post(t, tsB, reweightRequest(2))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if !re.Stats.ReusedFrontier {
+		t.Error("re-weight after restart not served from the frontier tier")
+	}
+	status, fresh, raw := post(t, tsB, `{"no_cache": true,`+reweightRequest(2)[1:])
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	sameAnswer(t, "re-weight after restart", fresh, re)
+
+	mB := metrics(t, tsB)
+	if mB.FrontierStore.Hits != 1 {
+		t.Errorf("store hits=%d, want 1", mB.FrontierStore.Hits)
+	}
+	if mB.FrontierStore.Misses != 0 {
+		t.Errorf("store misses=%d, want 0", mB.FrontierStore.Misses)
+	}
+	if mB.FrontierStore.CorruptDropped != 0 {
+		t.Errorf("store corrupt_dropped=%d, want 0", mB.FrontierStore.CorruptDropped)
+	}
+	if mB.FrontierCache.Misses != 1 {
+		t.Errorf("frontier tier misses=%d, want 1 (the memory miss that went to disk)", mB.FrontierCache.Misses)
+	}
+	if mB.FrontierCache.ReweightServed != 2 {
+		t.Errorf("reweight_served=%d, want 2", mB.FrontierCache.ReweightServed)
+	}
+}
+
+// iraRequest renders a bounded q8 IRA request — the algorithm whose
+// snapshot reuse seeds a refinement loop rather than a pure scan.
+func iraRequest(weight float64) string {
+	return fmt.Sprintf(`{
+		"tpch": 8, "alpha": 1.5, "algorithm": "ira",
+		"objectives": ["total_time", "buffer_footprint", "energy"],
+		"weights": {"total_time": %g, "energy": 0.3},
+		"bounds": {"buffer_footprint": 1e12}
+	}`, weight)
+}
+
+// TestWarmRestartSeedsIRA: IRA's restart path goes through the seeded
+// refinement (moqo.ReoptimizeContext with an IRA snapshot), which must
+// still answer bit-for-bit like a cold IRA run at the same weights.
+func TestWarmRestartSeedsIRA(t *testing.T) {
+	dir := t.TempDir()
+	tsA, stopA := newTestServerC(t, storeOpts(dir))
+	status, cold, raw := post(t, tsA, iraRequest(1))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	stopA()
+
+	tsB, _ := newTestServerC(t, storeOpts(dir))
+	status, warm, raw := post(t, tsB, iraRequest(1))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if !warm.Stats.ReusedFrontier {
+		t.Fatal("restarted server did not seed IRA from the disk store")
+	}
+	sameAnswer(t, "seeded IRA restart", cold, warm)
+	// And against a fully cold, cache-bypassing run at the same weights.
+	status, fresh, raw := post(t, tsB, `{"no_cache": true,`+iraRequest(1)[1:])
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	sameAnswer(t, "seeded IRA vs cold", fresh, warm)
+	if m := metrics(t, tsB); m.FrontierStore.Hits != 1 {
+		t.Errorf("store hits=%d, want 1", m.FrontierStore.Hits)
+	}
+}
+
+// inlineStoreRequest renders an inline-catalog request; the catalog's
+// tables and indexes are injected so tests can "mutate" the catalog
+// between restarts the way a live one mutates via AddTable/AddIndex.
+func inlineStoreRequest(tables, indexes string) string {
+	return fmt.Sprintf(`{
+		"catalog": {"tables": %s, "indexes": %s},
+		"query": {
+			"name": "user-events",
+			"relations": [{"table": "users", "filter_sel": 0.1}, {"table": "events"}],
+			"joins": [{"left": 0, "right": 1, "left_col": "id", "right_col": "user_id", "selectivity": 0.00001}]
+		},
+		"algorithm": "rta", "alpha": 1.5,
+		"objectives": ["total_time", "energy"],
+		"weights": {"total_time": 1, "energy": 0.5}
+	}`, tables, indexes)
+}
+
+// TestCatalogChangeInvalidatesStoreEntries: the FrontierKey embeds the
+// catalog's content fingerprint, so a catalog that gained a table or an
+// index after the snapshot was persisted never sees the stale entry —
+// the store is consulted under the new key and misses; the unchanged
+// catalog still hits its entry.
+func TestCatalogChangeInvalidatesStoreEntries(t *testing.T) {
+	const baseTables = `[
+		{"name": "users", "rows": 100000, "width": 120, "pk": "id"},
+		{"name": "events", "rows": 5000000, "width": 64, "pk": "eid"}
+	]`
+	const baseIndexes = `[{"table": "events", "column": "user_id"}]`
+
+	dir := t.TempDir()
+	tsA, stopA := newTestServerC(t, storeOpts(dir))
+	status, _, raw := post(t, tsA, inlineStoreRequest(baseTables, baseIndexes))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	stopA()
+
+	tsB, _ := newTestServerC(t, storeOpts(dir))
+	mutations := map[string]string{
+		"AddIndex": inlineStoreRequest(baseTables,
+			`[{"table": "events", "column": "user_id"}, {"table": "users", "column": "name"}]`),
+		"AddTable": inlineStoreRequest(`[
+			{"name": "users", "rows": 100000, "width": 120, "pk": "id"},
+			{"name": "events", "rows": 5000000, "width": 64, "pk": "eid"},
+			{"name": "audit", "rows": 1000, "width": 32, "pk": "aid"}
+		]`, baseIndexes),
+	}
+	for name, body := range mutations {
+		status, resp, raw := post(t, tsB, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, status, raw)
+		}
+		if resp.Stats.ReusedFrontier {
+			t.Errorf("%s: stale snapshot served after the catalog changed", name)
+		}
+	}
+	m := metrics(t, tsB)
+	if m.FrontierStore.Hits != 0 {
+		t.Errorf("store hits=%d, want 0 (mutated catalogs must never hit)", m.FrontierStore.Hits)
+	}
+	if m.FrontierStore.Misses != uint64(len(mutations)) {
+		t.Errorf("store misses=%d, want %d", m.FrontierStore.Misses, len(mutations))
+	}
+
+	// Control: the unchanged catalog still finds its snapshot on disk.
+	status, same, raw := post(t, tsB, inlineStoreRequest(baseTables, baseIndexes))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if !same.Stats.ReusedFrontier {
+		t.Error("unchanged catalog no longer served from the disk store")
+	}
+	if m := metrics(t, tsB); m.FrontierStore.Hits != 1 {
+		t.Errorf("store hits=%d, want 1 (the unchanged catalog)", m.FrontierStore.Hits)
 	}
 }

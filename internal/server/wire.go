@@ -168,6 +168,11 @@ type MetricsResponse struct {
 	// request prefix, from which re-weight traffic is served without
 	// re-optimizing.
 	FrontierCache FrontierCacheMetrics `json:"frontier_cache"`
+	// FrontierStore snapshots the disk-backed frontier store (all-zero
+	// when persistence is disabled): snapshots written through on DP
+	// completion and consulted on frontier-tier misses, so a restarted
+	// server answers known query shapes from disk.
+	FrontierStore FrontierStoreMetrics `json:"frontier_store"`
 	Latency       LatencyMetrics       `json:"latency_ms"`
 }
 
@@ -211,6 +216,31 @@ type FrontierCacheMetrics struct {
 	// SnapshotBytes gauges the estimated memory of the snapshots
 	// currently cached in the tier.
 	SnapshotBytes int64 `json:"snapshot_bytes"`
+}
+
+// FrontierStoreMetrics snapshots the disk-backed frontier store
+// (all-zero when the store is disabled).
+type FrontierStoreMetrics struct {
+	Enabled bool `json:"enabled"`
+	// Hits and Misses count disk lookups; the store is only consulted on
+	// frontier-tier (memory) misses, so a hit is a warm restart or a
+	// re-promotion after memory eviction.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Writes counts snapshot appends: DP-completion write-throughs,
+	// seeded-IRA refinements, and eviction demotions.
+	Writes uint64 `json:"writes"`
+	// Bytes is the store's live payload footprint on disk; Evictions
+	// counts entries dropped to keep it under the configured budget.
+	Bytes     int64  `json:"bytes"`
+	Evictions uint64 `json:"evictions"`
+	// CorruptDropped counts entries dropped instead of served: torn or
+	// checksum-failed records at open or read time, plus entries that
+	// passed the store's checksums but failed snapshot decoding.
+	CorruptDropped uint64 `json:"corrupt_dropped"`
+	// Compactions counts completed segment-log compactions.
+	Compactions uint64 `json:"compactions"`
+	Entries     int    `json:"entries"`
 }
 
 // LatencyMetrics summarizes served /optimize latencies over a sliding
@@ -442,6 +472,24 @@ func renderFrontier(res *moqo.Result) []map[string]float64 {
 	for i, v := range res.FrontierVectors() {
 		point := make(map[string]float64, len(res.Objectives()))
 		for _, o := range res.Objectives() {
+			point[o.String()] = v.Get(o)
+		}
+		frontier[i] = point
+	}
+	return frontier
+}
+
+// renderSnapshotFrontier renders a snapshot's frontier points on the
+// wire — the same rendering renderFrontier produces for the run the
+// snapshot came from (same canonical order, same vectors), used when the
+// entry is repopulated from the disk store and no Result exists yet.
+func renderSnapshotFrontier(snap *moqo.FrontierSnapshot) []map[string]float64 {
+	objs := snap.Objectives()
+	vecs := snap.FrontierVectors()
+	frontier := make([]map[string]float64, len(vecs))
+	for i, v := range vecs {
+		point := make(map[string]float64, len(objs))
+		for _, o := range objs {
 			point[o.String()] = v.Get(o)
 		}
 		frontier[i] = point

@@ -64,6 +64,24 @@ func (s *FrontierSnapshot) SizeBytes() int {
 	return s.core.SizeBytes() + len(s.key)
 }
 
+// Objectives returns the active objectives of the originating run.
+func (s *FrontierSnapshot) Objectives() []Objective {
+	return s.core.Objectives().IDs()
+}
+
+// FrontierVectors returns the frontier's cost vectors in canonical order
+// — the same order (and the same vectors) Result.FrontierVectors reports
+// for the run the snapshot was extracted from. It lets a caller holding
+// only a snapshot (say, one deserialized from a disk store) render the
+// frontier without materializing any plans.
+func (s *FrontierSnapshot) FrontierVectors() []CostVector {
+	out := make([]CostVector, s.core.Len())
+	for i := range out {
+		out[i] = s.core.CostAt(int32(i))
+	}
+	return out
+}
+
 // snapshotWireMagic and snapshotWireVersion frame the moqo-level binary
 // envelope (key + algorithm) around the core frontier payload.
 const (
