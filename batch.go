@@ -1,0 +1,300 @@
+package moqo
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"moqo/internal/core"
+)
+
+// SharedMemo is a batch-scoped store of solved optimizer subproblems —
+// the cross-query common-subexpression layer behind OptimizeBatch.
+// Requests over the same catalog whose queries join overlapping table
+// sets solve overlapping subproblems; a shared memo lets each request
+// publish the Pareto archives of the table sets it completed and serve
+// later requests' identical subproblems from them, bit-for-bit (the
+// archive keys encode everything a subproblem's answer depends on — see
+// internal/core.SharedMemo for the soundness argument).
+//
+// A SharedMemo is safe for concurrent use and grows monotonically; scope
+// it to one batch (or one catalog generation) and drop it as a whole.
+type SharedMemo struct {
+	m *core.SharedMemo
+}
+
+// NewSharedMemo creates an empty shared memo.
+func NewSharedMemo() *SharedMemo { return &SharedMemo{m: core.NewSharedMemo()} }
+
+// Subproblems returns the number of solved subproblems published so far.
+func (s *SharedMemo) Subproblems() int { return s.m.Len() }
+
+// Counters reports cumulative subproblem lookup hits, misses, and
+// publishes across every request the memo was attached to.
+func (s *SharedMemo) Counters() (hits, misses, published int64) { return s.m.Counters() }
+
+// BatchOptions configures OptimizeBatchContext.
+type BatchOptions struct {
+	// Parallel is the number of members optimized concurrently (default
+	// 1). Members sharing a *Query object are serialized internally, so
+	// any value is safe.
+	Parallel int
+
+	// Shared is the memo the batch publishes solved subproblems to. Nil
+	// creates a fresh one for this batch; pass your own to share across
+	// batches over the same catalog, or to read its Counters afterwards.
+	Shared *SharedMemo
+
+	// DisableSharing turns off the shared memo (members still dedupe by
+	// cache key, and re-weights still reuse member frontiers). Intended
+	// for measuring the memo's contribution; results are identical either
+	// way.
+	DisableSharing bool
+}
+
+// BatchItem is the outcome of one batch member.
+type BatchItem struct {
+	// Result is the member's optimization result, nil on error. Members
+	// whose requests resolve to the same cache key share one *Result —
+	// treat it as read-only, as with any cached result.
+	Result *Result
+	// Err is the member's error (validation, cancellation); nil on
+	// success. Member errors are independent — one invalid member never
+	// fails the batch.
+	Err error
+	// Reused reports the member was answered without running its own
+	// dynamic program: either an exact duplicate (cache key) of another
+	// member, or a re-weight/re-bound of one, answered from that member's
+	// Pareto frontier.
+	Reused bool
+}
+
+// OptimizeBatch optimizes a workload of requests as one batch, exploiting
+// everything its members have in common. Compared to a loop over
+// Optimize:
+//
+//   - members resolving to the same cache key run one dynamic program
+//     (the duplicates share the leader's Result),
+//   - members differing only in weights or bounds (same FrontierKey,
+//     EXA/RTA) run one dynamic program; the others are answered from its
+//     Pareto frontier by a SelectBest scan,
+//   - all members publish solved subproblems to a shared memo, so
+//     overlapping-but-distinct queries (a star sharing its core with a
+//     larger star, a chain extending another) skip each other's completed
+//     table sets, and
+//   - distinct dynamic programs are scheduled most-expensive-first
+//     (core.PredictCost), which minimizes the makespan of the parallel
+//     fan-out and maximizes what cheap members find pre-published.
+//
+// Every member's result is bit-for-bit the result a standalone
+// Optimize(req) call would return — plans, cost vectors, frontiers; only
+// the effort statistics (Stats.Considered, Stats.SharedMemoHits, ...)
+// reflect the sharing. The returned slice has one item per request, in
+// request order.
+func OptimizeBatch(reqs []Request) []BatchItem {
+	return OptimizeBatchContext(context.Background(), reqs, BatchOptions{})
+}
+
+// OptimizeBatchContext is OptimizeBatch under a context and explicit
+// options. Cancelling the context aborts running members and fails the
+// not-yet-started ones with the context's error.
+func OptimizeBatchContext(ctx context.Context, reqs []Request, opts BatchOptions) []BatchItem {
+	items := make([]BatchItem, len(reqs))
+	var mu sync.Mutex
+	runBatch(ctx, reqs, opts, func(i int, item BatchItem) {
+		mu.Lock()
+		items[i] = item
+		mu.Unlock()
+	})
+	return items
+}
+
+// OptimizeBatchStream is OptimizeBatchContext emitting each member's item
+// as it completes instead of collecting them: emit(i, item) is called
+// exactly once per member, in completion order (not request order), and
+// never concurrently. It returns after every member was emitted.
+func OptimizeBatchStream(ctx context.Context, reqs []Request, opts BatchOptions, emit func(i int, item BatchItem)) {
+	var mu sync.Mutex
+	runBatch(ctx, reqs, opts, func(i int, item BatchItem) {
+		mu.Lock()
+		emit(i, item)
+		mu.Unlock()
+	})
+}
+
+// batchUnit is one distinct cache key of the batch: the representative
+// request that runs (or is re-weighted), and the indexes of every member
+// resolving to that key.
+type batchUnit struct {
+	req     Request
+	members []int
+	cost    float64
+}
+
+// batchGroup is one scheduling unit: a set of batchUnits sharing a
+// FrontierKey whose first unit runs the dynamic program and whose rest
+// are answered from its frontier snapshot. Units that cannot share a
+// frontier (IRA refinement is seeded, not bit-for-bit; the scalar
+// baselines have no frontier) form singleton groups — for IRA the shared
+// memo still carries the cross-member reuse.
+type batchGroup struct {
+	units []*batchUnit
+}
+
+// runBatch is the shared body of the collecting and streaming entry
+// points. done is called exactly once per member index, serialized by the
+// callers.
+func runBatch(ctx context.Context, reqs []Request, opts BatchOptions, done func(int, BatchItem)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	shared := opts.Shared
+	if shared == nil && !opts.DisableSharing {
+		shared = NewSharedMemo()
+	}
+	if opts.DisableSharing {
+		shared = nil
+	}
+
+	// Resolve members into distinct-cache-key units; invalid members fail
+	// immediately and independently.
+	byCK := make(map[string]*batchUnit)
+	var units []*batchUnit
+	frontierable := make(map[*batchUnit]string) // unit -> FrontierKey, EXA/RTA only
+	for i, req := range reqs {
+		ck, err := req.CacheKey()
+		if err != nil {
+			done(i, BatchItem{Err: err})
+			continue
+		}
+		if u, ok := byCK[ck]; ok {
+			u.members = append(u.members, i)
+			continue
+		}
+		req.Shared = shared
+		_, _, _, alg, _, _ := req.resolve() // already validated by CacheKey
+		u := &batchUnit{
+			req:     req,
+			members: []int{i},
+			cost:    core.PredictCost(len(req.Query.Relations), len(req.Objectives), alg.String()),
+		}
+		byCK[ck] = u
+		units = append(units, u)
+		if alg == AlgoEXA || alg == AlgoRTA {
+			// Only these answer re-weights bit-for-bit from a frontier
+			// snapshot (see ReoptimizeContext); IRA's seeded path refines
+			// and may return a finer frontier than a cold run.
+			fk, _ := u.req.FrontierKey()
+			frontierable[u] = fk
+		}
+	}
+
+	// Frontier groups: units sharing a FrontierKey differ only in weights
+	// and bounds, so one dynamic program serves the whole group.
+	byFK := make(map[string]*batchGroup)
+	var groups []*batchGroup
+	for _, u := range units {
+		fk, ok := frontierable[u]
+		if !ok {
+			groups = append(groups, &batchGroup{units: []*batchUnit{u}})
+			continue
+		}
+		if g, exists := byFK[fk]; exists {
+			g.units = append(g.units, u)
+			continue
+		}
+		g := &batchGroup{units: []*batchUnit{u}}
+		byFK[fk] = g
+		groups = append(groups, g)
+	}
+
+	// Most-expensive-first: long dynamic programs start immediately (the
+	// classic LPT makespan heuristic), and the cheap overlapping members
+	// that follow find their shared subproblems already published.
+	sort.SliceStable(groups, func(i, j int) bool {
+		return groups[i].units[0].cost > groups[j].units[0].cost
+	})
+
+	// Members sharing a *Query object must not optimize concurrently: the
+	// query's cardinality/selectivity estimates are memoized on the Query
+	// itself (the first run warms them for everyone — the batch's shared
+	// warm-up), and that memo is not written under a lock.
+	queryLocks := make(map[*Query]*sync.Mutex)
+	for _, u := range units {
+		if queryLocks[u.req.Query] == nil {
+			queryLocks[u.req.Query] = new(sync.Mutex)
+		}
+	}
+
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
+	if parallel > len(groups) {
+		parallel = len(groups)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < parallel; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1) - 1)
+				if n >= len(groups) {
+					return
+				}
+				runGroup(ctx, groups[n], queryLocks, done)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runGroup executes one scheduling unit: the leader's dynamic program,
+// then the group's re-weights from the leader's frontier snapshot.
+func runGroup(ctx context.Context, g *batchGroup, queryLocks map[*Query]*sync.Mutex, done func(int, BatchItem)) {
+	leader := g.units[0]
+	captureFrontier := len(g.units) > 1
+
+	lock := queryLocks[leader.req.Query]
+	lock.Lock()
+	var res *Result
+	var snap *FrontierSnapshot
+	var err error
+	if captureFrontier {
+		res, snap, err = OptimizeSnapshotContext(ctx, leader.req)
+	} else {
+		res, err = OptimizeContext(ctx, leader.req)
+	}
+	lock.Unlock()
+	emitUnit(leader, res, err, false, done)
+
+	for _, u := range g.units[1:] {
+		if err != nil || snap == nil {
+			// Leader failed or produced no reusable frontier (degraded
+			// run): fall back to each unit's own cold optimization.
+			qlock := queryLocks[u.req.Query]
+			qlock.Lock()
+			r, e := OptimizeContext(ctx, u.req)
+			qlock.Unlock()
+			emitUnit(u, r, e, false, done)
+			continue
+		}
+		// A pure SelectBest scan over the snapshot — no dynamic program,
+		// bit-for-bit the cold answer at the unit's weights/bounds.
+		r, _, e := ReoptimizeContext(ctx, u.req, snap)
+		emitUnit(u, r, e, true, done)
+	}
+}
+
+// emitUnit fans one unit's outcome out to all its members: the first
+// member owns the run, the rest are cache-key duplicates sharing its
+// Result.
+func emitUnit(u *batchUnit, res *Result, err error, reused bool, done func(int, BatchItem)) {
+	for k, i := range u.members {
+		done(i, BatchItem{Result: res, Err: err, Reused: reused || k > 0})
+	}
+}

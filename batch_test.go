@@ -1,0 +1,173 @@
+package moqo_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"moqo"
+)
+
+// batchWorkload builds a mixed overlapping workload over one catalog:
+// a chain, an extension of that chain (sharing its prefix subproblems),
+// two TPC-H queries, an exact duplicate, a re-weight, and members across
+// EXA/RTA/IRA/Selinger. The same request slice is optimized per-member
+// (the baseline) and as a batch (the subject) by the differential test.
+func batchWorkload(t testing.TB) []moqo.Request {
+	t.Helper()
+	cat := moqo.TPCHCatalog(0.1)
+
+	chain := moqo.NewQuery("chain3", cat)
+	c := chain.AddRelation("customer", "c", 0.2)
+	o := chain.AddRelation("orders", "o", 0.5)
+	l := chain.AddRelation("lineitem", "l", 0.6)
+	chain.AddFKJoin(o, "o_custkey", c, "c_custkey")
+	chain.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+
+	star := moqo.NewQuery("star4", cat)
+	c = star.AddRelation("customer", "c", 0.2)
+	o = star.AddRelation("orders", "o", 0.5)
+	l = star.AddRelation("lineitem", "l", 0.6)
+	n := star.AddRelation("nation", "n", 1)
+	star.AddFKJoin(o, "o_custkey", c, "c_custkey")
+	star.AddFKJoin(l, "l_orderkey", o, "o_orderkey")
+	star.AddFKJoin(c, "c_nationkey", n, "n_nationkey")
+
+	q3, err := moqo.TPCHQuery(3, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q5, err := moqo.TPCHQuery(5, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	objs := []moqo.Objective{moqo.TotalTime, moqo.BufferFootprint, moqo.Energy}
+	w1 := map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.BufferFootprint: 0.1, moqo.Energy: 0.3}
+	w2 := map[moqo.Objective]float64{moqo.TotalTime: 0.3, moqo.BufferFootprint: 1, moqo.Energy: 0.1}
+
+	chainEXA := moqo.Request{Query: chain, Algorithm: moqo.AlgoEXA, Objectives: objs, Weights: w1}
+	starEXA := moqo.Request{Query: star, Algorithm: moqo.AlgoEXA, Objectives: objs, Weights: w1}
+	starEXAw2 := starEXA
+	starEXAw2.Weights = w2
+
+	return []moqo.Request{
+		chainEXA, // shares its whole DP with starEXA's prefix
+		starEXA,
+		chainEXA,  // exact duplicate: one DP
+		starEXAw2, // re-weight: answered from starEXA's frontier
+		{Query: q3, Algorithm: moqo.AlgoRTA, Alpha: 1.5, Objectives: objs, Weights: w1},
+		{Query: q3, Algorithm: moqo.AlgoRTA, Alpha: 1.5, Objectives: objs, Weights: w2},
+		{Query: q5, Algorithm: moqo.AlgoIRA, Alpha: 1.5, Objectives: objs, Weights: w1,
+			Bounds: map[moqo.Objective]float64{moqo.BufferFootprint: 1e9}},
+		{Query: q3, Algorithm: moqo.AlgoSelinger, Objectives: objs},
+	}
+}
+
+// TestBatchMatchesPerMemberDifferential is the batch acceptance
+// differential: over a mixed overlapping workload — chain/star/TPC-H
+// shapes, duplicates, re-weights, EXA/RTA/IRA/Selinger — every batch
+// member's answer is bit-for-bit the answer of a standalone Optimize
+// call, for sequential and parallel fan-out and for Workers 1 and 4
+// inside the dynamic programs.
+func TestBatchMatchesPerMemberDifferential(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, parallel := range []int{1, 4} {
+			t.Run(fmt.Sprintf("workers=%d/parallel=%d", workers, parallel), func(t *testing.T) {
+				reqs := batchWorkload(t)
+				for i := range reqs {
+					reqs[i].Workers = workers
+				}
+
+				// Baseline: each member alone, no sharing of any kind.
+				base := make([]*moqo.Result, len(reqs))
+				for i, req := range reqs {
+					res, err := moqo.Optimize(req)
+					if err != nil {
+						t.Fatalf("baseline member %d: %v", i, err)
+					}
+					base[i] = res
+				}
+
+				items := moqo.OptimizeBatchContext(context.Background(), reqs,
+					moqo.BatchOptions{Parallel: parallel})
+				if len(items) != len(reqs) {
+					t.Fatalf("got %d items for %d members", len(items), len(reqs))
+				}
+				for i, it := range items {
+					if it.Err != nil {
+						t.Fatalf("batch member %d: %v", i, it.Err)
+					}
+					assertSameAnswer(t, fmt.Sprintf("member %d", i), it.Result, base[i])
+				}
+				if !items[2].Reused {
+					t.Error("exact-duplicate member not marked reused")
+				}
+				if !items[3].Reused {
+					t.Error("re-weight member not marked reused")
+				}
+			})
+		}
+	}
+}
+
+// TestBatchInvalidMemberIsIndependent pins that one invalid member fails
+// alone without poisoning the batch.
+func TestBatchInvalidMemberIsIndependent(t *testing.T) {
+	reqs := batchWorkload(t)[:2]
+	reqs = append(reqs, moqo.Request{}) // no query: invalid
+	items := moqo.OptimizeBatch(reqs)
+	if items[2].Err == nil {
+		t.Fatal("invalid member did not fail")
+	}
+	for i := 0; i < 2; i++ {
+		if items[i].Err != nil {
+			t.Fatalf("valid member %d failed: %v", i, items[i].Err)
+		}
+	}
+}
+
+// TestBatchStreamEmitsEveryMemberOnce pins the streaming contract: one
+// emission per member, none concurrent, all present.
+func TestBatchStreamEmitsEveryMemberOnce(t *testing.T) {
+	reqs := batchWorkload(t)
+	seen := make(map[int]int)
+	moqo.OptimizeBatchStream(context.Background(), reqs,
+		moqo.BatchOptions{Parallel: 4}, func(i int, item moqo.BatchItem) {
+			if item.Err != nil {
+				t.Errorf("member %d: %v", i, item.Err)
+			}
+			seen[i]++
+		})
+	for i := range reqs {
+		if seen[i] != 1 {
+			t.Fatalf("member %d emitted %d times", i, seen[i])
+		}
+	}
+}
+
+// ExampleOptimizeBatch optimizes a small workload as one batch: the
+// duplicate member is answered without a second dynamic program, and the
+// re-weighted member is served from the first member's Pareto frontier.
+func ExampleOptimizeBatch() {
+	cat := moqo.TPCHCatalog(1)
+	q3, _ := moqo.TPCHQuery(3, cat)
+
+	base := moqo.Request{
+		Query:      q3,
+		Algorithm:  moqo.AlgoRTA,
+		Alpha:      1.5,
+		Objectives: []moqo.Objective{moqo.TotalTime, moqo.Energy},
+		Weights:    map[moqo.Objective]float64{moqo.TotalTime: 1, moqo.Energy: 0.2},
+	}
+	reweight := base
+	reweight.Weights = map[moqo.Objective]float64{moqo.TotalTime: 0.1, moqo.Energy: 1}
+
+	for i, item := range moqo.OptimizeBatch([]moqo.Request{base, base, reweight}) {
+		fmt.Printf("member %d: plan found=%v reused=%v\n", i, item.Result.Plan != nil, item.Reused)
+	}
+	// Output:
+	// member 0: plan found=true reused=false
+	// member 1: plan found=true reused=true
+	// member 2: plan found=true reused=true
+}

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, store, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, store, batch, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
@@ -103,6 +103,9 @@ func main() {
 	}
 	if *fig == "store" || *fig == "all" {
 		storeRestart(cfg, *tables, *outDir)
+	}
+	if *fig == "batch" || *fig == "all" {
+		batchThroughput(cfg, *tables, *outDir)
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
@@ -404,6 +407,50 @@ func storeRestart(cfg bench.Config, tables, outDir string) {
 		fatalf("store: %v", err)
 	}
 	path := "BENCH_store.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// batchThroughput measures batch workload optimization — a mixed
+// overlapping workload (a synthetic chain plus two prefixes over one
+// catalog, TPC-H members, exact duplicates and re-weights) optimized as
+// one moqo.OptimizeBatch against one standalone request at a time — and
+// always emits BENCH_batch.json (into -out when set, the working
+// directory otherwise) for the CI pipeline to archive. Every batch answer
+// is verified bit-for-bit against its standalone counterpart. A single
+// -tables entry resizes the largest chain (its prefixes follow at -2 and
+// -4 relations). The -timeout flag is not plumbed in: the harness
+// verifies answers bit-for-bit, and a truncating timeout would degrade
+// them into incomparability, so it keeps its own 60s per-member ceiling.
+func batchThroughput(cfg bench.Config, tables, outDir string) {
+	header("Batch workloads: shared-memo batch optimization vs sequential standalone requests")
+	spec := bench.BatchSpec{Seed: cfg.Seed, Workers: cfg.EngineWorkers}
+	if sizes := splitArg(tables); len(sizes) > 0 {
+		n, err := strconv.Atoi(sizes[0])
+		if err != nil {
+			fatalf("bad -tables entry %q: %v", sizes[0], err)
+		}
+		spec.Tables = n
+	}
+	pts, sum, err := bench.BatchThroughput(spec)
+	if err != nil {
+		fatalf("batch: %v", err)
+	}
+	fmt.Println("chain + prefixes (EXA, shared subproblems), TPC-H q3/q5 (RTA alpha=1.5), one")
+	fmt.Println("duplicate and two re-weights per base; latencies are completion offsets from")
+	fmt.Println("workload start, and every batch answer is verified against a standalone run:")
+	fmt.Print(bench.RenderBatch(pts, sum))
+
+	raw, err := bench.BatchJSON(pts, sum)
+	if err != nil {
+		fatalf("batch: %v", err)
+	}
+	path := "BENCH_batch.json"
 	if outDir != "" {
 		path = filepath.Join(outDir, path)
 	}

@@ -18,9 +18,15 @@
 //
 // Endpoints:
 //
-//	POST /optimize  — optimize one query (JSON body; see internal/server)
-//	GET  /metrics   — request, latency and cache counters
-//	GET  /healthz   — liveness probe
+//	POST /optimize        — optimize one query (JSON body; see internal/server)
+//	POST /optimize/batch  — optimize a whole workload in one call: one
+//	                        catalog resolution, identical members deduped
+//	                        into one dynamic program, re-weights served
+//	                        from cached frontiers, common subexpressions
+//	                        shared across members, cost-ordered
+//	                        scheduling ("stream": true for NDJSON)
+//	GET  /metrics         — request, latency and cache counters
+//	GET  /healthz         — liveness probe
 //
 // Example session:
 //

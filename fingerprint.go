@@ -62,6 +62,11 @@ func (req Request) FrontierKey() (string, error) {
 //     every strategy — a request answered under one strategy is a valid
 //     answer under any other. internal/core's differential tests pin
 //     this equivalence.
+//   - Shared: a batch's shared memo serves subproblems whose keys encode
+//     everything their archives depend on, so attaching one (or which
+//     one) changes effort statistics only, never the result — a batch
+//     member's answer is interchangeable with a standalone one (the batch
+//     differential tests pin this).
 //
 // The key is an explicit, readable string rather than a hash: distinct
 // requests — e.g. differing in a single weight or bound — always map to

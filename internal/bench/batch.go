@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"moqo"
+	"moqo/internal/core"
+	"moqo/internal/workload"
+)
+
+// BatchSpec parameterizes the batch-workload experiment: the aggregate
+// throughput and completion-latency distribution of a mixed overlapping
+// workload optimized as one batch (moqo.OptimizeBatch — shared catalog
+// warm-up, cache-key dedupe, frontier re-weights, cross-query subproblem
+// sharing, cost-ordered scheduling) against the same workload optimized
+// one standalone request at a time, with every batch answer verified
+// bit-for-bit against its sequential counterpart.
+type BatchSpec struct {
+	// Tables sizes the synthetic overlap trio (workload.BatchSpec.Tables;
+	// default 10).
+	Tables int
+	// Duplicates and Reweights per base member (defaults 1 and 2).
+	Duplicates int
+	Reweights  int
+	// Alpha is the RTA precision of the TPC-H members (default 1.5).
+	Alpha float64
+	// Parallel is the batch fan-out (default 1: on one core the entire
+	// speedup is sharing, not parallelism).
+	Parallel int
+	// Workers per dynamic program (default 1).
+	Workers int
+	// Timeout per member optimization (default 60s — the experiment
+	// verifies answers bit-for-bit, and degraded answers are not
+	// comparable).
+	Timeout time.Duration
+	// Seed drives the workload (default 1).
+	Seed int64
+}
+
+func (s BatchSpec) withDefaults() BatchSpec {
+	if s.Tables == 0 {
+		s.Tables = 10
+	}
+	if s.Duplicates == 0 {
+		s.Duplicates = 1
+	}
+	if s.Reweights == 0 {
+		s.Reweights = 2
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 1.5
+	}
+	if s.Parallel == 0 {
+		s.Parallel = 1
+	}
+	if s.Workers == 0 {
+		s.Workers = 1
+	}
+	if s.Timeout == 0 {
+		s.Timeout = 60 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// BatchPoint is one measured arm of the experiment. Latencies are
+// completion offsets from workload start — what a client submitting the
+// whole workload observes per member — so the two arms' percentiles are
+// directly comparable.
+type BatchPoint struct {
+	Arm        string  `json:"arm"` // "sequential" or "batch"
+	Members    int     `json:"members"`
+	TotalMs    float64 `json:"total_ms"`
+	Throughput float64 `json:"throughput_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	// DPs counts the dynamic programs the arm executed (engine runs; one
+	// per member sequentially, one per distinct problem in the batch).
+	DPs int64 `json:"dps"`
+	// Reused counts members answered without their own dynamic program
+	// (duplicates and re-weights; batch arm only).
+	Reused int `json:"reused,omitempty"`
+	// SharedSubproblems and SharedHits count the batch's shared-memo
+	// traffic (batch arm only).
+	SharedSubproblems int   `json:"shared_subproblems,omitempty"`
+	SharedHits        int64 `json:"shared_hits,omitempty"`
+}
+
+// BatchSummary aggregates the comparison.
+type BatchSummary struct {
+	// Speedup is sequential total time over batch total time — the
+	// aggregate throughput ratio.
+	Speedup float64 `json:"speedup"`
+	// Verified reports that every batch member's plan, cost vector and
+	// frontier were bit-for-bit its standalone answer.
+	Verified bool `json:"verified"`
+}
+
+// memberRequest converts one workload member into its moqo.Request.
+func memberRequest(m workload.BatchMember, spec BatchSpec) moqo.Request {
+	objs := m.Objectives.IDs()
+	w := make(map[moqo.Objective]float64, len(objs))
+	for _, o := range objs {
+		w[o] = m.Weights[o]
+	}
+	req := moqo.Request{
+		Query:      m.Query,
+		Objectives: objs,
+		Weights:    w,
+		Workers:    spec.Workers,
+		Timeout:    spec.Timeout,
+	}
+	switch m.Algorithm {
+	case "exa":
+		req.Algorithm = moqo.AlgoEXA
+	default:
+		req.Algorithm = moqo.AlgoRTA
+		req.Alpha = spec.Alpha
+	}
+	return req
+}
+
+// batchWorkloadSpec maps the experiment spec onto the workload generator.
+func batchWorkloadSpec(spec BatchSpec) workload.BatchSpec {
+	return workload.BatchSpec{
+		Tables:     spec.Tables,
+		Duplicates: spec.Duplicates,
+		Reweights:  spec.Reweights,
+		Seed:       spec.Seed,
+	}
+}
+
+// BatchThroughputWorkload exposes the experiment's resolved workload —
+// the member mix BatchThroughput optimizes — for tests and inspection.
+func BatchThroughputWorkload(spec BatchSpec) ([]workload.BatchMember, error) {
+	return workload.MixedBatch(batchWorkloadSpec(spec.withDefaults()))
+}
+
+// BatchThroughput runs both arms and verifies the batch answers against
+// the sequential ones bit-for-bit.
+//
+// The sequential arm rebuilds the workload for every member and optimizes
+// that member alone — each request constructs its catalog and query and
+// warms its own cardinality memo from scratch, mirroring one-request-at-
+// a-time serving. The batch arm builds the workload once and optimizes it
+// with moqo.OptimizeBatchContext. Both arms run the members in the same
+// (shuffled) workload order on the same process.
+func BatchThroughput(spec BatchSpec) ([]BatchPoint, BatchSummary, error) {
+	spec = spec.withDefaults()
+	members, err := workload.MixedBatch(batchWorkloadSpec(spec))
+	if err != nil {
+		return nil, BatchSummary{}, err
+	}
+	n := len(members)
+
+	// Sequential arm: every member fully standalone, construction
+	// included.
+	baseline := make([]*moqo.Result, n)
+	seqOffsets := make([]float64, n)
+	dpsBefore := core.EngineRuns()
+	seqStart := time.Now()
+	for i := 0; i < n; i++ {
+		fresh, err := workload.MixedBatch(batchWorkloadSpec(spec))
+		if err != nil {
+			return nil, BatchSummary{}, err
+		}
+		res, err := moqo.Optimize(memberRequest(fresh[i], spec))
+		if err != nil {
+			return nil, BatchSummary{}, fmt.Errorf("sequential member %d: %w", i, err)
+		}
+		baseline[i] = res
+		seqOffsets[i] = float64(time.Since(seqStart)) / float64(time.Millisecond)
+	}
+	seqTotal := float64(time.Since(seqStart)) / float64(time.Millisecond)
+	seqDPs := core.EngineRuns() - dpsBefore
+
+	// Batch arm: one workload construction, one batch.
+	reqs := make([]moqo.Request, n)
+	for i, m := range members {
+		reqs[i] = memberRequest(m, spec)
+	}
+	sm := moqo.NewSharedMemo()
+	items := make([]moqo.BatchItem, n)
+	batchOffsets := make([]float64, n)
+	dpsBefore = core.EngineRuns()
+	batchStart := time.Now()
+	moqo.OptimizeBatchStream(context.Background(), reqs,
+		moqo.BatchOptions{Parallel: spec.Parallel, Shared: sm},
+		func(i int, item moqo.BatchItem) {
+			items[i] = item
+			batchOffsets[i] = float64(time.Since(batchStart)) / float64(time.Millisecond)
+		})
+	batchTotal := float64(time.Since(batchStart)) / float64(time.Millisecond)
+	batchDPs := core.EngineRuns() - dpsBefore
+
+	// Verification: every batch answer is bit-for-bit its standalone
+	// answer.
+	reused := 0
+	for i, item := range items {
+		if item.Err != nil {
+			return nil, BatchSummary{}, fmt.Errorf("batch member %d: %w", i, item.Err)
+		}
+		same, err := sameAnswer(item.Result, baseline[i])
+		if err != nil {
+			return nil, BatchSummary{}, err
+		}
+		if !same {
+			return nil, BatchSummary{}, fmt.Errorf("batch member %d (%s %s) differs from its standalone answer",
+				i, members[i].Kind, members[i].Query.Name)
+		}
+		if item.Reused {
+			reused++
+		}
+	}
+	hits, _, published := sm.Counters()
+
+	points := []BatchPoint{
+		{
+			Arm:        "sequential",
+			Members:    n,
+			TotalMs:    seqTotal,
+			Throughput: float64(n) / (seqTotal / 1000),
+			P50Ms:      offsetPercentile(seqOffsets, 0.50),
+			P99Ms:      offsetPercentile(seqOffsets, 0.99),
+			DPs:        seqDPs,
+		},
+		{
+			Arm:               "batch",
+			Members:           n,
+			TotalMs:           batchTotal,
+			Throughput:        float64(n) / (batchTotal / 1000),
+			P50Ms:             offsetPercentile(batchOffsets, 0.50),
+			P99Ms:             offsetPercentile(batchOffsets, 0.99),
+			DPs:               batchDPs,
+			Reused:            reused,
+			SharedSubproblems: int(published),
+			SharedHits:        hits,
+		},
+	}
+	sum := BatchSummary{Verified: true}
+	if batchTotal > 0 {
+		sum.Speedup = seqTotal / batchTotal
+	}
+	return points, sum, nil
+}
+
+// offsetPercentile sorts a copy and reads the nearest-rank percentile.
+func offsetPercentile(offsets []float64, p float64) float64 {
+	sorted := append([]float64(nil), offsets...)
+	sort.Float64s(sorted)
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// RenderBatch renders the comparison as a text table.
+func RenderBatch(pts []BatchPoint, sum BatchSummary) string {
+	out := fmt.Sprintf("%-12s %8s %10s %12s %10s %10s %6s %7s %8s %6s\n",
+		"arm", "members", "total(ms)", "thru(req/s)", "p50(ms)", "p99(ms)", "DPs", "reused", "subprobs", "hits")
+	for _, p := range pts {
+		out += fmt.Sprintf("%-12s %8d %10.1f %12.1f %10.1f %10.1f %6d %7d %8d %6d\n",
+			p.Arm, p.Members, p.TotalMs, p.Throughput, p.P50Ms, p.P99Ms, p.DPs, p.Reused,
+			p.SharedSubproblems, p.SharedHits)
+	}
+	out += fmt.Sprintf("aggregate speedup: %.2fx  answers verified bit-for-bit: %v\n", sum.Speedup, sum.Verified)
+	return out
+}
+
+// BatchJSON renders the experiment for the CI artifact.
+func BatchJSON(pts []BatchPoint, sum BatchSummary) ([]byte, error) {
+	payload := struct {
+		Benchmark string       `json:"benchmark"`
+		NumCPU    int          `json:"num_cpu"`
+		Points    []BatchPoint `json:"points"`
+		Summary   BatchSummary `json:"summary"`
+	}{
+		Benchmark: "batch-workload-throughput",
+		NumCPU:    runtime.NumCPU(),
+		Points:    pts,
+		Summary:   sum,
+	}
+	return json.MarshalIndent(payload, "", "  ")
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBatchThroughput runs a scaled-down batch experiment end to end: the
+// harness must verify every batch answer bit-for-bit against its
+// standalone counterpart, dedupe the duplicates and re-weights out of the
+// batch arm's dynamic programs, and traffic the shared memo on the
+// overlapping chain prefixes.
+func TestBatchThroughput(t *testing.T) {
+	spec := BatchSpec{Tables: 7, Seed: 3}
+	pts, sum, err := BatchThroughput(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Verified {
+		t.Fatal("harness did not verify the batch answers")
+	}
+	if len(pts) != 2 || pts[0].Arm != "sequential" || pts[1].Arm != "batch" {
+		t.Fatalf("unexpected points: %+v", pts)
+	}
+	seq, batch := pts[0], pts[1]
+	if seq.Members != batch.Members || seq.Members == 0 {
+		t.Fatalf("member counts differ: %d vs %d", seq.Members, batch.Members)
+	}
+	// 5 distinct problems (chain + 2 prefixes + 2 TPC-H); everything else
+	// is a duplicate or a re-weight answered without its own DP.
+	if batch.DPs != 5 {
+		t.Errorf("batch ran %d DPs, want 5", batch.DPs)
+	}
+	if seq.DPs != int64(seq.Members) {
+		t.Errorf("sequential ran %d DPs for %d members", seq.DPs, seq.Members)
+	}
+	if batch.Reused != batch.Members-5 {
+		t.Errorf("batch reused %d members, want %d", batch.Reused, batch.Members-5)
+	}
+	// The chain prefixes share every non-singleton connected subset with
+	// the full chain ({t0..t1}..{t0..t4} and {t0..t1}..{t0..t2}): 4+2.
+	if batch.SharedHits < 6 {
+		t.Errorf("shared memo hits = %d, want >= 6", batch.SharedHits)
+	}
+	if batch.SharedSubproblems == 0 {
+		t.Error("batch published no shared subproblems")
+	}
+
+	table := RenderBatch(pts, sum)
+	if !strings.Contains(table, "sequential") || !strings.Contains(table, "speedup") {
+		t.Errorf("render missing columns:\n%s", table)
+	}
+	raw, err := BatchJSON(pts, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Benchmark string       `json:"benchmark"`
+		Points    []BatchPoint `json:"points"`
+		Summary   BatchSummary `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Benchmark != "batch-workload-throughput" || len(payload.Points) != 2 || !payload.Summary.Verified {
+		t.Errorf("unexpected payload: %s", raw)
+	}
+}
+
+// TestMixedBatchDeterministic pins that the same spec generates the
+// identical workload twice — the sequential arm rebuilds per member and
+// depends on it.
+func TestMixedBatchDeterministic(t *testing.T) {
+	a, err := BatchThroughputWorkload(BatchSpec{Tables: 7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BatchThroughputWorkload(BatchSpec{Tables: 7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Weights != b[i].Weights ||
+			a[i].Query.Name != b[i].Query.Name || a[i].Algorithm != b[i].Algorithm {
+			t.Fatalf("member %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

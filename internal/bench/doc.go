@@ -39,4 +39,11 @@
 //	                   query sizes (BENCH_topology.json).
 //	Hotpath          — allocation-free flat engine vs the preserved
 //	                   pre-refactor reference (BENCH_hotpath.json).
+//	BatchThroughput  — aggregate throughput and completion latency of a
+//	                   mixed overlapping workload optimized as one batch
+//	                   (shared catalog warm-up, dedupe, frontier
+//	                   re-weights, cross-query subproblem sharing,
+//	                   cost-ordered scheduling) vs one request at a
+//	                   time, every answer verified bit-for-bit
+//	                   (BENCH_batch.json).
 package bench

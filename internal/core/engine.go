@@ -62,6 +62,14 @@ type engine struct {
 	// weights steer the degraded single-plan mode after a timeout.
 	weights objective.Weights
 
+	// shared, when non-nil, is the batch's cross-query archive store.
+	// sharedPrefix/sharedRels/sharedEdges are the precomputed key pieces
+	// (prepareShared) the per-set key builder assembles from.
+	shared       *SharedMemo
+	sharedPrefix []byte
+	sharedRels   [][]byte
+	sharedEdges  []sharedEdge
+
 	enum *enumeration
 	memo *memoTable
 	// viewMemo is the split-side lookup of the full (non-degraded) mode,
@@ -205,7 +213,12 @@ func (e *engine) newArchive() *pareto.FlatArchive {
 // singleton sets first, then table sets of increasing cardinality. The
 // caller extracts plan trees with materializeFrontier.
 func (e *engine) run() *pareto.FlatArchive {
+	engineRuns.Add(1)
 	e.flatConfig()
+	if e.opts.Shared != nil {
+		e.shared = e.opts.Shared
+		e.prepareShared()
+	}
 	e.runLevels(func(w *worker, id int32, s query.TableSet) {
 		if s.Single() {
 			w.scanSet(id, s)
@@ -230,6 +243,7 @@ func (e *engine) run() *pareto.FlatArchive {
 // diverse objectives it is the unsound baseline of the paper's Example 1.
 // Returns the best plan for the full table set, materialized.
 func (e *engine) runScalar(scalar func(objective.Vector) float64) *plan.Node {
+	engineRuns.Add(1)
 	e.flatConfig()
 	e.runLevels(func(w *worker, id int32, s query.TableSet) {
 		if s.Single() {
@@ -344,15 +358,40 @@ func (w *worker) scanBestSet(id int32, s query.TableSet, scalar func(objective.V
 // fullSet treats one table set exhaustively, inserting every candidate
 // into its archive. If the timeout fires mid-set, the set's archive is
 // kept as-is and completion is not recorded.
+//
+// With a shared memo attached, the set is first looked up by its
+// canonical subproblem key: a hit installs the published archive
+// verbatim — bit-for-bit what the enumeration below would have built
+// (see SharedMemo) — and skips the candidate loop. A miss runs the loop
+// and publishes the archive, but only when the set completed and the run
+// is neither timed out nor cancelled: degraded runs may hold truncated
+// lower-level archives, and the timeout latch is set before the level
+// barrier that precedes this set, so observing it unlatched here proves
+// every lower level was treated in full. Only fullSet touches the shared
+// memo — the degraded and scalar modes keep weight-dependent archives
+// that must never be shared.
 func (w *worker) fullSet(id int32, s query.TableSet) {
-	a := w.e.newArchive()
-	w.e.memo.archives[id] = a
+	e := w.e
+	if e.shared != nil {
+		if a := e.shared.get(w.sharedKey(s)); a != nil {
+			e.memo.archives[id] = a
+			w.sharedHits++
+			w.markDone(id, a.Len())
+			return
+		}
+	}
+	a := e.newArchive()
+	e.memo.archives[id] = a
 	complete := w.forEachCandidate(s, func(cost objective.Vector, ent plan.Entry) bool {
 		a.Insert(cost, ent)
 		return !w.expired()
 	})
 	if complete {
 		w.markDone(id, a.Len())
+		// w.keyBuf still holds this set's key from the lookup above.
+		if e.shared != nil && !e.timedOut.Load() && !e.cancelled.Load() {
+			e.shared.put(w.keyBuf, a)
+		}
 	}
 }
 
@@ -835,26 +874,29 @@ func (e *engine) stats(start time.Time) Stats {
 	}
 	considered := 0
 	splits := 0
+	sharedHits := 0
 	maxDoneID := int32(-1)
 	paretoLast := 0
 	for i := range e.workers {
 		w := &e.workers[i]
 		considered += w.considered
 		splits += w.splits
+		sharedHits += w.sharedHits
 		if w.maxDoneID > maxDoneID {
 			maxDoneID = w.maxDoneID
 			paretoLast = w.maxDoneLen
 		}
 	}
 	return Stats{
-		Duration:    time.Since(start),
-		Considered:  considered,
-		Stored:      stored,
-		MemoryBytes: int64(stored) * storedPlanBytes,
-		ParetoLast:  paretoLast,
-		EnumSets:    e.enum.scanned,
-		EnumSplits:  splits,
-		TimedOut:    e.timedOut.Load(),
-		Iterations:  1,
+		Duration:       time.Since(start),
+		Considered:     considered,
+		Stored:         stored,
+		MemoryBytes:    int64(stored) * storedPlanBytes,
+		ParetoLast:     paretoLast,
+		EnumSets:       e.enum.scanned,
+		EnumSplits:     splits,
+		SharedMemoHits: sharedHits,
+		TimedOut:       e.timedOut.Load(),
+		Iterations:     1,
 	}
 }

@@ -101,6 +101,16 @@ type Options struct {
 	// (Stats.EnumSets, Stats.EnumSplits).
 	Enumeration EnumerationStrategy
 
+	// Shared, when non-nil, attaches a cross-query shared memo: completed
+	// Pareto archives are looked up and published under canonical
+	// subproblem keys, so runs over the same catalog that join overlapping
+	// table sets skip each other's solved subproblems. Results are
+	// bit-for-bit unchanged (see SharedMemo); only the effort stats
+	// (Considered, EnumSplits — and SharedMemoHits, which reports the
+	// sets served from the memo) reflect the skipped work. Like Workers
+	// and Enumeration, this knob is excluded from every cache key.
+	Shared *SharedMemo
+
 	// CaptureSnapshot asks the multi-objective algorithms (EXA, RTA,
 	// RTAVector, IRA) to extract a FrontierSnapshot of the final frontier
 	// into Result.Snapshot — the compact, weight/bound-free form the
@@ -185,6 +195,11 @@ type Stats struct {
 	// exhaustive scan visits 2^|s| - 2 split pairs per table set against
 	// the graph-aware strategy's connected splits only.
 	EnumSplits int
+	// SharedMemoHits counts the table sets served from an attached
+	// Options.Shared memo instead of being enumerated (0 when no memo is
+	// attached). Each hit removes that set's share of Considered and
+	// EnumSplits from the run.
+	SharedMemoHits int
 	// TimedOut reports whether the run hit its timeout and degraded.
 	TimedOut bool
 	// ReusedFrontier reports that the result was served from a cached
@@ -221,6 +236,7 @@ func (s *Stats) merge(it Stats) {
 	s.Considered += it.Considered
 	s.EnumSets += it.EnumSets
 	s.EnumSplits += it.EnumSplits
+	s.SharedMemoHits += it.SharedMemoHits
 	// Memory is reported for the last iteration only: earlier iterations'
 	// memory is reused (paper Section 8: "the reported numbers for memory
 	// consumption refer to the memory reserved in the last iteration").

@@ -48,6 +48,10 @@ type worker struct {
 	treeOrder  [64]int8
 	treeParent [64]int8
 	treeSub    [64]query.TableSet
+	// keyBuf is the shared-memo key scratch (sharedKey); sharedHits counts
+	// table sets this worker served from the batch's shared memo.
+	keyBuf     []byte
+	sharedHits int
 }
 
 // observe polls the run's stop signals (amortized by the caller): the

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"strings"
+)
+
+// PredictCost estimates the relative optimization effort of one query —
+// the scheduling priority the batch path sorts members by, not a cost in
+// any physical unit. The shape follows the engine's complexity bounds:
+// the bushy dynamic program visits O(3^n) ordered splits over n tables
+// (each table is in the left half, the right half, or neither), archive
+// sizes — and with them the candidate combinations per split — grow
+// roughly geometrically with the number of competing objectives, and the
+// algorithm scales the whole search: EXA prunes nothing, IRA re-runs the
+// program over a geometric precision schedule, RTA runs it once with
+// approximate pruning, and the scalar baselines keep one plan per set.
+//
+// The estimate is deliberately coarse: scheduling only needs the ranking,
+// and the ranking only needs monotonicity — more tables or more
+// objectives never predicts cheaper, for every algorithm (pinned by
+// TestPredictCostMonotone).
+func PredictCost(tables, objectives int, algorithm string) float64 {
+	if tables < 1 {
+		tables = 1
+	}
+	if objectives < 1 {
+		objectives = 1
+	}
+	return math.Pow(3, float64(tables)) *
+		math.Pow(2, float64(objectives-1)) *
+		algorithmFactor(algorithm)
+}
+
+// algorithmFactor scales the predicted effort by algorithm, relative to a
+// single approximate (RTA) run. Unknown names get the RTA factor — a
+// middle-of-the-road default beats failing for a knob that only orders
+// work.
+func algorithmFactor(algorithm string) float64 {
+	switch strings.ToLower(algorithm) {
+	case "exa":
+		return 8
+	case "ira":
+		return 3
+	case "selinger", "weightedsum":
+		return 1.0 / 16
+	default: // "rta", "auto", ""
+		return 1
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"moqo/internal/costmodel"
+	"moqo/internal/objective"
+)
+
+// predictAlgs spans the named algorithms, the auto default, and an
+// unknown name (which must fall back, not fail).
+var predictAlgs = []string{"exa", "rta", "ira", "selinger", "weightedsum", "auto", "", "EXA", "nonsense"}
+
+// TestPredictCostMonotone pins the property batch scheduling relies on:
+// for every algorithm, adding tables or objectives never predicts a
+// cheaper optimization.
+func TestPredictCostMonotone(t *testing.T) {
+	for _, alg := range predictAlgs {
+		for tables := 1; tables <= 20; tables++ {
+			for objs := 1; objs <= 9; objs++ {
+				c := PredictCost(tables, objs, alg)
+				if c <= 0 {
+					t.Fatalf("PredictCost(%d, %d, %q) = %v, want > 0", tables, objs, alg, c)
+				}
+				if ct := PredictCost(tables+1, objs, alg); ct < c {
+					t.Errorf("%q: %d->%d tables at %d objs predicts cheaper (%v < %v)",
+						alg, tables, tables+1, objs, ct, c)
+				}
+				if co := PredictCost(tables, objs+1, alg); co < c {
+					t.Errorf("%q: %d->%d objs at %d tables predicts cheaper (%v < %v)",
+						alg, objs, objs+1, tables, co, c)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictCostRanksAlgorithms pins the coarse algorithm ordering: the
+// exact algorithm is the most expensive, the scalar baselines the
+// cheapest, with IRA between EXA and RTA.
+func TestPredictCostRanksAlgorithms(t *testing.T) {
+	exa := PredictCost(8, 3, "exa")
+	ira := PredictCost(8, 3, "ira")
+	rta := PredictCost(8, 3, "rta")
+	sel := PredictCost(8, 3, "selinger")
+	if !(exa > ira && ira > rta && rta > sel) {
+		t.Fatalf("algorithm ranking broken: exa=%v ira=%v rta=%v selinger=%v", exa, ira, rta, sel)
+	}
+	if PredictCost(8, 3, "") != rta || PredictCost(8, 3, "auto") != rta {
+		t.Fatal("auto/empty algorithm must predict like rta")
+	}
+	if PredictCost(8, 3, "nonsense") != rta {
+		t.Fatal("unknown algorithm must fall back to the rta factor")
+	}
+	if PredictCost(0, 0, "rta") != PredictCost(1, 1, "rta") {
+		t.Fatal("out-of-range inputs must clamp to 1")
+	}
+}
+
+// TestSharedMemoAcrossRuns pins the core sharing contract at the engine
+// level: two runs of the same configuration over the same query share
+// every table set, and the borrowing run's frontier is bit-for-bit the
+// lender's.
+func TestSharedMemoAcrossRuns(t *testing.T) {
+	m := costmodel.NewDefault(starQuery(t))
+	opts := smallOpts(threeObjs)
+	w, b := objective.UniformWeights(threeObjs), objective.NoBounds()
+
+	base, err := EXA(m, w, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sm := NewSharedMemo()
+	opts.Shared = sm
+	lend, err := EXA(m, w, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lend.Stats.SharedMemoHits != 0 {
+		t.Fatalf("first shared run reported %d hits, want 0", lend.Stats.SharedMemoHits)
+	}
+	if sm.Len() == 0 {
+		t.Fatal("first shared run published nothing")
+	}
+
+	borrow, err := EXA(m, w, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-singleton set must be served from the memo (singleton scans
+	// stay unshared — they are cheaper than a lookup), so the only
+	// remaining candidates are the access paths.
+	if borrow.Stats.SharedMemoHits != sm.Len() {
+		t.Fatalf("borrow hit %d sets, want all %d published", borrow.Stats.SharedMemoHits, sm.Len())
+	}
+	if borrow.Stats.Considered >= lend.Stats.Considered {
+		t.Fatalf("full-overlap borrow considered %d candidates, lender %d — nothing was skipped",
+			borrow.Stats.Considered, lend.Stats.Considered)
+	}
+
+	q := m.Query()
+	for _, got := range []Result{lend, borrow} {
+		if got.Frontier.Len() != base.Frontier.Len() {
+			t.Fatalf("frontier size %d, want %d", got.Frontier.Len(), base.Frontier.Len())
+		}
+		for i, p := range got.Frontier.Plans() {
+			bp := base.Frontier.Plans()[i]
+			if p.Cost != bp.Cost {
+				t.Fatalf("plan %d cost %v, want %v", i, p.Cost, bp.Cost)
+			}
+			if p.Format(q) != bp.Format(q) {
+				t.Fatalf("plan %d tree:\n%s\nwant:\n%s", i, p.Format(q), bp.Format(q))
+			}
+		}
+	}
+}

@@ -86,6 +86,12 @@ func NewDefault(q *query.Query) *Model { return New(q, Default()) }
 // Query returns the query the model estimates for.
 func (m *Model) Query() *query.Query { return m.q }
 
+// Params returns the model's calibration constants. Anything that caches
+// or shares results across models (the plan cache's fingerprints, the
+// batch path's shared memo) folds them into its keys, since two models
+// with different calibrations cost the same plan differently.
+func (m *Model) Params() Params { return m.p }
+
 // rows returns the estimated output cardinality of a table set.
 func (m *Model) rows(s query.TableSet) float64 { return m.q.EstimateRows(s) }
 

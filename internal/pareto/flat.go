@@ -21,10 +21,10 @@ type FlatConfig struct {
 	prec   *objective.Precision
 
 	// kind dispatches Insert to a width-specialized dominance kernel
-	// (see kernels.go); o0..o2 are ids resolved to plain ints for the
-	// two- and three-wide kernels.
-	kind       kernelKind
-	o0, o1, o2 int
+	// (see kernels.go); o0..o5 are ids resolved to plain ints for the
+	// two- through six-wide kernels.
+	kind                   kernelKind
+	o0, o1, o2, o3, o4, o5 int
 }
 
 // resolve fills the kernel-dispatch fields from ids; called by both
@@ -36,6 +36,12 @@ func (c *FlatConfig) resolve() {
 		c.o0, c.o1 = int(c.ids[0]), int(c.ids[1])
 	case kernel3:
 		c.o0, c.o1, c.o2 = int(c.ids[0]), int(c.ids[1]), int(c.ids[2])
+	case kernel4:
+		c.o0, c.o1, c.o2, c.o3 = int(c.ids[0]), int(c.ids[1]), int(c.ids[2]), int(c.ids[3])
+	case kernel5:
+		c.o0, c.o1, c.o2, c.o3, c.o4 = int(c.ids[0]), int(c.ids[1]), int(c.ids[2]), int(c.ids[3]), int(c.ids[4])
+	case kernel6:
+		c.o0, c.o1, c.o2, c.o3, c.o4, c.o5 = int(c.ids[0]), int(c.ids[1]), int(c.ids[2]), int(c.ids[3]), int(c.ids[4]), int(c.ids[5])
 	}
 }
 
@@ -131,6 +137,17 @@ func (a *FlatArchive) Insert(c objective.Vector, e plan.Entry) bool {
 	case kernel3:
 		rejected = anyRowLeq3(a.costs, cfg.o0, cfg.o1, cfg.o2,
 			c[cfg.o0]*cfg.alphas[0], c[cfg.o1]*cfg.alphas[1], c[cfg.o2]*cfg.alphas[2])
+	case kernel4:
+		rejected = anyRowLeq4(a.costs, cfg.o0, cfg.o1, cfg.o2, cfg.o3,
+			c[cfg.o0]*cfg.alphas[0], c[cfg.o1]*cfg.alphas[1], c[cfg.o2]*cfg.alphas[2], c[cfg.o3]*cfg.alphas[3])
+	case kernel5:
+		rejected = anyRowLeq5(a.costs, cfg.o0, cfg.o1, cfg.o2, cfg.o3, cfg.o4,
+			c[cfg.o0]*cfg.alphas[0], c[cfg.o1]*cfg.alphas[1], c[cfg.o2]*cfg.alphas[2],
+			c[cfg.o3]*cfg.alphas[3], c[cfg.o4]*cfg.alphas[4])
+	case kernel6:
+		rejected = anyRowLeq6(a.costs, cfg.o0, cfg.o1, cfg.o2, cfg.o3, cfg.o4, cfg.o5,
+			c[cfg.o0]*cfg.alphas[0], c[cfg.o1]*cfg.alphas[1], c[cfg.o2]*cfg.alphas[2],
+			c[cfg.o3]*cfg.alphas[3], c[cfg.o4]*cfg.alphas[4], c[cfg.o5]*cfg.alphas[5])
 	case kernelFull:
 		var t [stride]float64
 		for o := 0; o < stride; o++ {
@@ -153,6 +170,14 @@ func (a *FlatArchive) Insert(c objective.Vector, e plan.Entry) bool {
 		a.evict2(cfg.o0, cfg.o1, c[cfg.o0], c[cfg.o1])
 	case kernel3:
 		a.evict3(cfg.o0, cfg.o1, cfg.o2, c[cfg.o0], c[cfg.o1], c[cfg.o2])
+	case kernel4:
+		a.evict4(cfg.o0, cfg.o1, cfg.o2, cfg.o3, c[cfg.o0], c[cfg.o1], c[cfg.o2], c[cfg.o3])
+	case kernel5:
+		a.evict5(cfg.o0, cfg.o1, cfg.o2, cfg.o3, cfg.o4,
+			c[cfg.o0], c[cfg.o1], c[cfg.o2], c[cfg.o3], c[cfg.o4])
+	case kernel6:
+		a.evict6(cfg.o0, cfg.o1, cfg.o2, cfg.o3, cfg.o4, cfg.o5,
+			c[cfg.o0], c[cfg.o1], c[cfg.o2], c[cfg.o3], c[cfg.o4], c[cfg.o5])
 	case kernelFull:
 		a.evictFull(&c)
 	default:

@@ -9,9 +9,9 @@ import (
 	"moqo/internal/plan"
 )
 
-// kernelObjSets spans every Insert dispatch path: two- and three-wide
-// specialized kernels, the generic path (4 and 6 active objectives), and
-// the full nine-objective kernel.
+// kernelObjSets spans every Insert dispatch path: the two- through
+// six-wide specialized kernels, the generic path (7 active objectives),
+// and the full nine-objective kernel.
 var kernelObjSets = []struct {
 	name string
 	objs objective.Set
@@ -19,15 +19,20 @@ var kernelObjSets = []struct {
 	{"w2", objective.NewSet(objective.TotalTime, objective.BufferFootprint)},
 	{"w3", objective.NewSet(objective.TotalTime, objective.BufferFootprint, objective.Energy)},
 	{"w4", objective.NewSet(objective.TotalTime, objective.IOLoad, objective.CPULoad, objective.Energy)},
+	{"w5", objective.NewSet(objective.TotalTime, objective.StartupTime, objective.IOLoad,
+		objective.CPULoad, objective.Energy)},
 	{"w6", objective.NewSet(objective.TotalTime, objective.StartupTime, objective.IOLoad,
 		objective.CPULoad, objective.BufferFootprint, objective.Energy)},
+	{"w7", objective.NewSet(objective.TotalTime, objective.StartupTime, objective.IOLoad,
+		objective.CPULoad, objective.DiskFootprint, objective.BufferFootprint, objective.Energy)},
 	{"w9", objective.AllSet()},
 }
 
 // TestKernelDispatch pins the kernel each objective width resolves to.
 func TestKernelDispatch(t *testing.T) {
 	want := map[string]kernelKind{
-		"w2": kernel2, "w3": kernel3, "w4": kernelGeneric, "w6": kernelGeneric, "w9": kernelFull,
+		"w2": kernel2, "w3": kernel3, "w4": kernel4, "w5": kernel5,
+		"w6": kernel6, "w7": kernelGeneric, "w9": kernelFull,
 	}
 	for _, tc := range kernelObjSets {
 		if got := NewFlatConfig(tc.objs, 1.2).kind; got != want[tc.name] {

@@ -12,7 +12,8 @@ import "moqo/internal/objective"
 // the pipeline on unpredictable comparisons and blocks vectorization.
 //
 // The kernels below restructure both scans for the common active-objective
-// widths — 2 (the bench default), 3 (the TPC-H triple), and full 9 — so that
+// widths — 2 (the bench default), 3 (the TPC-H triple), 4 through 6 (the
+// remaining workload widths), and full 9 — so that
 // each row contributes one flag computed without data-dependent branches:
 // every comparison becomes a SETcc-style 0/1 value (b2u) and the per-
 // objective results are combined with integer AND. The only branch left per
@@ -34,6 +35,9 @@ const (
 	kernelGeneric kernelKind = iota // any objective subset; early-exit scalar loops
 	kernel2                         // exactly two active objectives
 	kernel3                         // exactly three active objectives
+	kernel4                         // exactly four active objectives
+	kernel5                         // exactly five active objectives
+	kernel6                         // exactly six active objectives
 	kernelFull                      // all nine objectives active
 )
 
@@ -45,6 +49,12 @@ func resolveKernel(ids []objective.ID) kernelKind {
 		return kernel2
 	case 3:
 		return kernel3
+	case 4:
+		return kernel4
+	case 5:
+		return kernel5
+	case 6:
+		return kernel6
 	case stride:
 		return kernelFull
 	default:
@@ -100,6 +110,74 @@ func anyRowLeq3(costs []float64, o0, o1, o2 int, t0, t1, t2 float64) bool {
 	}
 	for ; i < n; i += stride {
 		if b2u(costs[i+o0] <= t0)&b2u(costs[i+o1] <= t1)&b2u(costs[i+o2] <= t2) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyRowLeq4 is anyRowLeq2 for four active objectives.
+func anyRowLeq4(costs []float64, o0, o1, o2, o3 int, t0, t1, t2, t3 float64) bool {
+	n := len(costs)
+	i := 0
+	for ; i+4*stride <= n; i += 4 * stride {
+		f0 := b2u(costs[i+o0] <= t0) & b2u(costs[i+o1] <= t1) & b2u(costs[i+o2] <= t2) & b2u(costs[i+o3] <= t3)
+		f1 := b2u(costs[i+stride+o0] <= t0) & b2u(costs[i+stride+o1] <= t1) & b2u(costs[i+stride+o2] <= t2) & b2u(costs[i+stride+o3] <= t3)
+		f2 := b2u(costs[i+2*stride+o0] <= t0) & b2u(costs[i+2*stride+o1] <= t1) & b2u(costs[i+2*stride+o2] <= t2) & b2u(costs[i+2*stride+o3] <= t3)
+		f3 := b2u(costs[i+3*stride+o0] <= t0) & b2u(costs[i+3*stride+o1] <= t1) & b2u(costs[i+3*stride+o2] <= t2) & b2u(costs[i+3*stride+o3] <= t3)
+		if f0|f1|f2|f3 != 0 {
+			return true
+		}
+	}
+	for ; i < n; i += stride {
+		if b2u(costs[i+o0] <= t0)&b2u(costs[i+o1] <= t1)&b2u(costs[i+o2] <= t2)&b2u(costs[i+o3] <= t3) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyRowLeq5 is anyRowLeq2 for five active objectives. From this width on
+// the per-row flag already costs five comparisons, so rows are processed
+// two at a time rather than four — the wider unroll stops paying for its
+// register pressure.
+func anyRowLeq5(costs []float64, o0, o1, o2, o3, o4 int, t0, t1, t2, t3, t4 float64) bool {
+	n := len(costs)
+	i := 0
+	for ; i+2*stride <= n; i += 2 * stride {
+		f0 := b2u(costs[i+o0] <= t0) & b2u(costs[i+o1] <= t1) & b2u(costs[i+o2] <= t2) &
+			b2u(costs[i+o3] <= t3) & b2u(costs[i+o4] <= t4)
+		f1 := b2u(costs[i+stride+o0] <= t0) & b2u(costs[i+stride+o1] <= t1) & b2u(costs[i+stride+o2] <= t2) &
+			b2u(costs[i+stride+o3] <= t3) & b2u(costs[i+stride+o4] <= t4)
+		if f0|f1 != 0 {
+			return true
+		}
+	}
+	for ; i < n; i += stride {
+		if b2u(costs[i+o0] <= t0)&b2u(costs[i+o1] <= t1)&b2u(costs[i+o2] <= t2)&
+			b2u(costs[i+o3] <= t3)&b2u(costs[i+o4] <= t4) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyRowLeq6 is anyRowLeq5 for six active objectives.
+func anyRowLeq6(costs []float64, o0, o1, o2, o3, o4, o5 int, t0, t1, t2, t3, t4, t5 float64) bool {
+	n := len(costs)
+	i := 0
+	for ; i+2*stride <= n; i += 2 * stride {
+		f0 := b2u(costs[i+o0] <= t0) & b2u(costs[i+o1] <= t1) & b2u(costs[i+o2] <= t2) &
+			b2u(costs[i+o3] <= t3) & b2u(costs[i+o4] <= t4) & b2u(costs[i+o5] <= t5)
+		f1 := b2u(costs[i+stride+o0] <= t0) & b2u(costs[i+stride+o1] <= t1) & b2u(costs[i+stride+o2] <= t2) &
+			b2u(costs[i+stride+o3] <= t3) & b2u(costs[i+stride+o4] <= t4) & b2u(costs[i+stride+o5] <= t5)
+		if f0|f1 != 0 {
+			return true
+		}
+	}
+	for ; i < n; i += stride {
+		if b2u(costs[i+o0] <= t0)&b2u(costs[i+o1] <= t1)&b2u(costs[i+o2] <= t2)&
+			b2u(costs[i+o3] <= t3)&b2u(costs[i+o4] <= t4)&b2u(costs[i+o5] <= t5) != 0 {
 			return true
 		}
 	}
@@ -171,6 +249,69 @@ func (a *FlatArchive) evict3(o0, o1, o2 int, c0, c1, c2 float64) {
 	for i := 0; i < n; i++ {
 		base := i * stride
 		if b2u(c0 <= a.costs[base+o0])&b2u(c1 <= a.costs[base+o1])&b2u(c2 <= a.costs[base+o2]) != 0 {
+			a.evicted++
+			continue
+		}
+		if out != i {
+			copy(a.costs[out*stride:(out+1)*stride], a.costs[base:base+stride])
+			a.entries[out] = a.entries[i]
+		}
+		out++
+	}
+	a.entries = a.entries[:out]
+	a.costs = a.costs[:out*stride]
+}
+
+// evict4 is evict2 for four active objectives.
+func (a *FlatArchive) evict4(o0, o1, o2, o3 int, c0, c1, c2, c3 float64) {
+	out := 0
+	n := len(a.entries)
+	for i := 0; i < n; i++ {
+		base := i * stride
+		if b2u(c0 <= a.costs[base+o0])&b2u(c1 <= a.costs[base+o1])&
+			b2u(c2 <= a.costs[base+o2])&b2u(c3 <= a.costs[base+o3]) != 0 {
+			a.evicted++
+			continue
+		}
+		if out != i {
+			copy(a.costs[out*stride:(out+1)*stride], a.costs[base:base+stride])
+			a.entries[out] = a.entries[i]
+		}
+		out++
+	}
+	a.entries = a.entries[:out]
+	a.costs = a.costs[:out*stride]
+}
+
+// evict5 is evict2 for five active objectives.
+func (a *FlatArchive) evict5(o0, o1, o2, o3, o4 int, c0, c1, c2, c3, c4 float64) {
+	out := 0
+	n := len(a.entries)
+	for i := 0; i < n; i++ {
+		base := i * stride
+		if b2u(c0 <= a.costs[base+o0])&b2u(c1 <= a.costs[base+o1])&b2u(c2 <= a.costs[base+o2])&
+			b2u(c3 <= a.costs[base+o3])&b2u(c4 <= a.costs[base+o4]) != 0 {
+			a.evicted++
+			continue
+		}
+		if out != i {
+			copy(a.costs[out*stride:(out+1)*stride], a.costs[base:base+stride])
+			a.entries[out] = a.entries[i]
+		}
+		out++
+	}
+	a.entries = a.entries[:out]
+	a.costs = a.costs[:out*stride]
+}
+
+// evict6 is evict2 for six active objectives.
+func (a *FlatArchive) evict6(o0, o1, o2, o3, o4, o5 int, c0, c1, c2, c3, c4, c5 float64) {
+	out := 0
+	n := len(a.entries)
+	for i := 0; i < n; i++ {
+		base := i * stride
+		if b2u(c0 <= a.costs[base+o0])&b2u(c1 <= a.costs[base+o1])&b2u(c2 <= a.costs[base+o2])&
+			b2u(c3 <= a.costs[base+o3])&b2u(c4 <= a.costs[base+o4])&b2u(c5 <= a.costs[base+o5]) != 0 {
 			a.evicted++
 			continue
 		}

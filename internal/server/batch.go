@@ -1,0 +1,344 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moqo"
+	"moqo/internal/cache"
+	"moqo/internal/core"
+)
+
+// maxBatchMembers bounds one batch; a workload larger than this should be
+// split by the client (the limit exists so one request cannot queue
+// unbounded work behind one connection).
+const maxBatchMembers = 1024
+
+// maxBatchBody bounds the /optimize/batch request body — larger than the
+// single-request limit because one batch carries many member specs.
+const maxBatchBody = 8 << 20
+
+// batchMember is one member's serving state: the resolved request (nil
+// Query when buildErr is set), its cache key, and the response slot.
+type batchMember struct {
+	idx      int
+	req      moqo.Request
+	key      string
+	frontier bool // include the frontier in this member's response
+	cost     float64
+	buildErr error
+}
+
+// handleOptimizeBatch serves POST /optimize/batch: a workload of member
+// requests optimized against one shared catalog. The catalog is resolved
+// once; distinct member query specs build one query object each, so
+// members of the same shape share one cardinality/selectivity warm-up;
+// all members publish solved subproblems to one batch-scoped shared memo
+// (moqo.SharedMemo) and are scheduled most-expensive-first
+// (core.PredictCost). Every member is served through the same two cache
+// tiers as /optimize — identical members coalesce to one dynamic program
+// and re-weights are answered from a sibling's frontier snapshot — and
+// every member's answer is bit-for-bit its standalone /optimize answer.
+//
+// With "stream": true the response is NDJSON — one BatchMemberResponse
+// per line in completion order, flushed as members finish; otherwise one
+// BatchResponse collects every member in member order.
+func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	s.batchRequests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	started := time.Now()
+
+	var wire BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(wire.Members) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("members: at least one required"))
+		return
+	}
+	if len(wire.Members) > maxBatchMembers {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("members: %d exceeds the limit of %d", len(wire.Members), maxBatchMembers))
+		return
+	}
+	s.batchMembers.Add(uint64(len(wire.Members)))
+
+	// One catalog for the whole batch: inline, or TPC-H at scale_factor.
+	var cat *moqo.Catalog
+	inline := wire.Catalog != nil
+	if inline {
+		c, err := buildCatalog(wire.Catalog)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cat = c
+	} else {
+		sf := wire.ScaleFactor
+		if sf == 0 {
+			sf = 1
+		}
+		if sf < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("scale_factor must be positive"))
+			return
+		}
+		cat = s.tpchCatalog(sf)
+	}
+
+	members := s.buildBatchMembers(&wire, cat, inline)
+
+	// Emit serialized: the streaming writer and the collecting slice are
+	// both single-writer under this mutex.
+	var (
+		emitMu  sync.Mutex
+		results []BatchMemberResponse
+		flusher http.Flusher
+		enc     *json.Encoder
+	)
+	if wire.Stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ = w.(http.Flusher)
+		enc = json.NewEncoder(w)
+	} else {
+		results = make([]BatchMemberResponse, len(members))
+	}
+	emit := func(resp BatchMemberResponse) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if wire.Stream {
+			_ = enc.Encode(resp) // one JSON object per line
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		results[resp.Member] = resp
+	}
+
+	// Fail invalid members immediately and independently; schedule the
+	// rest most-expensive-first so long dynamic programs start at once and
+	// cheap overlapping members find their subproblems pre-published.
+	var runnable []*batchMember
+	for i := range members {
+		m := &members[i]
+		if m.buildErr != nil {
+			s.errors.Add(1)
+			emit(BatchMemberResponse{Member: m.idx, Error: m.buildErr.Error()})
+			continue
+		}
+		runnable = append(runnable, m)
+	}
+	sort.SliceStable(runnable, func(i, j int) bool { return runnable[i].cost > runnable[j].cost })
+
+	// Members sharing a query object must not optimize concurrently (its
+	// cardinality memo is written without locks; the first run warms it
+	// for the rest). Serving under the lock also covers the re-weight and
+	// cache-hit paths, which are microseconds.
+	queryLocks := make(map[*moqo.Query]*sync.Mutex)
+	for _, m := range runnable {
+		if queryLocks[m.req.Query] == nil {
+			queryLocks[m.req.Query] = new(sync.Mutex)
+		}
+	}
+
+	parallel := wire.Parallel
+	if parallel <= 0 {
+		parallel = s.opts.DefaultWorkers
+	}
+	if max := runtime.NumCPU(); parallel > max {
+		parallel = max
+	}
+	if parallel > len(runnable) {
+		parallel = len(runnable)
+	}
+
+	ctx := r.Context()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < parallel; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1) - 1)
+				if n >= len(runnable) {
+					return
+				}
+				m := runnable[n]
+				memberStart := time.Now()
+				lock := queryLocks[m.req.Query]
+				lock.Lock()
+				resp, err := s.serveMember(ctx, m.req, m.key)
+				lock.Unlock()
+				if err != nil {
+					s.errors.Add(1)
+					emit(BatchMemberResponse{Member: m.idx, Error: err.Error()})
+					continue
+				}
+				if !m.frontier {
+					resp.Frontier = nil // field-level copy; cached value keeps its slice
+				}
+				s.recordLatency(float64(time.Since(memberStart)) / float64(time.Millisecond))
+				emit(BatchMemberResponse{Member: m.idx, Result: &resp})
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ctx.Err() != nil && wire.Stream {
+		return // client gone mid-stream; nothing left to write
+	}
+	if wire.Stream {
+		return
+	}
+	errs := 0
+	for i := range results {
+		if results[i].Error != "" {
+			errs++
+		}
+	}
+	hits, _, published := s.batchMemo(members).Counters()
+	s.writeJSON(w, http.StatusOK, BatchResponse{
+		Members: results,
+		Stats: BatchStatsResponse{
+			Members:           len(members),
+			Errors:            errs,
+			SharedSubproblems: int(published),
+			SharedHits:        hits,
+			DurationMs:        float64(time.Since(started)) / float64(time.Millisecond),
+		},
+	})
+}
+
+// buildBatchMembers resolves every member spec against the batch catalog:
+// distinct query specs build one query object each (deduped, so members
+// of one shape share its cardinality memo), knobs parse exactly like
+// /optimize, and one fresh shared memo is attached to every valid member.
+// Build failures are per-member (buildErr), never batch-wide.
+func (s *Server) buildBatchMembers(wire *BatchRequest, cat *moqo.Catalog, inline bool) []batchMember {
+	shared := moqo.NewSharedMemo()
+	queries := make(map[string]*moqo.Query)
+	members := make([]batchMember, len(wire.Members))
+	for i := range wire.Members {
+		spec := &wire.Members[i]
+		m := &members[i]
+		m.idx = i
+		m.frontier = spec.Frontier
+
+		q, err := s.buildMemberQuery(spec, cat, inline, queries)
+		if err != nil {
+			m.buildErr = fmt.Errorf("member %d: %w", i, err)
+			continue
+		}
+		m.req.Query = q
+		view := spec.asOptimizeRequest()
+		if err := s.applyKnobs(&m.req, &view); err != nil {
+			m.buildErr = fmt.Errorf("member %d: %w", i, err)
+			continue
+		}
+		m.req.Timeout = s.clampTimeout(spec.TimeoutMs)
+		m.req.Workers = s.clampWorkers(spec.Workers)
+		m.req.Shared = shared
+
+		// The cache key doubles as the member validator, exactly as on
+		// /optimize.
+		key, err := m.req.CacheKey()
+		if err != nil {
+			m.buildErr = fmt.Errorf("member %d: %w", i, err)
+			continue
+		}
+		m.key = key
+		m.cost = core.PredictCost(len(q.Relations), len(m.req.Objectives), spec.Algorithm)
+	}
+	return members
+}
+
+// buildMemberQuery resolves one member's query against the batch catalog,
+// deduping identical specs to one query object.
+func (s *Server) buildMemberQuery(spec *BatchMemberRequest, cat *moqo.Catalog, inline bool, queries map[string]*moqo.Query) (*moqo.Query, error) {
+	switch {
+	case spec.TPCH != 0 && spec.Query != nil:
+		return nil, fmt.Errorf("tpch and query are mutually exclusive")
+	case spec.TPCH != 0:
+		if inline {
+			return nil, fmt.Errorf("tpch members require the TPC-H catalog (omit the batch catalog)")
+		}
+		key := fmt.Sprintf("t:%d", spec.TPCH)
+		if q, ok := queries[key]; ok {
+			return q, nil
+		}
+		q, err := moqo.TPCHQuery(spec.TPCH, cat)
+		if err != nil {
+			return nil, err
+		}
+		queries[key] = q
+		return q, nil
+	case spec.Query != nil:
+		// Struct marshaling is deterministic, so equal specs dedupe to one
+		// query object (and its warmed cardinality memo).
+		raw, err := json.Marshal(spec.Query)
+		if err != nil {
+			return nil, err
+		}
+		key := "q:" + string(raw)
+		if q, ok := queries[key]; ok {
+			return q, nil
+		}
+		q, err := buildQuery(spec.Query, cat)
+		if err != nil {
+			return nil, err
+		}
+		queries[key] = q
+		return q, nil
+	default:
+		return nil, fmt.Errorf("either tpch or query is required")
+	}
+}
+
+// batchMemo recovers the batch's shared memo from any valid member (they
+// all carry the same one); a batch of only invalid members gets an empty
+// memo for its stats.
+func (s *Server) batchMemo(members []batchMember) *moqo.SharedMemo {
+	for i := range members {
+		if members[i].req.Shared != nil {
+			return members[i].req.Shared
+		}
+	}
+	return moqo.NewSharedMemo()
+}
+
+// serveMember serves one batch member through the same path as a single
+// /optimize request: the exact tier's single-flight (identical members
+// run one dynamic program), then the frontier tier (re-weight members are
+// answered by a SelectBest scan), then a cold optimization carrying the
+// batch's shared memo.
+func (s *Server) serveMember(ctx context.Context, req moqo.Request, key string) (OptimizeResponse, error) {
+	if s.cache == nil {
+		resp, _, err := s.compute(ctx, req)
+		return resp, err
+	}
+	resp, src, err := s.cache.Do(ctx, key, func(cctx context.Context) (OptimizeResponse, bool, error) {
+		return s.computeViaFrontier(cctx, req)
+	})
+	if err != nil {
+		return OptimizeResponse{}, err
+	}
+	resp.Cached = src != cache.Miss
+	return resp, nil
+}

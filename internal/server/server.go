@@ -4,13 +4,24 @@
 // serves many tenants that submit recurring query shapes under varying
 // weights and bounds.
 //
-// Three endpoints:
+// Four endpoints:
 //
-//	POST /optimize  — solve one MOQO problem (TPC-H shortcut or inline
-//	                  catalog/query; per-request algorithm, alpha,
-//	                  objectives, weights, bounds, workers and deadline)
-//	GET  /metrics   — JSON snapshot of request, latency and cache counters
-//	GET  /healthz   — liveness probe
+//	POST /optimize        — solve one MOQO problem (TPC-H shortcut or
+//	                        inline catalog/query; per-request algorithm,
+//	                        alpha, objectives, weights, bounds, workers
+//	                        and deadline)
+//	POST /optimize/batch  — solve a workload of problems over one shared
+//	                        catalog as a batch: one catalog resolution
+//	                        and per-shape cardinality warm-up, identical
+//	                        members coalesced to one dynamic program,
+//	                        re-weights answered from sibling frontiers,
+//	                        cross-query subproblem reuse through a
+//	                        batch-scoped shared memo, members scheduled
+//	                        most-expensive-first; optional NDJSON
+//	                        streaming of per-member results
+//	GET  /metrics         — JSON snapshot of request, latency and cache
+//	                        counters
+//	GET  /healthz         — liveness probe
 //
 // Requests are served through a two-tier plan cache (internal/cache):
 //
@@ -144,9 +155,11 @@ type Server struct {
 	catMu    sync.Mutex
 	catalogs map[float64]*moqo.Catalog // TPC-H catalogs by scale factor
 
-	requests atomic.Uint64
-	errors   atomic.Uint64
-	inFlight atomic.Int64
+	requests      atomic.Uint64
+	batchRequests atomic.Uint64
+	batchMembers  atomic.Uint64
+	errors        atomic.Uint64
+	inFlight      atomic.Int64
 	// reweightServed counts requests answered from a cached frontier
 	// snapshot (hit or coalesced on the frontier tier) rather than a DP.
 	reweightServed atomic.Uint64
@@ -304,6 +317,7 @@ func (s *Server) Close() error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/optimize/batch", s.handleOptimizeBatch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -537,9 +551,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := MetricsResponse{
 		UptimeMs: float64(time.Since(s.start)) / float64(time.Millisecond),
 		Requests: RequestMetrics{
-			Optimize: s.requests.Load(),
-			Errors:   s.errors.Load(),
-			InFlight: s.inFlight.Load(),
+			Optimize:     s.requests.Load(),
+			Batch:        s.batchRequests.Load(),
+			BatchMembers: s.batchMembers.Load(),
+			Errors:       s.errors.Load(),
+			InFlight:     s.inFlight.Load(),
 		},
 		Latency: s.latencySnapshot(),
 	}

@@ -60,6 +60,92 @@ type OptimizeRequest struct {
 	Frontier bool `json:"frontier,omitempty"`
 }
 
+// BatchRequest is the JSON body of POST /optimize/batch: a workload of
+// member requests optimized as one batch against one shared catalog.
+// The catalog comes either inline (catalog) or as the TPC-H catalog at
+// scale_factor; it is resolved once, and every member query is built
+// against the same catalog object, so members share its statistics,
+// fingerprint, and — per distinct query shape — one cardinality/
+// selectivity estimate warm-up. Members additionally share a
+// batch-scoped subproblem memo (see moqo.SharedMemo): overlapping
+// queries skip each other's solved table sets, identical members run one
+// dynamic program, and re-weights are answered from a sibling's Pareto
+// frontier. Results are bit-for-bit what each member would get from its
+// own POST /optimize.
+type BatchRequest struct {
+	// Catalog describes the shared schema inline; omitted, the TPC-H
+	// catalog at scale_factor (default 1) is used and members select
+	// their queries with tpch numbers.
+	Catalog     *CatalogSpec `json:"catalog,omitempty"`
+	ScaleFactor float64      `json:"scale_factor,omitempty"`
+
+	// Members are the workload's requests (at least one).
+	Members []BatchMemberRequest `json:"members"`
+
+	// Parallel caps how many member dynamic programs run concurrently
+	// (0 = the server's worker default, clamped to the CPU count).
+	Parallel int `json:"parallel,omitempty"`
+
+	// Stream switches the response to NDJSON: one BatchMemberResponse
+	// object per line, emitted as each member completes (completion
+	// order, not member order), instead of one collected BatchResponse.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// BatchMemberRequest is one member of a batch: an OptimizeRequest minus
+// the catalog fields (the batch resolves the catalog once for everyone)
+// and minus no_cache (members always go through the shared cache tiers,
+// which is what dedupes identical members).
+type BatchMemberRequest struct {
+	// TPCH selects TPC-H query 1-22 against the batch catalog (TPC-H
+	// mode only). Mutually exclusive with query.
+	TPCH int `json:"tpch,omitempty"`
+	// Query describes the member's join query against the batch catalog.
+	Query *QuerySpec `json:"query,omitempty"`
+
+	Algorithm   string             `json:"algorithm,omitempty"`
+	Alpha       float64            `json:"alpha,omitempty"`
+	Objectives  []string           `json:"objectives"`
+	Weights     map[string]float64 `json:"weights,omitempty"`
+	Bounds      map[string]float64 `json:"bounds,omitempty"`
+	Precisions  map[string]float64 `json:"precisions,omitempty"`
+	TimeoutMs   int64              `json:"timeout_ms,omitempty"`
+	Workers     int                `json:"workers,omitempty"`
+	MaxDOP      int                `json:"max_dop,omitempty"`
+	Enumeration string             `json:"enumeration,omitempty"`
+	Frontier    bool               `json:"frontier,omitempty"`
+}
+
+// BatchMemberResponse is one member's outcome. Exactly one of Result and
+// Error is set.
+type BatchMemberResponse struct {
+	// Member is the index into the request's members array (streamed
+	// responses arrive in completion order, so the index is the join key).
+	Member int               `json:"member"`
+	Result *OptimizeResponse `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// BatchResponse is the JSON body of a successful non-streaming POST
+// /optimize/batch.
+type BatchResponse struct {
+	// Members holds one response per member, in member order.
+	Members []BatchMemberResponse `json:"members"`
+	Stats   BatchStatsResponse    `json:"stats"`
+}
+
+// BatchStatsResponse summarizes what the batch shared.
+type BatchStatsResponse struct {
+	Members int `json:"members"`
+	Errors  int `json:"errors"`
+	// SharedSubproblems counts the solved subproblems the batch published
+	// to its shared memo; SharedHits counts member lookups served from
+	// them (cross-query subexpression reuse).
+	SharedSubproblems int     `json:"shared_subproblems"`
+	SharedHits        int64   `json:"shared_hits"`
+	DurationMs        float64 `json:"duration_ms"`
+}
+
 // CatalogSpec describes a schema's statistics inline.
 type CatalogSpec struct {
 	Tables  []TableSpec `json:"tables"`
@@ -150,6 +236,10 @@ type StatsResponse struct {
 	// re-weight fast path. The effort counters above then describe the
 	// originating run; duration_ms is the serve time of the reuse path.
 	ReusedFrontier bool `json:"reused_frontier"`
+	// SharedMemoHits counts subproblems this run served from a batch's
+	// shared memo instead of solving them itself (POST /optimize/batch;
+	// always 0 for standalone /optimize runs).
+	SharedMemoHits int `json:"shared_memo_hits,omitempty"`
 }
 
 // ErrorResponse is the JSON body of a non-2xx response.
@@ -176,11 +266,15 @@ type MetricsResponse struct {
 	Latency       LatencyMetrics       `json:"latency_ms"`
 }
 
-// RequestMetrics counts /optimize traffic.
+// RequestMetrics counts /optimize and /optimize/batch traffic. Errors
+// counts failed requests plus failed batch members; InFlight counts
+// whole requests of either kind.
 type RequestMetrics struct {
-	Optimize uint64 `json:"optimize"`
-	Errors   uint64 `json:"errors"`
-	InFlight int64  `json:"in_flight"`
+	Optimize     uint64 `json:"optimize"`
+	Batch        uint64 `json:"batch"`
+	BatchMembers uint64 `json:"batch_members"`
+	Errors       uint64 `json:"errors"`
+	InFlight     int64  `json:"in_flight"`
 }
 
 // CacheMetrics snapshots the plan cache (all-zero when the cache is
@@ -428,10 +522,21 @@ func (s *Server) toMoqoRequest(wire *OptimizeRequest) (moqo.Request, error) {
 		return req, fmt.Errorf("either tpch or both catalog and query are required")
 	}
 
+	if err := s.applyKnobs(&req, wire); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// applyKnobs resolves the wire request's algorithm/objective knobs onto a
+// moqo.Request whose query is already set — shared between /optimize
+// requests and /optimize/batch members (which carry the same fields minus
+// the catalog).
+func (s *Server) applyKnobs(req *moqo.Request, wire *OptimizeRequest) error {
 	if wire.Algorithm != "" {
 		alg, err := moqo.ParseAlgorithm(wire.Algorithm)
 		if err != nil {
-			return req, err
+			return err
 		}
 		req.Algorithm = alg
 	}
@@ -439,7 +544,7 @@ func (s *Server) toMoqoRequest(wire *OptimizeRequest) (moqo.Request, error) {
 	if wire.Enumeration != "" {
 		enum, err := moqo.ParseEnumerationStrategy(wire.Enumeration)
 		if err != nil {
-			return req, err
+			return err
 		}
 		req.Enumeration = enum
 	}
@@ -448,19 +553,38 @@ func (s *Server) toMoqoRequest(wire *OptimizeRequest) (moqo.Request, error) {
 
 	objectives, err := parseObjectives(wire.Objectives)
 	if err != nil {
-		return req, err
+		return err
 	}
 	req.Objectives = objectives
 	if req.Weights, err = parseObjectiveMap("weights", wire.Weights); err != nil {
-		return req, err
+		return err
 	}
 	if req.Bounds, err = parseObjectiveMap("bounds", wire.Bounds); err != nil {
-		return req, err
+		return err
 	}
 	if req.Precisions, err = parseObjectiveMap("precisions", wire.Precisions); err != nil {
-		return req, err
+		return err
 	}
-	return req, nil
+	return nil
+}
+
+// asOptimizeRequest views a batch member as the equivalent standalone
+// wire request (catalog fields unset) so applyKnobs treats members and
+// /optimize requests identically.
+func (m *BatchMemberRequest) asOptimizeRequest() OptimizeRequest {
+	return OptimizeRequest{
+		Algorithm:   m.Algorithm,
+		Alpha:       m.Alpha,
+		Objectives:  m.Objectives,
+		Weights:     m.Weights,
+		Bounds:      m.Bounds,
+		Precisions:  m.Precisions,
+		TimeoutMs:   m.TimeoutMs,
+		Workers:     m.Workers,
+		MaxDOP:      m.MaxDOP,
+		Enumeration: m.Enumeration,
+		Frontier:    m.Frontier,
+	}
 }
 
 // renderFrontier renders a result's frontier points on the wire. The
@@ -532,6 +656,7 @@ func toResponseWithFrontier(res *moqo.Result, frontier []map[string]float64) (Op
 			TimedOut:       res.Stats.TimedOut,
 			Iterations:     res.Stats.Iterations,
 			ReusedFrontier: res.Stats.ReusedFrontier,
+			SharedMemoHits: res.Stats.SharedMemoHits,
 		},
 	}, nil
 }

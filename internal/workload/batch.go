@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"moqo/internal/catalog"
+	"moqo/internal/objective"
+	"moqo/internal/query"
+	"moqo/internal/synthetic"
+)
+
+// BatchSpec parameterizes MixedBatch, the overlapping batch workload of
+// the batch-optimization experiment.
+type BatchSpec struct {
+	// Tables is the size of the largest synthetic chain member (default
+	// 10); the two overlap members are its prefixes at Tables-2 and
+	// Tables-4 relations, built over the same catalog at the same local
+	// indexes so their subproblems are shareable.
+	Tables int
+	// MaxRows caps the synthetic base-table cardinality (default 1e5).
+	MaxRows float64
+	// TPCH lists the TPC-H member queries (default 3 and 5).
+	TPCH []int
+	// ScaleFactor of the TPC-H catalog (default 1).
+	ScaleFactor float64
+	// Duplicates is the number of exact copies appended per base member
+	// (default 1) — the recurring identical request of a multi-tenant
+	// workload.
+	Duplicates int
+	// Reweights is the number of re-weighted copies appended per base
+	// member (default 2) — same query, fresh random weights.
+	Reweights int
+	// Seed drives table statistics, weights, and the member shuffle.
+	Seed int64
+}
+
+func (s BatchSpec) withDefaults() BatchSpec {
+	if s.Tables == 0 {
+		s.Tables = 10
+	}
+	if s.MaxRows == 0 {
+		s.MaxRows = 1e5
+	}
+	if s.TPCH == nil {
+		s.TPCH = []int{3, 5}
+	}
+	if s.ScaleFactor == 0 {
+		s.ScaleFactor = 1
+	}
+	if s.Duplicates == 0 {
+		s.Duplicates = 1
+	}
+	if s.Reweights == 0 {
+		s.Reweights = 2
+	}
+	return s
+}
+
+// BatchMember is one member of the mixed batch workload.
+type BatchMember struct {
+	Query      *query.Query
+	Objectives objective.Set
+	Weights    objective.Weights
+	// Algorithm is the algorithm the workload intends for this member:
+	// "exa" for the synthetic overlap trio (EXA prunes exactly, so its
+	// subproblem archives are shareable across query sizes) or "rta" for
+	// the TPC-H members (RTA archives share only between same-size
+	// queries, since the internal precision folds the query size in).
+	Algorithm string
+	// Kind labels the member's relationship to the rest of the workload:
+	// "base" (a distinct shape's first appearance), "overlap" (a prefix
+	// of a base sharing its subproblems), "duplicate" (exact copy of a
+	// base) or "reweight" (a base's query under fresh weights).
+	Kind string
+	// Base is the workload index of the member this one duplicates or
+	// re-weights (-1 for base and overlap members).
+	Base int
+}
+
+// MixedBatch generates the batch experiment's workload: a synthetic chain
+// and its two prefixes over one shared catalog (cross-query subexpression
+// overlap), TPC-H members over one TPC-H catalog, and per base member a
+// number of exact duplicates and re-weighted copies — the recurring,
+// overlapping request mix of the paper's multi-user Cloud scenario. The
+// member order is a deterministic shuffle of the whole mix, so neither
+// arm of the experiment sees its duplicates adjacent. The same spec
+// always generates the identical workload (queries, weights, and order).
+func MixedBatch(spec BatchSpec) ([]BatchMember, error) {
+	spec = spec.withDefaults()
+	if spec.Tables < 5 {
+		return nil, fmt.Errorf("workload: batch spec needs at least 5 tables, got %d", spec.Tables)
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+
+	// The synthetic overlap trio: one chain, plus prefixes at the same
+	// local indexes of the same catalog. A fresh synthetic.Build per
+	// prefix would create a new catalog (different fingerprint — nothing
+	// shareable), so the prefixes replicate the full chain's relations
+	// and internal edges by hand.
+	_, full, err := synthetic.Build(synthetic.Spec{
+		Shape:   synthetic.Chain,
+		Tables:  spec.Tables,
+		MaxRows: spec.MaxRows,
+		Seed:    spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	synthObjs := objective.NewSet(objective.TotalTime, objective.BufferFootprint)
+	tpchObjs := objective.NewSet(objective.TotalTime, objective.BufferFootprint, objective.Energy)
+
+	var members []BatchMember
+	for _, n := range []int{spec.Tables, spec.Tables - 2, spec.Tables - 4} {
+		q := full
+		kind := "base"
+		if n < spec.Tables {
+			q = chainPrefix(full, n)
+			kind = "overlap"
+		}
+		members = append(members, BatchMember{
+			Query:      q,
+			Objectives: synthObjs,
+			Weights:    randomWeights(r, synthObjs),
+			Algorithm:  "exa",
+			Kind:       kind,
+			Base:       -1,
+		})
+	}
+
+	cat := catalog.TPCH(spec.ScaleFactor)
+	for _, num := range spec.TPCH {
+		q, err := Query(num, cat)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, BatchMember{
+			Query:      q,
+			Objectives: tpchObjs,
+			Weights:    randomWeights(r, tpchObjs),
+			Algorithm:  "rta",
+			Kind:       "base",
+			Base:       -1,
+		})
+	}
+
+	// Duplicates and re-weights per base/overlap member.
+	distinct := len(members)
+	for base := 0; base < distinct; base++ {
+		b := members[base]
+		for d := 0; d < spec.Duplicates; d++ {
+			dup := b
+			dup.Kind = "duplicate"
+			dup.Base = base
+			members = append(members, dup)
+		}
+		for w := 0; w < spec.Reweights; w++ {
+			rw := b
+			rw.Weights = randomWeights(r, b.Objectives)
+			rw.Kind = "reweight"
+			rw.Base = base
+			members = append(members, rw)
+		}
+	}
+
+	// Shuffle so duplicates and re-weights arrive interleaved with cold
+	// shapes, like real recurring traffic. Base is re-pointed afterwards.
+	perm := r.Perm(len(members))
+	shuffled := make([]BatchMember, len(members))
+	where := make([]int, len(members))
+	for to, from := range perm {
+		shuffled[to] = members[from]
+		where[from] = to
+	}
+	for i := range shuffled {
+		if shuffled[i].Base >= 0 {
+			shuffled[i].Base = where[shuffled[i].Base]
+		}
+	}
+	return shuffled, nil
+}
+
+// chainPrefix builds the query over full's first n relations — same
+// catalog, same aliases and filter selectivities at the same local
+// indexes, and every edge internal to the prefix — so the prefix's
+// subproblems are keyed identically inside the full chain's run.
+func chainPrefix(full *query.Query, n int) *query.Query {
+	cat := full.Catalog()
+	q := query.New(fmt.Sprintf("%s-prefix%d", full.Name, n), cat)
+	for i := 0; i < n; i++ {
+		rel := full.Relations[i]
+		q.AddRelation(cat.Table(rel.Table).Name, rel.Alias, rel.FilterSel)
+	}
+	for _, e := range full.Edges {
+		if e.Left < n && e.Right < n {
+			q.AddJoin(e.Left, e.Right, e.LeftCol, e.RightCol, e.Selectivity)
+		}
+	}
+	return q
+}

@@ -5,4 +5,11 @@
 // generator — random objective subsets, uniform weights, and bounds drawn
 // either from the objective's bounded domain or from [1,2] times the
 // per-query minimum, exactly as the paper generates its test cases.
+//
+// MixedBatch generates the batch-optimization experiment's workload: a
+// synthetic chain and two of its prefixes over one shared catalog
+// (cross-query subexpression overlap), TPC-H members, and per base
+// member exact duplicates and re-weighted copies, deterministically
+// shuffled — the recurring, overlapping request mix of the paper's
+// multi-user Cloud scenario.
 package workload

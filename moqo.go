@@ -309,6 +309,17 @@ type Request struct {
 	// AllowSampling overrides whether sampling scans are in the plan
 	// space (default: only when TupleLoss is an active objective).
 	AllowSampling *bool
+
+	// Shared, when non-nil, attaches a batch-scoped shared memo: the
+	// optimizer looks up and publishes completed Pareto archives under
+	// canonical subproblem keys, so requests over the same catalog whose
+	// queries join overlapping table sets skip each other's solved
+	// subproblems. Results are bit-for-bit identical with and without a
+	// shared memo — like Workers and Enumeration, the knob changes effort,
+	// never the answer, and is excluded from CacheKey/FrontierKey.
+	// OptimizeBatch attaches one automatically; set it directly only to
+	// share across hand-rolled Optimize calls.
+	Shared *SharedMemo
 }
 
 // Result is the outcome of an optimization.
@@ -468,6 +479,9 @@ func optimizeContext(ctx context.Context, req Request, capture bool) (*Result, *
 		Workers:         req.Workers,
 		Enumeration:     enum,
 		CaptureSnapshot: capture,
+	}
+	if req.Shared != nil {
+		opts.Shared = req.Shared.m
 	}
 
 	var res core.Result
