@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, store, batch, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, store, batch, tenant, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
@@ -106,6 +106,9 @@ func main() {
 	}
 	if *fig == "batch" || *fig == "all" {
 		batchThroughput(cfg, *tables, *outDir)
+	}
+	if *fig == "tenant" || *fig == "all" {
+		tenantFairness(cfg, *outDir)
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
@@ -451,6 +454,35 @@ func batchThroughput(cfg bench.Config, tables, outDir string) {
 		fatalf("batch: %v", err)
 	}
 	path := "BENCH_batch.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// tenantFairness measures the multi-tenant serving path: a light tenant
+// living on the frontier re-weight fast path while a flood tenant
+// saturates the cold-DP scheduler, under the fair scheduler and the
+// -fifo baseline, and always emits BENCH_tenant.json (into -out when
+// set, the working directory otherwise) for the CI pipeline to archive.
+func tenantFairness(cfg bench.Config, outDir string) {
+	header("Multi-tenant serving: light-tenant latency under a flood, fair vs FIFO")
+	pts, sum, err := bench.TenantLoad(bench.TenantSpec{Seed: cfg.Seed})
+	if err != nil {
+		fatalf("tenant: %v", err)
+	}
+	fmt.Println("flood = distinct cold EXA chains (nothing caches); light = re-weights of one")
+	fmt.Println("warmed RTA chain; fair gates only cold DPs, fifo queues every request globally:")
+	fmt.Print(bench.RenderTenantLoad(pts, sum))
+
+	raw, err := bench.TenantLoadJSON(pts, sum)
+	if err != nil {
+		fatalf("tenant: %v", err)
+	}
+	path := "BENCH_tenant.json"
 	if outDir != "" {
 		path = filepath.Join(outDir, path)
 	}

@@ -9,6 +9,7 @@
 //	      [-cache-shards 16] [-default-timeout 30s] [-max-timeout 2m]
 //	      [-workers N] [-enum auto|graph|exhaustive]
 //	      [-store DIR] [-store-max-bytes N] [-store-nosync]
+//	      [-tenants FILE] [-max-cold-dps N] [-fifo]
 //
 // With -store, frontier snapshots persist to a crash-consistent segment
 // log under DIR: every completed (non-degraded) dynamic program writes
@@ -16,17 +17,32 @@
 // known query shapes from the store in microseconds instead of
 // re-running their dynamic programs (warm restart).
 //
+// With -tenants, requests are served under per-tenant quotas from the
+// given JSON config (see internal/tenant): callers identify themselves
+// with the X-Moqo-Tenant header (batch members with a per-member tenant
+// field; absent means the anonymous tenant), admission enforces each
+// tenant's table ceiling, predicted-cost ceiling and token-bucket
+// request budget (rejections are 429 with Retry-After), and cold
+// dynamic programs are scheduled across tenants by weighted fair
+// round-robin — cache and frontier hits bypass the queue entirely.
+// SIGHUP re-reads the config without a restart; a config that fails to
+// parse is rejected and the running one kept. Tenancy never changes
+// answers: plans, costs and frontiers are identical with and without it.
+//
 // Endpoints:
 //
-//	POST /optimize        — optimize one query (JSON body; see internal/server)
-//	POST /optimize/batch  — optimize a whole workload in one call: one
-//	                        catalog resolution, identical members deduped
-//	                        into one dynamic program, re-weights served
-//	                        from cached frontiers, common subexpressions
-//	                        shared across members, cost-ordered
-//	                        scheduling ("stream": true for NDJSON)
-//	GET  /metrics         — request, latency and cache counters
-//	GET  /healthz         — liveness probe
+//	POST /optimize            — optimize one query (JSON body; see internal/server)
+//	POST /optimize/batch      — optimize a whole workload in one call: one
+//	                            catalog resolution, identical members deduped
+//	                            into one dynamic program, re-weights served
+//	                            from cached frontiers, common subexpressions
+//	                            shared across members, cost-ordered
+//	                            scheduling ("stream": true for NDJSON)
+//	GET  /metrics             — request, latency, cache and per-tenant
+//	                            counters (JSON)
+//	GET  /metrics/prometheus  — the same counters in the Prometheus text
+//	                            exposition format
+//	GET  /healthz             — liveness probe
 //
 // Example session:
 //
@@ -56,6 +72,7 @@ import (
 
 	"moqo"
 	"moqo/internal/server"
+	"moqo/internal/tenant"
 )
 
 func main() {
@@ -71,12 +88,24 @@ func main() {
 		storePath      = flag.String("store", "", "directory for the disk-backed frontier store (empty disables persistence); a restarted daemon serves known query shapes from it without re-optimizing")
 		storeMaxBytes  = flag.Int64("store-max-bytes", 0, "live-byte budget of the frontier store (0 = default 256 MiB, negative = unbounded)")
 		storeNoSync    = flag.Bool("store-nosync", false, "skip fsync after store appends (faster; a crash may lose the newest snapshots)")
+		tenantsPath    = flag.String("tenants", "", "JSON tenant-config file: per-tenant quotas, budgets and scheduling weights (empty = no quotas; SIGHUP re-reads it)")
+		maxColdDPs     = flag.Int("max-cold-dps", 0, "concurrently running cold dynamic programs across all tenants (0 = NumCPU); cache hits never count")
+		fifo           = flag.Bool("fifo", false, "replace fair tenant scheduling with one global FIFO queue over every request (unfairness baseline for benchmarks)")
 	)
 	flag.Parse()
 
 	defaultEnum, err := moqo.ParseEnumerationStrategy(*enum)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	var registry *tenant.Registry
+	if *tenantsPath != "" {
+		cfg, err := tenant.LoadConfig(*tenantsPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		registry = tenant.NewRegistry(cfg)
+		fmt.Printf("moqod: tenant config %s loaded (%d tenants)\n", *tenantsPath, len(cfg.Tenants))
 	}
 	svc, err := server.NewE(server.Options{
 		CacheCapacity:         *cacheCap,
@@ -89,6 +118,9 @@ func main() {
 		StorePath:             *storePath,
 		StoreMaxBytes:         *storeMaxBytes,
 		StoreNoSync:           *storeNoSync,
+		Tenants:               registry,
+		MaxColdDPs:            *maxColdDPs,
+		FIFOScheduling:        *fifo,
 	})
 	if err != nil {
 		fatalf("open frontier store: %v", err)
@@ -107,6 +139,26 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
 	fmt.Printf("moqod: listening on %s (cache=%d workers=%d)\n", *addr, *cacheCap, *workers)
+
+	// SIGHUP hot-reloads the tenant config in place: counters and
+	// in-flight work are untouched, only quotas change. A file that no
+	// longer parses keeps the running config (never degrade a live
+	// service to an unvalidated one).
+	if registry != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				cfg, err := tenant.LoadConfig(*tenantsPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "moqod: SIGHUP reload rejected: %v\n", err)
+					continue
+				}
+				registry.Reload(cfg)
+				fmt.Printf("moqod: tenant config %s reloaded (%d tenants)\n", *tenantsPath, len(cfg.Tenants))
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -122,7 +122,7 @@ type Cache[V any] struct {
 	evictions atomic.Uint64
 	capacity  int
 
-	onEvict func(key string, v V, reason EvictReason)
+	onEvict []func(key string, v V, reason EvictReason)
 }
 
 // New builds a cache holding about capacity entries across the given
@@ -169,11 +169,24 @@ const (
 // the cache — an LRU eviction, or replacement of an existing key by Put
 // (the reason distinguishes the two). It lets a tier keep gauge-style
 // accounting of what it currently holds (e.g. the moqod frontier tier's
-// snapshot-bytes gauge) and react to capacity pressure (demotion). The
-// callback runs with the value's shard locked: it must be fast and must
-// not call back into the cache. Register it once, before the cache is
-// shared.
-func (c *Cache[V]) OnEvict(fn func(key string, v V, reason EvictReason)) { c.onEvict = fn }
+// snapshot-bytes gauge) and react to capacity pressure (demotion), and a
+// second registration lets an orthogonal concern — the per-tenant
+// cache-partition attribution — observe the same departures without the
+// tiers threading one composite closure around. Callbacks run in
+// registration order, with the value's shard locked: they must be fast
+// and must not call back into the cache. Register them before the cache
+// is shared.
+func (c *Cache[V]) OnEvict(fn func(key string, v V, reason EvictReason)) {
+	c.onEvict = append(c.onEvict, fn)
+}
+
+// notifyEvict runs the eviction callbacks in registration order. Caller
+// holds the entry's shard lock.
+func (c *Cache[V]) notifyEvict(key string, v V, reason EvictReason) {
+	for _, fn := range c.onEvict {
+		fn(key, v, reason)
+	}
+}
 
 // shardFor hashes the key onto its shard: an inlined FNV-1a over the
 // string, so the hot path (every Get/Put/Do touches it up to three times)
@@ -219,9 +232,7 @@ func (c *Cache[V]) Put(key string, v V) {
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
 		e := el.Value.(*entry[V])
-		if c.onEvict != nil {
-			c.onEvict(e.key, e.val, Replaced)
-		}
+		c.notifyEvict(e.key, e.val, Replaced)
 		e.val = v
 		s.lru.MoveToFront(el)
 		return
@@ -233,9 +244,7 @@ func (c *Cache[V]) Put(key string, v V) {
 			e := oldest.Value.(*entry[V])
 			delete(s.m, e.key)
 			c.evictions.Add(1)
-			if c.onEvict != nil {
-				c.onEvict(e.key, e.val, Evicted)
-			}
+			c.notifyEvict(e.key, e.val, Evicted)
 		}
 	}
 	s.m[key] = s.lru.PushFront(&entry[V]{key: key, val: v})

@@ -26,14 +26,20 @@ const maxBatchMembers = 1024
 const maxBatchBody = 8 << 20
 
 // batchMember is one member's serving state: the resolved request (nil
-// Query when buildErr is set), its cache key, and the response slot.
+// Query when buildErr is set), its cache key, its tenant, and the
+// response slot. A failed member carries its wire error code (and, for
+// rate-limited admission, a retry hint) alongside buildErr.
 type batchMember struct {
 	idx      int
 	req      moqo.Request
 	key      string
+	ten      string
 	frontier bool // include the frontier in this member's response
 	cost     float64
-	buildErr error
+
+	buildErr     error
+	errCode      string
+	retryAfterMs int64
 }
 
 // handleOptimizeBatch serves POST /optimize/batch: a workload of member
@@ -59,6 +65,16 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	started := time.Now()
+
+	// The header tenant is the default identity for every member; a
+	// member's tenant field overrides it (a gateway batching many
+	// tenants' traffic sets it per member). Member identities are
+	// resolved, counted and admitted per member in buildBatchMembers.
+	headerTen, terr := s.resolveTenant(r)
+	if terr != nil {
+		s.writeError(w, http.StatusBadRequest, terr)
+		return
+	}
 
 	var wire BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
@@ -100,7 +116,18 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 		cat = s.tpchCatalog(sf)
 	}
 
-	members := s.buildBatchMembers(&wire, cat, inline)
+	ctx := r.Context()
+	// The FIFO unfairness baseline gates the whole batch in the global
+	// arrival-order queue (no-op under the fair policy, where only cold
+	// member DPs queue — per tenant, inside serving).
+	release, gerr := s.gateRequest(ctx, headerTen)
+	if gerr != nil {
+		s.errors.Add(1)
+		return // client gone while queued
+	}
+	defer release()
+
+	members := s.buildBatchMembers(&wire, cat, inline, headerTen)
 
 	// Emit serialized: the streaming writer and the collecting slice are
 	// both single-writer under this mutex.
@@ -131,15 +158,21 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 		results[resp.Member] = resp
 	}
 
-	// Fail invalid members immediately and independently; schedule the
-	// rest most-expensive-first so long dynamic programs start at once and
-	// cheap overlapping members find their subproblems pre-published.
+	// Fail invalid and quota-rejected members immediately and
+	// independently; schedule the rest most-expensive-first so long
+	// dynamic programs start at once and cheap overlapping members find
+	// their subproblems pre-published.
 	var runnable []*batchMember
 	for i := range members {
 		m := &members[i]
 		if m.buildErr != nil {
 			s.errors.Add(1)
-			emit(BatchMemberResponse{Member: m.idx, Error: m.buildErr.Error()})
+			emit(BatchMemberResponse{
+				Member:       m.idx,
+				Error:        m.buildErr.Error(),
+				ErrorCode:    m.errCode,
+				RetryAfterMs: m.retryAfterMs,
+			})
 			continue
 		}
 		runnable = append(runnable, m)
@@ -168,7 +201,6 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 		parallel = len(runnable)
 	}
 
-	ctx := r.Context()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < parallel; g++ {
@@ -184,17 +216,19 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 				memberStart := time.Now()
 				lock := queryLocks[m.req.Query]
 				lock.Lock()
-				resp, err := s.serveMember(ctx, m.req, m.key)
+				resp, err := s.serveMember(ctx, m.req, m.key, m.ten)
 				lock.Unlock()
 				if err != nil {
 					s.errors.Add(1)
-					emit(BatchMemberResponse{Member: m.idx, Error: err.Error()})
+					emit(BatchMemberResponse{Member: m.idx, Error: err.Error(), ErrorCode: classifyServeError(err)})
 					continue
 				}
 				if !m.frontier {
 					resp.Frontier = nil // field-level copy; cached value keeps its slice
 				}
-				s.recordLatency(float64(time.Since(memberStart)) / float64(time.Millisecond))
+				ms := float64(time.Since(memberStart)) / float64(time.Millisecond)
+				s.recordLatency(ms)
+				s.tenants.RecordLatency(m.ten, ms)
 				emit(BatchMemberResponse{Member: m.idx, Result: &resp})
 			}
 		}()
@@ -230,8 +264,11 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 // distinct query specs build one query object each (deduped, so members
 // of one shape share its cardinality memo), knobs parse exactly like
 // /optimize, and one fresh shared memo is attached to every valid member.
-// Build failures are per-member (buildErr), never batch-wide.
-func (s *Server) buildBatchMembers(wire *BatchRequest, cat *moqo.Catalog, inline bool) []batchMember {
+// Each member resolves its own tenant (its tenant field, falling back to
+// the request header) and passes that tenant's admission checks before
+// it may run. Build and admission failures are per-member (buildErr plus
+// a wire error code), never batch-wide.
+func (s *Server) buildBatchMembers(wire *BatchRequest, cat *moqo.Catalog, inline bool, headerTen string) []batchMember {
 	shared := moqo.NewSharedMemo()
 	queries := make(map[string]*moqo.Query)
 	members := make([]batchMember, len(wire.Members))
@@ -241,15 +278,29 @@ func (s *Server) buildBatchMembers(wire *BatchRequest, cat *moqo.Catalog, inline
 		m.idx = i
 		m.frontier = spec.Frontier
 
+		m.ten = headerTen
+		if spec.Tenant != "" {
+			ten, err := s.tenants.Resolve(spec.Tenant)
+			if err != nil {
+				m.buildErr = fmt.Errorf("member %d: %w", i, err)
+				m.errCode = CodeValidation
+				continue
+			}
+			m.ten = ten
+		}
+		s.tenants.CountRequest(m.ten)
+
 		q, err := s.buildMemberQuery(spec, cat, inline, queries)
 		if err != nil {
 			m.buildErr = fmt.Errorf("member %d: %w", i, err)
+			m.errCode = CodeValidation
 			continue
 		}
 		m.req.Query = q
 		view := spec.asOptimizeRequest()
 		if err := s.applyKnobs(&m.req, &view); err != nil {
 			m.buildErr = fmt.Errorf("member %d: %w", i, err)
+			m.errCode = CodeValidation
 			continue
 		}
 		m.req.Timeout = s.clampTimeout(spec.TimeoutMs)
@@ -261,10 +312,20 @@ func (s *Server) buildBatchMembers(wire *BatchRequest, cat *moqo.Catalog, inline
 		key, err := m.req.CacheKey()
 		if err != nil {
 			m.buildErr = fmt.Errorf("member %d: %w", i, err)
+			m.errCode = CodeValidation
 			continue
 		}
 		m.key = key
 		m.cost = core.PredictCost(len(q.Relations), len(m.req.Objectives), spec.Algorithm)
+
+		// Admission runs once the member is known valid, so a rejected
+		// member reports its quota problem, not a parsing one.
+		if d := s.tenants.Admit(m.ten, len(q.Relations), len(m.req.Objectives), spec.Algorithm); !d.OK {
+			m.buildErr = fmt.Errorf("member %d: %w", i, d.Err)
+			m.errCode = CodeAdmission
+			m.retryAfterMs = d.RetryAfter.Milliseconds()
+			continue
+		}
 	}
 	return members
 }
@@ -328,14 +389,12 @@ func (s *Server) batchMemo(members []batchMember) *moqo.SharedMemo {
 // run one dynamic program), then the frontier tier (re-weight members are
 // answered by a SelectBest scan), then a cold optimization carrying the
 // batch's shared memo.
-func (s *Server) serveMember(ctx context.Context, req moqo.Request, key string) (OptimizeResponse, error) {
+func (s *Server) serveMember(ctx context.Context, req moqo.Request, key, ten string) (OptimizeResponse, error) {
 	if s.cache == nil {
-		resp, _, err := s.compute(ctx, req)
+		resp, _, err := s.compute(ctx, req, ten)
 		return resp, err
 	}
-	resp, src, err := s.cache.Do(ctx, key, func(cctx context.Context) (OptimizeResponse, bool, error) {
-		return s.computeViaFrontier(cctx, req)
-	})
+	resp, src, err := s.cache.Do(ctx, key, s.cachedCompute(req, ten))
 	if err != nil {
 		return OptimizeResponse{}, err
 	}

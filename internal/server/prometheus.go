@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// handleMetricsPrometheus serves GET /metrics/prometheus: the same
+// counters as /metrics in the Prometheus text exposition format
+// (version 0.0.4), hand-rolled so the daemon scrapes without a client
+// library dependency. Tenant names pass ValidName ([A-Za-z0-9_.-]), so
+// label values need no escaping.
+func (s *Server) handleMetricsPrometheus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	var b strings.Builder
+	p := promWriter{b: &b}
+
+	p.family("moqo_uptime_seconds", "gauge", "Seconds since the server started.")
+	p.sample("moqo_uptime_seconds", nil, time.Since(s.start).Seconds())
+
+	p.family("moqo_requests_total", "counter", "Requests received, by endpoint.")
+	p.sample("moqo_requests_total", labels{{"endpoint", "optimize"}}, float64(s.requests.Load()))
+	p.sample("moqo_requests_total", labels{{"endpoint", "batch"}}, float64(s.batchRequests.Load()))
+	p.family("moqo_batch_members_total", "counter", "Batch members received.")
+	p.sample("moqo_batch_members_total", nil, float64(s.batchMembers.Load()))
+	p.family("moqo_errors_total", "counter", "Failed requests plus failed batch members.")
+	p.sample("moqo_errors_total", nil, float64(s.errors.Load()))
+	p.family("moqo_in_flight", "gauge", "Requests currently being served.")
+	p.sample("moqo_in_flight", nil, float64(s.inFlight.Load()))
+
+	lat := s.latencySnapshot()
+	p.family("moqo_latency_quantile_ms", "gauge", "Served-request latency quantiles over a sliding window.")
+	p.sample("moqo_latency_quantile_ms", labels{{"quantile", "0.5"}}, lat.P50)
+	p.sample("moqo_latency_quantile_ms", labels{{"quantile", "0.99"}}, lat.P99)
+
+	p.family("moqo_cache_hits_total", "counter", "Plan-cache hits, by tier.")
+	p.family("moqo_cache_misses_total", "counter", "Plan-cache misses, by tier.")
+	p.family("moqo_cache_coalesced_total", "counter", "Lookups served by waiting on an in-flight identical computation, by tier.")
+	p.family("moqo_cache_evictions_total", "counter", "Plan-cache LRU evictions, by tier.")
+	p.family("moqo_cache_entries", "gauge", "Plan-cache entries, by tier.")
+	if s.cache != nil {
+		st := s.cache.Stats()
+		tier := labels{{"tier", "exact"}}
+		p.sample("moqo_cache_hits_total", tier, float64(st.Hits))
+		p.sample("moqo_cache_misses_total", tier, float64(st.Misses))
+		p.sample("moqo_cache_coalesced_total", tier, float64(st.Coalesced))
+		p.sample("moqo_cache_evictions_total", tier, float64(st.Evictions))
+		p.sample("moqo_cache_entries", tier, float64(st.Entries))
+	}
+	if s.frontier != nil {
+		st := s.frontier.Stats()
+		tier := labels{{"tier", "frontier"}}
+		p.sample("moqo_cache_hits_total", tier, float64(st.Hits))
+		p.sample("moqo_cache_misses_total", tier, float64(st.Misses))
+		p.sample("moqo_cache_coalesced_total", tier, float64(st.Coalesced))
+		p.sample("moqo_cache_evictions_total", tier, float64(st.Evictions))
+		p.sample("moqo_cache_entries", tier, float64(st.Entries))
+		p.family("moqo_reweight_served_total", "counter", "Requests answered from a cached frontier snapshot instead of a dynamic program.")
+		p.sample("moqo_reweight_served_total", nil, float64(s.reweightServed.Load()))
+		p.family("moqo_snapshot_bytes", "gauge", "Estimated bytes of frontier snapshots cached in memory.")
+		p.sample("moqo_snapshot_bytes", nil, float64(s.snapshotBytes.Load()))
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		p.family("moqo_store_hits_total", "counter", "Disk frontier-store hits.")
+		p.sample("moqo_store_hits_total", nil, float64(st.Hits))
+		p.family("moqo_store_misses_total", "counter", "Disk frontier-store misses.")
+		p.sample("moqo_store_misses_total", nil, float64(st.Misses))
+		p.family("moqo_store_writes_total", "counter", "Disk frontier-store snapshot appends.")
+		p.sample("moqo_store_writes_total", nil, float64(st.Writes))
+		p.family("moqo_store_bytes", "gauge", "Live payload bytes in the disk frontier store.")
+		p.sample("moqo_store_bytes", nil, float64(st.Bytes))
+		p.family("moqo_store_entries", "gauge", "Entries in the disk frontier store.")
+		p.sample("moqo_store_entries", nil, float64(st.Entries))
+	}
+
+	// Per-tenant series: one sample per tracked tenant, labeled by name.
+	snaps := s.tenants.Snapshots()
+	if len(snaps) > 0 {
+		depths := s.sched.QueueDepths()
+		granted := s.sched.Granted()
+		p.family("moqo_tenant_requests_total", "counter", "Requests received per tenant (batch members count individually).")
+		p.family("moqo_tenant_admitted_total", "counter", "Requests the tenant's quota admitted.")
+		p.family("moqo_tenant_rejected_total", "counter", "Requests the tenant's quota rejected, by reason.")
+		p.family("moqo_tenant_queue_depth", "gauge", "Cold dynamic programs waiting in the tenant's admission queue.")
+		p.family("moqo_tenant_granted_total", "counter", "Cold-DP slots the fair scheduler granted the tenant.")
+		p.family("moqo_tenant_cache_bytes", "gauge", "Shared-cache bytes attributed to entries the tenant populated.")
+		p.family("moqo_tenant_cache_entries", "gauge", "Shared-cache entries attributed to the tenant.")
+		p.family("moqo_tenant_cache_evictions_total", "counter", "Attributed entries lost to LRU eviction.")
+		p.family("moqo_tenant_latency_quantile_ms", "gauge", "Per-tenant served-request latency quantiles.")
+		for _, snap := range snaps {
+			ten := labels{{"tenant", snap.Name}}
+			p.sample("moqo_tenant_requests_total", ten, float64(snap.Requests))
+			p.sample("moqo_tenant_admitted_total", ten, float64(snap.Admitted))
+			for _, reason := range []string{"rate", "tables", "cost"} {
+				if n, ok := snap.Rejected[reason]; ok {
+					p.sample("moqo_tenant_rejected_total",
+						labels{{"tenant", snap.Name}, {"reason", reason}}, float64(n))
+				}
+			}
+			p.sample("moqo_tenant_queue_depth", ten, float64(depths[snap.Name]))
+			p.sample("moqo_tenant_granted_total", ten, float64(granted[snap.Name]))
+			p.sample("moqo_tenant_cache_bytes", ten, float64(snap.CacheBytes))
+			p.sample("moqo_tenant_cache_entries", ten, float64(snap.CacheEntries))
+			p.sample("moqo_tenant_cache_evictions_total", ten, float64(snap.CacheEvictions))
+			p.sample("moqo_tenant_latency_quantile_ms",
+				labels{{"tenant", snap.Name}, {"quantile", "0.5"}}, snap.LatencyP50Ms)
+			p.sample("moqo_tenant_latency_quantile_ms",
+				labels{{"tenant", snap.Name}, {"quantile", "0.99"}}, snap.LatencyP99Ms)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, b.String())
+}
+
+// labels is an ordered label set (order is part of the exposition, so a
+// map would make output nondeterministic).
+type labels [][2]string
+
+// promWriter accumulates one exposition document.
+type promWriter struct{ b *strings.Builder }
+
+// family writes a metric family's HELP and TYPE header.
+func (p promWriter) family(name, typ, help string) {
+	fmt.Fprintf(p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample writes one sample line. Label values are restricted to
+// ValidName-safe characters by construction, so %q quoting is exact.
+func (p promWriter) sample(name string, ls labels, v float64) {
+	p.b.WriteString(name)
+	if len(ls) > 0 {
+		p.b.WriteByte('{')
+		for i, kv := range ls {
+			if i > 0 {
+				p.b.WriteByte(',')
+			}
+			fmt.Fprintf(p.b, "%s=%q", kv[0], kv[1])
+		}
+		p.b.WriteByte('}')
+	}
+	p.b.WriteByte(' ')
+	p.b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	p.b.WriteByte('\n')
+}

@@ -59,6 +59,7 @@ import (
 	"moqo"
 	"moqo/internal/cache"
 	"moqo/internal/store"
+	"moqo/internal/tenant"
 )
 
 // Options configures a Server.
@@ -104,6 +105,23 @@ type Options struct {
 	// writes, and a crash may lose the most recent snapshots (recovery
 	// still drops whatever was torn; nothing damaged is ever served).
 	StoreNoSync bool
+	// Tenants is the tenant registry: identity resolution, per-tenant
+	// quotas, cost-based admission, and per-tenant metrics. nil builds
+	// an empty registry — every request is the anonymous tenant under an
+	// all-unlimited quota, so an untenanted server behaves exactly as
+	// before. Tenancy never affects answers: plans, costs and frontiers
+	// are bit-for-bit identical with or without it (only scheduling,
+	// limits and metrics change).
+	Tenants *tenant.Registry
+	// MaxColdDPs caps how many cold dynamic programs run concurrently
+	// across all tenants — the fair scheduler's slot count. Requests
+	// answered from the caches never consume a slot. 0 means
+	// runtime.NumCPU().
+	MaxColdDPs int
+	// FIFOScheduling replaces fair weighted round-robin with one global
+	// arrival-order queue over every request (cache hits included) — the
+	// unfairness baseline for benchmarks and tests, not for production.
+	FIFOScheduling bool
 }
 
 // withDefaults fills in the documented defaults.
@@ -122,6 +140,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DefaultWorkers <= 0 {
 		o.DefaultWorkers = runtime.NumCPU()
+	}
+	if o.MaxColdDPs == 0 {
+		o.MaxColdDPs = runtime.NumCPU()
 	}
 	return o
 }
@@ -151,6 +172,14 @@ type Server struct {
 	demoteWG  sync.WaitGroup
 	closeOnce sync.Once
 	start     time.Time
+
+	// tenants resolves identities, enforces quotas and keeps per-tenant
+	// metrics; sched queues cold dynamic programs behind per-tenant
+	// admission queues. Both always exist (an untenanted server gets an
+	// empty registry and anonymous-only scheduling), so handlers never
+	// branch on tenancy being configured.
+	tenants *tenant.Registry
+	sched   *tenant.Scheduler
 
 	catMu    sync.Mutex
 	catalogs map[float64]*moqo.Catalog // TPC-H catalogs by scale factor
@@ -206,9 +235,27 @@ func NewE(opts Options) (*Server, error) {
 		start:     time.Now(),
 		catalogs:  make(map[float64]*moqo.Catalog),
 		latencies: make([]float64, latencyWindow),
+		tenants:   opts.Tenants,
 	}
+	if s.tenants == nil {
+		s.tenants = tenant.NewRegistry(nil)
+	}
+	policy := tenant.Fair
+	if opts.FIFOScheduling {
+		policy = tenant.FIFO
+	}
+	s.sched = tenant.NewScheduler(opts.MaxColdDPs, policy)
 	if opts.CacheCapacity > 0 {
 		s.cache = cache.New[OptimizeResponse](opts.CacheCapacity, opts.CacheShards)
+		// Cache-partition accounting: each stored response carries the
+		// tenant whose request computed it, so its departure is charged
+		// back exactly (attribution only — keys and values are
+		// tenant-free, tenancy never changes what a lookup returns).
+		s.cache.OnEvict(func(_ string, v OptimizeResponse, reason cache.EvictReason) {
+			if v.tenant != "" {
+				s.tenants.CacheEvict(v.tenant, respSizeBytes(v), reason == cache.Evicted)
+			}
+		})
 		if opts.FrontierCacheCapacity > 0 {
 			s.frontier = cache.New[frontierEntry](opts.FrontierCacheCapacity, opts.CacheShards)
 			if opts.StorePath != "" {
@@ -241,6 +288,13 @@ func NewE(opts Options) (*Server, error) {
 					default:
 						s.demoteDropped.Add(1)
 					}
+				}
+			})
+			// Second, independent hook: per-tenant attribution for the
+			// frontier tier, mirroring the exact tier's.
+			s.frontier.OnEvict(func(_ string, ent frontierEntry, reason cache.EvictReason) {
+				if ent.ten != "" && ent.snap != nil {
+					s.tenants.CacheEvict(ent.ten, int64(ent.snap.SizeBytes()), reason == cache.Evicted)
 				}
 			})
 		}
@@ -319,6 +373,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/optimize", s.handleOptimize)
 	mux.HandleFunc("/optimize/batch", s.handleOptimizeBatch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/prometheus", s.handleMetricsPrometheus)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -356,6 +411,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	defer s.inFlight.Add(-1)
 	started := time.Now()
 
+	ten, terr := s.resolveTenant(r)
+	if terr != nil {
+		s.writeError(w, http.StatusBadRequest, terr)
+		return
+	}
+	s.tenants.CountRequest(ten)
+
 	var wire OptimizeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -380,17 +442,27 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission: the tenant's table ceiling, predicted-cost ceiling and
+	// request budget, checked before any optimization work.
+	if d := s.tenants.Admit(ten, len(req.Query.Relations), len(req.Objectives), wire.Algorithm); !d.OK {
+		s.writeAdmissionError(w, d)
+		return
+	}
+
 	ctx := r.Context()
+	release, gerr := s.gateRequest(ctx, ten) // FIFO baseline only; no-op under Fair
+	if gerr != nil {
+		s.errors.Add(1)
+		return // client gone while queued
+	}
+	defer release()
+
 	var resp OptimizeResponse
 	if s.cache == nil || wire.NoCache {
-		resp, _, err = s.compute(ctx, req)
+		resp, _, err = s.compute(ctx, req, ten)
 	} else {
 		var src cache.Source
-		resp, src, err = s.cache.Do(ctx, key, func(cctx context.Context) (OptimizeResponse, bool, error) {
-			// Exact-tier miss: consult the frontier tier before running a
-			// cold dynamic program (the re-weight fast path).
-			return s.computeViaFrontier(cctx, req)
-		})
+		resp, src, err = s.cache.Do(ctx, key, s.cachedCompute(req, ten))
 		if err == nil {
 			resp.Cached = src != cache.Miss
 		}
@@ -409,8 +481,28 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if !wire.Frontier {
 		resp.Frontier = nil // field-level copy; the cached value keeps its slice
 	}
-	s.recordLatency(float64(time.Since(started)) / float64(time.Millisecond))
+	ms := float64(time.Since(started)) / float64(time.Millisecond)
+	s.recordLatency(ms)
+	s.tenants.RecordLatency(ten, ms)
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// cachedCompute is the exact tier's compute closure for one request: an
+// exact-tier miss consults the frontier tier before running a cold
+// dynamic program (the re-weight fast path), and a storable result is
+// stamped with and attributed to the computing tenant before the tier
+// stores it — so the eviction hook can charge the departure back
+// exactly. The stamp is an unexported field: it never serializes, and
+// answers stay bit-for-bit tenant-independent.
+func (s *Server) cachedCompute(req moqo.Request, ten string) func(context.Context) (OptimizeResponse, bool, error) {
+	return func(cctx context.Context) (OptimizeResponse, bool, error) {
+		resp, store, err := s.computeViaFrontier(cctx, req, ten)
+		if err == nil && store {
+			resp.tenant = ten
+			s.tenants.CacheAdd(ten, respSizeBytes(resp))
+		}
+		return resp, store, err
+	}
 }
 
 // frontierEntry is one frontier-tier record: the snapshot plus its
@@ -422,6 +514,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 type frontierEntry struct {
 	snap     *moqo.FrontierSnapshot
 	frontier []map[string]float64
+	// ten is the tenant whose request populated the entry — partition
+	// accounting only, never part of the key or the answer.
+	ten string
 }
 
 // computeViaFrontier serves an exact-tier miss through the frontier
@@ -431,9 +526,9 @@ type frontierEntry struct {
 // the request is answered by a SelectBest scan over the snapshot in
 // microseconds. Otherwise this caller runs the cold optimization, and
 // its snapshot populates the tier for every later re-weight.
-func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (OptimizeResponse, bool, error) {
+func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request, ten string) (OptimizeResponse, bool, error) {
 	if s.frontier == nil || !req.ReusableFrontier() {
-		return s.compute(ctx, req)
+		return s.compute(ctx, req, ten)
 	}
 	fkey, err := req.FrontierKey()
 	if err != nil {
@@ -446,9 +541,18 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 		// tier and is served exactly like a memory hit below.
 		if sn := s.storeGet(fkey); sn != nil {
 			s.snapshotBytes.Add(int64(sn.SizeBytes()))
-			return frontierEntry{snap: sn, frontier: renderSnapshotFrontier(sn)}, true, nil
+			s.tenants.CacheAdd(ten, int64(sn.SizeBytes()))
+			return frontierEntry{snap: sn, frontier: renderSnapshotFrontier(sn), ten: ten}, true, nil
+		}
+		// Cold dynamic program: wait for a fair-scheduler slot. This is
+		// the only place tenancy can delay work — every cache, frontier
+		// and disk hit above bypasses the queue entirely.
+		release, aerr := s.acquireCold(cctx, ten)
+		if aerr != nil {
+			return frontierEntry{}, false, aerr
 		}
 		res, sn, cerr := moqo.OptimizeSnapshotContext(cctx, req)
+		release()
 		if cerr != nil {
 			return frontierEntry{}, false, cerr
 		}
@@ -460,11 +564,12 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 			return frontierEntry{}, false, nil
 		}
 		s.snapshotBytes.Add(int64(sn.SizeBytes()))
+		s.tenants.CacheAdd(ten, int64(sn.SizeBytes()))
 		// Write through on DP completion: one appended record per cold DP,
 		// so a restart replays the tier from disk instead of re-running
 		// dynamic programs.
 		s.storePut(sn)
-		return frontierEntry{snap: sn, frontier: renderFrontier(res)}, true, nil
+		return frontierEntry{snap: sn, frontier: renderFrontier(res), ten: ten}, true, nil
 	})
 	if err != nil {
 		return OptimizeResponse{}, false, err
@@ -479,7 +584,7 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 		return resp, !lead.Stats.TimedOut, nil
 	}
 	if ent.snap == nil {
-		return s.compute(ctx, req)
+		return s.compute(ctx, req, ten)
 	}
 	res, newSnap, err := moqo.ReoptimizeContext(ctx, req, ent.snap)
 	if err != nil {
@@ -494,7 +599,8 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 		// gets the finer snapshot too, superseding its seed on disk.
 		shared = renderFrontier(res)
 		s.snapshotBytes.Add(int64(newSnap.SizeBytes()))
-		s.frontier.Put(fkey, frontierEntry{snap: newSnap, frontier: shared})
+		s.tenants.CacheAdd(ten, int64(newSnap.SizeBytes()))
+		s.frontier.Put(fkey, frontierEntry{snap: newSnap, frontier: shared, ten: ten})
 		s.storePut(newSnap)
 	}
 	resp, err := toResponseWithFrontier(res, shared)
@@ -505,8 +611,14 @@ func (s *Server) computeViaFrontier(ctx context.Context, req moqo.Request) (Opti
 }
 
 // compute runs one optimization and renders it; the bool reports whether
-// the response may be cached (degraded results may not).
-func (s *Server) compute(ctx context.Context, req moqo.Request) (OptimizeResponse, bool, error) {
+// the response may be cached (degraded results may not). The run is a
+// cold dynamic program, so it waits for a fair-scheduler slot first.
+func (s *Server) compute(ctx context.Context, req moqo.Request, ten string) (OptimizeResponse, bool, error) {
+	release, aerr := s.acquireCold(ctx, ten)
+	if aerr != nil {
+		return OptimizeResponse{}, false, aerr
+	}
+	defer release()
 	res, err := moqo.OptimizeContext(ctx, req)
 	if err != nil {
 		return OptimizeResponse{}, false, err
@@ -587,6 +699,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			SnapshotBytes:  s.snapshotBytes.Load(),
 		}
 	}
+	m.Tenants = s.tenantMetrics()
 	if s.store != nil {
 		st := s.store.Stats()
 		m.FrontierStore = FrontierStoreMetrics{
@@ -602,6 +715,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, m)
+}
+
+// tenantMetrics renders the per-tenant metrics section: registry
+// snapshots joined with the scheduler's queue depths and grant counts,
+// sorted by tenant name.
+func (s *Server) tenantMetrics() []TenantMetrics {
+	snaps := s.tenants.Snapshots()
+	if len(snaps) == 0 {
+		return nil
+	}
+	depths := s.sched.QueueDepths()
+	granted := s.sched.Granted()
+	out := make([]TenantMetrics, len(snaps))
+	for i, snap := range snaps {
+		out[i] = TenantMetrics{
+			Name:           snap.Name,
+			Requests:       snap.Requests,
+			Admitted:       snap.Admitted,
+			Rejected:       snap.Rejected,
+			QueueDepth:     depths[snap.Name],
+			Granted:        granted[snap.Name],
+			CacheBytes:     snap.CacheBytes,
+			CacheEntries:   snap.CacheEntries,
+			CacheEvictions: snap.CacheEvictions,
+			Latency: LatencyMetrics{
+				Window: snap.LatencyWindow,
+				P50:    snap.LatencyP50Ms,
+				P99:    snap.LatencyP99Ms,
+			},
+		}
+	}
+	return out
 }
 
 // handleHealthz serves GET /healthz.

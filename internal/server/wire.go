@@ -103,6 +103,12 @@ type BatchMemberRequest struct {
 	// Query describes the member's join query against the batch catalog.
 	Query *QuerySpec `json:"query,omitempty"`
 
+	// Tenant is the member's tenant identity, overriding the batch
+	// request's X-Moqo-Tenant header for this member (a gateway batching
+	// many tenants' traffic sets it per member). Empty falls back to the
+	// header, then to the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
+
 	Algorithm   string             `json:"algorithm,omitempty"`
 	Alpha       float64            `json:"alpha,omitempty"`
 	Objectives  []string           `json:"objectives"`
@@ -124,6 +130,12 @@ type BatchMemberResponse struct {
 	Member int               `json:"member"`
 	Result *OptimizeResponse `json:"result,omitempty"`
 	Error  string            `json:"error,omitempty"`
+	// ErrorCode classifies a member failure: validation (malformed
+	// member), admission (the member tenant's quota rejected it), timeout,
+	// canceled, or internal. Empty when Result is set.
+	ErrorCode string `json:"error_code,omitempty"`
+	// RetryAfterMs accompanies rate-limited admission rejections.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
 // BatchResponse is the JSON body of a successful non-streaming POST
@@ -214,6 +226,12 @@ type OptimizeResponse struct {
 	// Cached reports whether the response was served from the plan cache
 	// (or coalesced onto a concurrent identical computation).
 	Cached bool `json:"cached"`
+
+	// tenant is the identity of the request that computed a stored entry,
+	// read back by the exact tier's eviction hook for per-tenant cache
+	// accounting. Unexported: it never serializes, so answers stay
+	// bit-for-bit identical with and without tenancy.
+	tenant string
 }
 
 // StatsResponse mirrors moqo.Stats on the wire.
@@ -245,6 +263,14 @@ type StatsResponse struct {
 // ErrorResponse is the JSON body of a non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable failure class (CodeValidation,
+	// CodeAdmission, ...); empty on legacy paths that predate codes.
+	Code string `json:"code,omitempty"`
+	// Reason refines an admission rejection (rate, tables, cost).
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterMs hints when a rate-rejected tenant will have budget
+	// again (mirrors the Retry-After header, at millisecond precision).
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
 // MetricsResponse is the JSON body of GET /metrics: a point-in-time
@@ -264,6 +290,31 @@ type MetricsResponse struct {
 	// server answers known query shapes from disk.
 	FrontierStore FrontierStoreMetrics `json:"frontier_store"`
 	Latency       LatencyMetrics       `json:"latency_ms"`
+	// Tenants holds one entry per tracked tenant (sorted by name; omitted
+	// before the first tenant-attributed request).
+	Tenants []TenantMetrics `json:"tenants,omitempty"`
+}
+
+// TenantMetrics is one tenant's serving metrics: admission outcomes,
+// fair-scheduler state, cache-partition accounting, and latency. The
+// cache numbers attribute shared-cache residency to the tenant whose
+// request populated each entry — accounting only; the cache itself is
+// shared and its keys are tenant-free.
+type TenantMetrics struct {
+	Name     string            `json:"name"`
+	Requests uint64            `json:"requests"`
+	Admitted uint64            `json:"admitted"`
+	Rejected map[string]uint64 `json:"rejected,omitempty"`
+	// QueueDepth is the tenant's current cold-DP admission-queue length;
+	// Granted counts slots the scheduler has granted it since start.
+	QueueDepth int    `json:"queue_depth"`
+	Granted    uint64 `json:"granted"`
+
+	CacheBytes     int64  `json:"cache_bytes"`
+	CacheEntries   int64  `json:"cache_entries"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+
+	Latency LatencyMetrics `json:"latency_ms"`
 }
 
 // RequestMetrics counts /optimize and /optimize/batch traffic. Errors

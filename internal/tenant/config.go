@@ -1,0 +1,178 @@
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Anonymous is the tenant name of requests that carry no identity (no
+// X-Moqo-Tenant header, no per-member tenant field). Declaring a tenant
+// named "anonymous" in the config quotas that traffic explicitly.
+const Anonymous = "anonymous"
+
+// maxTenantName bounds tenant-name length: names travel in HTTP headers
+// and become Prometheus label values, so they stay short and printable.
+const maxTenantName = 64
+
+// Quota declares one tenant's limits. The zero value of every field
+// means "unlimited" (or, for Weight, the default weight 1), so an empty
+// quota admits everything and schedules at baseline weight.
+type Quota struct {
+	// Weight is the tenant's fair-scheduling weight: a tenant with
+	// weight 3 is granted cold-DP slots three times as often as a
+	// weight-1 tenant when both have queued work. 0 means 1.
+	Weight int `json:"weight,omitempty"`
+	// MaxConcurrent caps the tenant's concurrently *running* cold
+	// dynamic programs; excess cold requests wait in the tenant's
+	// admission queue (they are scheduled, not rejected). 0 = unlimited.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// MaxTables rejects requests whose query joins more than this many
+	// tables (admission code "admission", reason "tables"). 0 = unlimited.
+	MaxTables int `json:"max_tables,omitempty"`
+	// Requests and IntervalMs form a token-bucket request budget: the
+	// tenant may issue Requests requests per IntervalMs milliseconds,
+	// with bursts up to Burst. Requests 0 = unlimited (IntervalMs and
+	// Burst must then be 0 too). IntervalMs defaults to 1000 when
+	// Requests is set; Burst defaults to Requests.
+	Requests   int   `json:"requests,omitempty"`
+	IntervalMs int64 `json:"interval_ms,omitempty"`
+	Burst      int   `json:"burst,omitempty"`
+	// MaxPredictedCost rejects requests whose predicted optimization
+	// effort (core.PredictCost: ~3^tables · 2^(objectives−1) · algorithm
+	// factor) exceeds this ceiling — the cheap cost-based admission that
+	// keeps a 30-table EXA from ever entering the worker pool.
+	// 0 = unlimited.
+	MaxPredictedCost float64 `json:"max_predicted_cost,omitempty"`
+}
+
+// normalize fills the documented defaults into a validated quota.
+func (q Quota) normalize() Quota {
+	if q.Weight == 0 {
+		q.Weight = 1
+	}
+	if q.Requests > 0 {
+		if q.IntervalMs == 0 {
+			q.IntervalMs = 1000
+		}
+		if q.Burst == 0 {
+			q.Burst = q.Requests
+		}
+	}
+	return q
+}
+
+// validate rejects self-contradictory or out-of-range quotas.
+func (q Quota) validate() error {
+	if q.Weight < 0 {
+		return fmt.Errorf("weight %d is negative", q.Weight)
+	}
+	if q.MaxConcurrent < 0 {
+		return fmt.Errorf("max_concurrent %d is negative", q.MaxConcurrent)
+	}
+	if q.MaxTables < 0 {
+		return fmt.Errorf("max_tables %d is negative", q.MaxTables)
+	}
+	if q.Requests < 0 {
+		return fmt.Errorf("requests %d is negative", q.Requests)
+	}
+	if q.IntervalMs < 0 {
+		return fmt.Errorf("interval_ms %d is negative", q.IntervalMs)
+	}
+	if q.Burst < 0 {
+		return fmt.Errorf("burst %d is negative", q.Burst)
+	}
+	if q.Requests == 0 && (q.IntervalMs != 0 || q.Burst != 0) {
+		return fmt.Errorf("interval_ms/burst require requests")
+	}
+	if q.MaxPredictedCost < 0 {
+		return fmt.Errorf("max_predicted_cost %g is negative", q.MaxPredictedCost)
+	}
+	return nil
+}
+
+// Config is the static tenant configuration moqod loads from the
+// -tenants JSON file (and hot-reloads on SIGHUP). Tenants not named in
+// Tenants — including the anonymous tenant, unless declared explicitly —
+// get the Default quota.
+type Config struct {
+	// Default is the quota of every tenant without an explicit entry.
+	// Its zero value admits everything.
+	Default Quota `json:"default"`
+	// Tenants maps tenant names to their quotas. Names must be 1-64
+	// characters of [A-Za-z0-9_.-] (they travel in headers and become
+	// Prometheus label values).
+	Tenants map[string]Quota `json:"tenants,omitempty"`
+}
+
+// ValidName reports whether s is a well-formed tenant name: 1-64
+// characters of [A-Za-z0-9_.-].
+func ValidName(s string) bool {
+	if len(s) == 0 || len(s) > maxTenantName {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '.', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseConfig parses and validates a tenant-config JSON document. The
+// parse is strict (unknown fields are errors, trailing garbage is an
+// error) and the returned config is normalized: every quota has its
+// defaults filled in, so callers never re-derive them. The contract —
+// pinned by FuzzTenantConfig — is error or fully-valid config, never a
+// panic and never a half-valid result.
+func ParseConfig(data []byte) (*Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("tenant config: %w", err)
+	}
+	// Reject trailing content after the config object (a concatenation
+	// of two configs must not silently parse as the first).
+	if dec.More() {
+		return nil, fmt.Errorf("tenant config: trailing data after config object")
+	}
+	if err := cfg.Default.validate(); err != nil {
+		return nil, fmt.Errorf("tenant config: default: %w", err)
+	}
+	cfg.Default = cfg.Default.normalize()
+	for name, q := range cfg.Tenants {
+		if !ValidName(name) {
+			return nil, fmt.Errorf("tenant config: bad tenant name %q (want 1-%d chars of [A-Za-z0-9_.-])", name, maxTenantName)
+		}
+		if err := q.validate(); err != nil {
+			return nil, fmt.Errorf("tenant config: tenant %q: %w", name, err)
+		}
+		cfg.Tenants[name] = q.normalize()
+	}
+	return &cfg, nil
+}
+
+// LoadConfig reads and parses the tenant-config file at path.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant config: %w", err)
+	}
+	return ParseConfig(data)
+}
+
+// quotaFor resolves the (normalized) quota of a tenant name. The
+// normalize call is idempotent — it matters only for hand-constructed
+// configs that did not come through ParseConfig.
+func (c *Config) quotaFor(name string) Quota {
+	if q, ok := c.Tenants[name]; ok {
+		return q.normalize()
+	}
+	return c.Default.normalize()
+}

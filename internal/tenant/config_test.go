@@ -1,0 +1,108 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"default": {"max_tables": 16},
+		"tenants": {
+			"acme":      {"weight": 4, "max_concurrent": 2, "requests": 100, "interval_ms": 60000, "max_predicted_cost": 1e9},
+			"anonymous": {"requests": 10}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.quotaFor("acme"); got.Weight != 4 || got.Burst != 100 || got.IntervalMs != 60000 {
+		t.Errorf("acme quota not normalized: %+v", got)
+	}
+	if got := cfg.quotaFor(Anonymous); got.Requests != 10 || got.IntervalMs != 1000 || got.Burst != 10 {
+		t.Errorf("anonymous quota defaults not filled: %+v", got)
+	}
+	if got := cfg.quotaFor("unknown"); got.MaxTables != 16 || got.Weight != 1 {
+		t.Errorf("unknown tenant should get the default quota: %+v", got)
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":       `{"default": {"max_tablez": 3}}`,
+		"trailing data":       `{"default": {}} {"default": {}}`,
+		"negative weight":     `{"tenants": {"a": {"weight": -1}}}`,
+		"negative requests":   `{"tenants": {"a": {"requests": -5}}}`,
+		"burst sans requests": `{"tenants": {"a": {"burst": 5}}}`,
+		"bad tenant name":     `{"tenants": {"no spaces": {}}}`,
+		"empty tenant name":   `{"tenants": {"": {}}}`,
+		"long tenant name":    `{"tenants": {"` + strings.Repeat("x", 65) + `": {}}}`,
+		"negative cost":       `{"default": {"max_predicted_cost": -1}}`,
+		"not an object":       `[1, 2]`,
+		"garbage":             `{{{`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseConfig([]byte(doc)); err == nil {
+			t.Errorf("%s: ParseConfig accepted %s", name, doc)
+		}
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"acme", "tenant-1", "A.b_c", "anonymous"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "newline\n", "héllo", strings.Repeat("x", 65), `q"uote`} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}
+
+// FuzzTenantConfig pins the parser contract: for arbitrary bytes,
+// ParseConfig either errors or returns a fully-valid, normalized config
+// — never a panic, never a half-valid result.
+func FuzzTenantConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"default": {"weight": 2, "max_tables": 30}}`))
+	f.Add([]byte(`{"tenants": {"acme": {"requests": 100, "interval_ms": 60000, "burst": 20}}}`))
+	f.Add([]byte(`{"default": {"max_predicted_cost": 1e12}, "tenants": {"anonymous": {"requests": 1}}}`))
+	f.Add([]byte(`{"tenants": {"a": {"weight": -1}}}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			if cfg != nil {
+				t.Fatalf("error %v with non-nil config", err)
+			}
+			return
+		}
+		// Every quota the config can hand out must be valid and fully
+		// normalized (defaults filled in).
+		check := func(q Quota) {
+			if err := q.validate(); err != nil {
+				t.Fatalf("accepted config yields invalid quota %+v: %v", q, err)
+			}
+			if q.Weight < 1 {
+				t.Fatalf("accepted quota not normalized: %+v", q)
+			}
+			if q.Requests > 0 && (q.IntervalMs <= 0 || q.Burst <= 0) {
+				t.Fatalf("accepted budgeted quota not normalized: %+v", q)
+			}
+		}
+		check(cfg.quotaFor("no-such-tenant"))
+		for name := range cfg.Tenants {
+			if !ValidName(name) {
+				t.Fatalf("accepted config holds invalid tenant name %q", name)
+			}
+			check(cfg.quotaFor(name))
+		}
+		// A registry over any accepted config must be able to run its
+		// admission path without panicking.
+		reg := NewRegistry(cfg)
+		reg.CountRequest("probe")
+		reg.Admit("probe", 8, 3, "rta")
+	})
+}

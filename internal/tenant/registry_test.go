@@ -1,0 +1,146 @@
+package tenant
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a registry clock the test can advance.
+func fixedClock(start time.Time) (*time.Time, func() time.Time) {
+	now := start
+	return &now, func() time.Time { return now }
+}
+
+func testRegistry(t *testing.T, doc string) (*Registry, *time.Time) {
+	t.Helper()
+	cfg, err := ParseConfig([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(cfg)
+	now, clock := fixedClock(time.Unix(1000, 0))
+	r.now = clock
+	return r, now
+}
+
+// TestAdmitRateBudget: the token bucket admits up to burst, then rejects
+// with a retry hint, then refills over time.
+func TestAdmitRateBudget(t *testing.T) {
+	r, now := testRegistry(t, `{"tenants": {"a": {"requests": 2, "interval_ms": 1000}}}`)
+	for i := 0; i < 2; i++ {
+		if d := r.Admit("a", 4, 2, "rta"); !d.OK {
+			t.Fatalf("request %d rejected: %v", i, d.Err)
+		}
+	}
+	d := r.Admit("a", 4, 2, "rta")
+	if d.OK || d.Reason != ReasonRate {
+		t.Fatalf("drained bucket admitted: %+v", d)
+	}
+	if d.RetryAfter <= 0 || d.RetryAfter > time.Second {
+		t.Errorf("retry-after = %v, want (0, 1s]", d.RetryAfter)
+	}
+	*now = now.Add(600 * time.Millisecond) // refills 1.2 tokens
+	if d := r.Admit("a", 4, 2, "rta"); !d.OK {
+		t.Fatalf("refilled bucket rejected: %v", d.Err)
+	}
+	// Other tenants have their own buckets.
+	if d := r.Admit("b", 4, 2, "rta"); !d.OK {
+		t.Fatalf("unrelated tenant rejected: %v", d.Err)
+	}
+}
+
+// TestAdmitTableAndCostCeilings: structural rejections fire before the
+// rate budget and never drain a token.
+func TestAdmitTableAndCostCeilings(t *testing.T) {
+	r, _ := testRegistry(t, `{"tenants": {"a": {"max_tables": 8, "max_predicted_cost": 1e6, "requests": 1}}}`)
+	if d := r.Admit("a", 9, 2, "rta"); d.OK || d.Reason != ReasonTables {
+		t.Fatalf("9 tables past max_tables=8 admitted: %+v", d)
+	}
+	// 30-table EXA: the paper's 3^n blowup the cost ceiling exists for.
+	if d := r.Admit("a", 8, 9, "exa"); d.OK || d.Reason != ReasonCost {
+		t.Fatalf("predicted-cost ceiling missed: %+v", d)
+	}
+	// Neither rejection drained the single token.
+	if d := r.Admit("a", 4, 2, "rta"); !d.OK {
+		t.Fatalf("structural rejections drained the bucket: %v", d.Err)
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 1 || snaps[0].Rejected[ReasonTables] != 1 || snaps[0].Rejected[ReasonCost] != 1 {
+		t.Errorf("rejection counters: %+v", snaps)
+	}
+}
+
+// TestReloadKeepsCounters: a hot reload swaps quotas without losing the
+// tenant's counters.
+func TestReloadKeepsCounters(t *testing.T) {
+	r, _ := testRegistry(t, `{"tenants": {"a": {"max_tables": 4}}}`)
+	r.CountRequest("a")
+	if d := r.Admit("a", 8, 2, "rta"); d.OK {
+		t.Fatal("8 tables past max_tables=4 admitted")
+	}
+	cfg, err := ParseConfig([]byte(`{"tenants": {"a": {"max_tables": 16}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reload(cfg)
+	if d := r.Admit("a", 8, 2, "rta"); !d.OK {
+		t.Fatalf("reloaded quota not applied: %v", d.Err)
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 1 || snaps[0].Requests != 1 || snaps[0].Rejected[ReasonTables] != 1 {
+		t.Errorf("counters lost across reload: %+v", snaps)
+	}
+	if q := r.Quota("a"); q.MaxTables != 16 {
+		t.Errorf("Quota after reload = %+v", q)
+	}
+}
+
+// TestResolve: empty means anonymous, malformed names are rejected.
+func TestResolve(t *testing.T) {
+	r := NewRegistry(nil)
+	if name, err := r.Resolve(""); err != nil || name != Anonymous {
+		t.Errorf("Resolve(\"\") = %q, %v", name, err)
+	}
+	if name, err := r.Resolve("acme"); err != nil || name != "acme" {
+		t.Errorf("Resolve(acme) = %q, %v", name, err)
+	}
+	if _, err := r.Resolve("bad name"); err == nil {
+		t.Error("Resolve accepted a name with a space")
+	}
+}
+
+// TestCacheAccounting: entries attribute bytes to their tenant and
+// evictions count on the eviction series.
+func TestCacheAccounting(t *testing.T) {
+	r := NewRegistry(nil)
+	r.CacheAdd("a", 100)
+	r.CacheAdd("a", 50)
+	r.CacheEvict("a", 100, true)
+	r.CacheEvict("a", 50, false) // replacement, not an eviction
+	snaps := r.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots: %+v", snaps)
+	}
+	s := snaps[0]
+	if s.CacheBytes != 0 || s.CacheEntries != 0 || s.CacheEvictions != 1 {
+		t.Errorf("cache accounting: bytes=%d entries=%d evictions=%d", s.CacheBytes, s.CacheEntries, s.CacheEvictions)
+	}
+}
+
+// TestTrackedTenantCap: unknown wire names past the cap fold into the
+// anonymous state instead of growing the map without bound.
+func TestTrackedTenantCap(t *testing.T) {
+	r := NewRegistry(nil)
+	for i := 0; i < maxTrackedTenants+50; i++ {
+		r.CountRequest(fmt.Sprintf("wire-tenant-%d", i))
+	}
+	r.mu.Lock()
+	n := len(r.states)
+	r.mu.Unlock()
+	if n > maxTrackedTenants+1 { // +1 for the anonymous fold-in state
+		t.Errorf("tracked %d tenant states, cap is %d", n, maxTrackedTenants)
+	}
+	// Latency recording for overflow names lands somewhere valid too.
+	r.RecordLatency("overflow-tenant-xyz", 1.5)
+}

@@ -1,0 +1,211 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+)
+
+// Policy selects how the scheduler orders queued work.
+type Policy int
+
+const (
+	// Fair: per-tenant FIFO queues drained by smooth weighted
+	// round-robin — the production policy.
+	Fair Policy = iota
+	// FIFO: one global queue in strict arrival order, blind to tenants —
+	// the unfairness baseline for benchmarks and tests.
+	FIFO
+)
+
+// waiter is one queued acquisition.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// schedQueue is one tenant's admission queue plus its smooth-WRR credit.
+type schedQueue struct {
+	name    string
+	weight  int
+	maxConc int // per-tenant running cap (0 = none)
+	current int // smooth-WRR credit
+	running int
+	waiters []*waiter
+}
+
+// Scheduler gates cold dynamic programs behind per-tenant admission
+// queues: at most slots acquisitions run at once, free slots go to
+// non-empty queues by smooth weighted round-robin (Fair) or to the
+// single global queue in arrival order (FIFO), and a tenant at its
+// MaxConcurrent cap is skipped until it releases. It is safe for
+// concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	slots   int
+	running int
+	policy  Policy
+	queues  map[string]*schedQueue
+	queued  int
+	granted map[string]uint64
+}
+
+// NewScheduler builds a scheduler with the given concurrency (slots < 1
+// is raised to 1) and policy.
+func NewScheduler(slots int, policy Policy) *Scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Scheduler{
+		slots:   slots,
+		policy:  policy,
+		queues:  make(map[string]*schedQueue),
+		granted: make(map[string]uint64),
+	}
+}
+
+// Acquire blocks until the scheduler grants the tenant a slot, or ctx
+// ends (the slot is then not held). weight and maxConc come from the
+// tenant's quota; under the FIFO policy both are ignored and every
+// caller shares one queue. Every successful Acquire must be paired with
+// a Release for the same tenant.
+func (s *Scheduler) Acquire(ctx context.Context, tenant string, weight, maxConc int) error {
+	if s.policy == FIFO {
+		tenant, weight, maxConc = "", 1, 0
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	q := s.queueFor(tenant)
+	// Quotas hot-reload: the latest acquisition's view wins.
+	q.weight, q.maxConc = weight, maxConc
+	w := &waiter{ready: make(chan struct{})}
+	q.waiters = append(q.waiters, w)
+	s.queued++
+	s.dispatch()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w.granted {
+		// The grant raced the cancellation: the slot is held, so give it
+		// back here rather than making the caller guess.
+		s.releaseLocked(q)
+		return ctx.Err()
+	}
+	for i, queued := range q.waiters {
+		if queued == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			s.queued--
+			break
+		}
+	}
+	return ctx.Err()
+}
+
+// Release returns the tenant's slot and dispatches queued work.
+func (s *Scheduler) Release(tenant string) {
+	if s.policy == FIFO {
+		tenant = ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.releaseLocked(s.queueFor(tenant))
+}
+
+func (s *Scheduler) releaseLocked(q *schedQueue) {
+	q.running--
+	s.running--
+	s.dispatch()
+}
+
+// queueFor returns (creating if needed) the tenant's queue.
+func (s *Scheduler) queueFor(tenant string) *schedQueue {
+	q, ok := s.queues[tenant]
+	if !ok {
+		q = &schedQueue{name: tenant, weight: 1}
+		s.queues[tenant] = q
+	}
+	return q
+}
+
+// dispatch grants free slots to queued waiters until slots run out or no
+// queue is eligible. Caller holds s.mu.
+func (s *Scheduler) dispatch() {
+	for s.running < s.slots && s.queued > 0 {
+		q := s.pick()
+		if q == nil {
+			return // every non-empty queue is at its per-tenant cap
+		}
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		s.queued--
+		w.granted = true
+		q.running++
+		s.running++
+		s.granted[q.name]++
+		close(w.ready)
+	}
+}
+
+// pick selects the next queue by smooth weighted round-robin over the
+// eligible queues (non-empty, under their per-tenant cap): each gains
+// its weight in credit, the highest credit wins and pays back the total.
+// Ties break by name so scheduling is deterministic under test.
+func (s *Scheduler) pick() *schedQueue {
+	var best *schedQueue
+	total := 0
+	for _, q := range s.queues {
+		if len(q.waiters) == 0 || (q.maxConc > 0 && q.running >= q.maxConc) {
+			continue
+		}
+		total += q.weight
+		q.current += q.weight
+		if best == nil || q.current > best.current ||
+			(q.current == best.current && q.name < best.name) {
+			best = q
+		}
+	}
+	if best != nil {
+		best.current -= total
+	}
+	return best
+}
+
+// QueueDepths returns the per-tenant admission-queue depths (tenants
+// with an empty queue and nothing running are omitted).
+func (s *Scheduler) QueueDepths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for name, q := range s.queues {
+		if len(q.waiters) > 0 || q.running > 0 {
+			out[name] = len(q.waiters)
+		}
+	}
+	return out
+}
+
+// Granted returns the per-tenant slot-grant counts (claim counts) since
+// construction — the fairness tests' accounting of who actually ran.
+func (s *Scheduler) Granted() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.granted))
+	for name, n := range s.granted {
+		out[name] = n
+	}
+	return out
+}
+
+// Running returns how many acquisitions currently hold slots.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
