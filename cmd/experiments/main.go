@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, store, batch, tenant, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5, 7, 9, 10, scaling, parallel, server, reuse, store, batch, tenant, chaos, topology (ignores -timeout; fixed 60s per-run ceiling), or hotpath (explicit only — not part of all; ignores -timeout)")
 		timeout = flag.Duration("timeout", 2*time.Second, "optimizer timeout per run (paper: 2h)")
 		cases   = flag.Int("cases", 3, "test cases per configuration (paper: 20)")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
@@ -109,6 +109,9 @@ func main() {
 	}
 	if *fig == "tenant" || *fig == "all" {
 		tenantFairness(cfg, *outDir)
+	}
+	if *fig == "chaos" || *fig == "all" {
+		chaosAvailability(cfg, *outDir)
 	}
 	if *fig == "quality" || *fig == "all" {
 		quality(cfg)
@@ -483,6 +486,35 @@ func tenantFairness(cfg bench.Config, outDir string) {
 		fatalf("tenant: %v", err)
 	}
 	path := "BENCH_tenant.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// chaosAvailability measures serving through a dead store disk with and
+// without the circuit breaker — availability, tail latency, and device
+// operations attempted — and always emits BENCH_chaos.json (into -out
+// when set, the working directory otherwise) for the CI pipeline to
+// archive.
+func chaosAvailability(cfg bench.Config, outDir string) {
+	header("Disk chaos: serving through a dead frontier-store disk, breaker vs no breaker")
+	pts, sum, err := bench.ChaosAvailability(bench.ChaosSpec{Seed: cfg.Seed})
+	if err != nil {
+		fatalf("chaos: %v", err)
+	}
+	fmt.Println("the disk hangs 10ms then fails on every operation; a tiny frontier memory tier")
+	fmt.Println("keeps the store on the hot path; answers are verified against a fault-free run:")
+	fmt.Print(bench.RenderChaos(pts, sum))
+
+	raw, err := bench.ChaosJSON(pts, sum)
+	if err != nil {
+		fatalf("chaos: %v", err)
+	}
+	path := "BENCH_chaos.json"
 	if outDir != "" {
 		path = filepath.Join(outDir, path)
 	}

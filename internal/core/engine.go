@@ -4,7 +4,9 @@ import (
 	"cmp"
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"runtime/debug"
 	"slices"
 	"sort"
 	"sync/atomic"
@@ -97,6 +99,55 @@ type engine struct {
 	// timeout there is no caller left to serve, so workers abandon their
 	// remaining sets instead of degrading, and the run reports ctx.Err().
 	cancelled atomic.Bool
+	// panicInfo holds the first panic recovered inside a worker. A panic
+	// latches cancelled (so every worker parks at the level boundary and
+	// the pool winds down normally) and cancelErr reports it as
+	// ErrEnginePanic instead of a context error.
+	panicInfo atomic.Pointer[enginePanic]
+}
+
+// enginePanic captures one recovered worker panic.
+type enginePanic struct {
+	val   any
+	stack []byte
+}
+
+// ErrEnginePanic marks a run abandoned because a worker panicked. The
+// wrapped error text carries the panic value and stack; callers match
+// with errors.Is and must treat the run's result as void.
+var ErrEnginePanic = errors.New("core: panic during optimization")
+
+// recordPanic latches the first recovered panic and cancels the run.
+// The cancelled latch is what makes containment safe: every other
+// worker parks at its next poll, the level barrier completes, and the
+// pool shuts down through the normal path — no goroutine is left
+// holding a poisoned deque.
+func (e *engine) recordPanic(r any) {
+	e.panicInfo.CompareAndSwap(nil, &enginePanic{val: r, stack: debug.Stack()})
+	e.cancelled.Store(true)
+}
+
+// containPanic is deferred around every treated set.
+func (e *engine) containPanic() {
+	if r := recover(); r != nil {
+		e.recordPanic(r)
+	}
+}
+
+// panicHook is a chaos-test seam: when set, it is called with each
+// treated set's memo id before the set is treated, from whichever
+// worker goroutine claims the set. Install via SetPanicHook.
+var panicHook atomic.Pointer[func(id int32)]
+
+// SetPanicHook installs (nil clears) a function invoked for every
+// treated table set — a seam for panic-containment and chaos tests to
+// crash a worker mid-run. Not for production use.
+func SetPanicHook(h func(id int32)) {
+	if h == nil {
+		panicHook.Store(nil)
+		return
+	}
+	panicHook.Store(&h)
 }
 
 // joinAlgs are the join operators of a predicate-connected split, in the
@@ -179,7 +230,14 @@ func (e *engine) enumStop() enumSignal {
 // cancelErr returns the context's error if the run was abandoned because
 // of a cancellation (not a deadline — deadlines degrade and still produce
 // a result). Called by the algorithms after run()/runScalar() return.
+// A recovered worker panic is checked first: it latches the same
+// cancelled flag, but the context has no error to report — without the
+// ordering the caller would see a spurious context.Canceled and the
+// panic would vanish.
 func (e *engine) cancelErr() error {
+	if p := e.panicInfo.Load(); p != nil {
+		return fmt.Errorf("%w: %v\n%s", ErrEnginePanic, p.val, p.stack)
+	}
 	if !e.cancelled.Load() {
 		return nil
 	}

@@ -307,6 +307,20 @@ func (p *levelPool) drain(wi int) {
 // parks at the level boundary (no goroutine outlives the run) and the
 // loop returns without touching the remaining sets.
 func (e *engine) runLevels(treat func(w *worker, id int32, s query.TableSet)) {
+	// Panic containment: a panic while treating one set is recovered
+	// here, latches the run as cancelled (cancelErr reports
+	// ErrEnginePanic), and every worker — including the spawned pool
+	// goroutines, whose panics would otherwise kill the process — parks
+	// at the next poll. One wrapper covers the pool, the inline path,
+	// and runScalar, since all of them go through this treat.
+	inner := treat
+	treat = func(w *worker, id int32, s query.TableSet) {
+		defer e.containPanic()
+		if hp := panicHook.Load(); hp != nil {
+			(*hp)(id)
+		}
+		inner(w, id, s)
+	}
 	nextID := int32(0)
 	var pool *levelPool
 	if len(e.workers) > 1 {

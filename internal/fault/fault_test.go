@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// openTemp opens a scratch file through fs for the write/read/sync
+// tests.
+func openTemp(t *testing.T, fsys FS) File {
+	t.Helper()
+	f, err := fsys.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	// The same seed must produce the same fault schedule across two
+	// independent runs, op by op.
+	run := func() []bool {
+		in := NewInjector(OS(), Config{Seed: 42, PWriteErr: 0.3})
+		f := openTemp(t, in)
+		outcomes := make([]bool, 200)
+		for i := range outcomes {
+			_, err := f.WriteAt([]byte("x"), 0)
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at op %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("degenerate schedule: %d/%d faults", fired, len(a))
+	}
+}
+
+func TestFailWriteAtPinsENOSPC(t *testing.T) {
+	in := NewInjector(OS(), Config{Seed: 1, FailWriteAt: 3})
+	f := openTemp(t, in)
+	for i := 1; i <= 5; i++ {
+		_, err := f.WriteAt([]byte("abc"), int64(3*(i-1)))
+		if i == 3 {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("op 3: want ENOSPC, got %v", err)
+			}
+			if !IsInjected(err) {
+				t.Fatalf("op 3: error not marked injected: %v", err)
+			}
+		} else if err != nil {
+			t.Fatalf("op %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestShortWritePersistsPrefix(t *testing.T) {
+	in := NewInjector(OS(), Config{Seed: 1, ShortWriteAt: 1})
+	f := openTemp(t, in)
+	n, err := f.WriteAt([]byte("abcdefgh"), 0)
+	if err == nil {
+		t.Fatal("short write returned nil error")
+	}
+	if n != 4 {
+		t.Fatalf("short write persisted %d bytes, want 4", n)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf) != "abcd" {
+		t.Fatalf("prefix on disk = %q, want \"abcd\"", buf)
+	}
+}
+
+func TestDeadDiskFailsEverything(t *testing.T) {
+	in := NewInjector(OS(), Config{Seed: 1})
+	f := openTemp(t, in)
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("healthy write failed: %v", err)
+	}
+	in.SetDead(true)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("dead write: want EIO, got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("dead sync: want EIO, got %v", err)
+	}
+	if _, err := in.OpenFile("/nonexistent", os.O_RDONLY, 0); !IsInjected(err) {
+		t.Fatalf("dead open: want injected error, got %v", err)
+	}
+	in.SetDead(false)
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("revived write failed: %v", err)
+	}
+	c := in.Counters()
+	if c.Injected["write"] == 0 || c.Injected["sync"] == 0 {
+		t.Fatalf("counters missed injections: %+v", c)
+	}
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, Now: clock, Seed: 7})
+
+	if !b.Allow() || b.State() != Closed {
+		t.Fatal("new breaker should be closed")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("tripped below threshold")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("did not trip at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed an op inside the window")
+	}
+
+	// Past the window (jitter keeps it within [0.9s, 1.1s]): one probe
+	// allowed, concurrent callers refused.
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after window elapsed")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe allowed while first in flight")
+	}
+
+	// Failed probe: reopen with doubled window.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("failed probe did not reopen")
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("doubled window did not hold") // 2s ± jitter > 1.5s
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after doubled window")
+	}
+
+	// Successful probe: closed, backoff reset.
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	st := b.Stats()
+	if st.Trips != 2 || st.State != "closed" {
+		t.Fatalf("stats = %+v, want 2 trips, closed", st)
+	}
+}
+
+func TestBreakerJitterDeterministic(t *testing.T) {
+	windows := func(seed uint64) []time.Duration {
+		now := time.Unix(0, 0)
+		b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: func() time.Time { return now }, Seed: seed})
+		var out []time.Duration
+		for i := 0; i < 4; i++ {
+			b.Failure()
+			out = append(out, time.Duration(b.Stats().RetryInMs)*time.Millisecond)
+			now = now.Add(time.Hour)
+			if !b.Allow() {
+				t.Fatal("probe refused after an hour")
+			}
+		}
+		return out
+	}
+	a, b := windows(11), windows(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter diverged at trip %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the segment log uses. Implementations
+// must keep the *os.File contract: WriteAt and ReadAt return a non-nil
+// error whenever n < len(p).
+type File interface {
+	WriteAt(p []byte, off int64) (int, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam the store writes through. It mirrors the
+// exact set of os-package calls the segment log performs — nothing
+// more, so a fake stays small.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(path string, perm fs.FileMode) error
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	// SyncDir fsyncs a directory, making creates and renames durable.
+	SyncDir(name string) error
+}
+
+// osFS is the passthrough FS backed by the real os package.
+type osFS struct{}
+
+// OS returns the production FS: a zero-state passthrough to the os
+// package.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Return a typed nil-free interface: a non-nil File wrapping a
+		// nil *os.File would defeat `if f != nil` checks upstream.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

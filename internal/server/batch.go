@@ -214,10 +214,16 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				m := runnable[n]
 				memberStart := time.Now()
+				// Per-member deadline budget: the member's wall budget starts
+				// when a worker picks it up, so scheduler queue wait inside
+				// serving consumes it and the DP gets exactly the remainder.
+				// A budget that dies while queued sheds that member alone.
+				mctx, cancel := context.WithDeadline(ctx, memberStart.Add(m.req.Timeout))
 				lock := queryLocks[m.req.Query]
 				lock.Lock()
-				resp, err := s.serveMember(ctx, m.req, m.key, m.ten)
+				resp, err := s.serveMember(mctx, m.req, m.key, m.ten)
 				lock.Unlock()
+				cancel()
 				if err != nil {
 					s.errors.Add(1)
 					emit(BatchMemberResponse{Member: m.idx, Error: err.Error(), ErrorCode: classifyServeError(err)})

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"moqo/internal/fault"
 )
 
 // handleMetricsPrometheus serves GET /metrics/prometheus: the same
@@ -34,6 +36,12 @@ func (s *Server) handleMetricsPrometheus(w http.ResponseWriter, r *http.Request)
 	p.sample("moqo_errors_total", nil, float64(s.errors.Load()))
 	p.family("moqo_in_flight", "gauge", "Requests currently being served.")
 	p.sample("moqo_in_flight", nil, float64(s.inFlight.Load()))
+	p.family("moqo_shed_overload_total", "counter", "Requests shed with 503: queue at its bound or deadline budget exhausted while queued.")
+	p.sample("moqo_shed_overload_total", nil, float64(s.shedOverload.Load()))
+	p.family("moqo_panics_total", "counter", "Contained panics (worker-pool and handler); each failed one request, the process survived.")
+	p.sample("moqo_panics_total", nil, float64(s.panics.Load()))
+	p.family("moqo_queue_depth", "gauge", "Cold dynamic programs waiting across all admission queues.")
+	p.sample("moqo_queue_depth", nil, float64(s.sched.Queued()))
 
 	lat := s.latencySnapshot()
 	p.family("moqo_latency_quantile_ms", "gauge", "Served-request latency quantiles over a sliding window.")
@@ -79,6 +87,24 @@ func (s *Server) handleMetricsPrometheus(w http.ResponseWriter, r *http.Request)
 		p.sample("moqo_store_bytes", nil, float64(st.Bytes))
 		p.family("moqo_store_entries", "gauge", "Entries in the disk frontier store.")
 		p.sample("moqo_store_entries", nil, float64(st.Entries))
+		p.family("moqo_store_io_errors_total", "counter", "Device-level I/O failures observed by the disk frontier store.")
+		p.sample("moqo_store_io_errors_total", nil, float64(st.IOErrors))
+		p.family("moqo_store_skipped_total", "counter", "Store operations skipped because the circuit breaker was open.")
+		p.sample("moqo_store_skipped_total", nil, float64(s.storeSkipped.Load()))
+		if s.breaker != nil {
+			bst := s.breaker.Stats()
+			p.family("moqo_store_breaker_state", "gauge", "Store circuit breaker state: 0 closed, 1 half-open, 2 open.")
+			var state float64
+			switch s.breaker.State() {
+			case fault.HalfOpen:
+				state = 1
+			case fault.Open:
+				state = 2
+			}
+			p.sample("moqo_store_breaker_state", nil, state)
+			p.family("moqo_store_breaker_trips_total", "counter", "Times the store breaker tripped open.")
+			p.sample("moqo_store_breaker_trips_total", nil, float64(bst.Trips))
+		}
 	}
 
 	// Per-tenant series: one sample per tracked tenant, labeled by name.

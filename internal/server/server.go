@@ -58,6 +58,7 @@ import (
 
 	"moqo"
 	"moqo/internal/cache"
+	"moqo/internal/fault"
 	"moqo/internal/store"
 	"moqo/internal/tenant"
 )
@@ -105,6 +106,32 @@ type Options struct {
 	// writes, and a crash may lose the most recent snapshots (recovery
 	// still drops whatever was torn; nothing damaged is ever served).
 	StoreNoSync bool
+	// StoreFS is the filesystem seam handed to the frontier store (nil
+	// means the real OS). Chaos tests and the -fig chaos harness pass a
+	// fault.Injector to exercise disk failures deterministically.
+	StoreFS fault.FS
+	// NoStoreBreaker disables the store-tier circuit breaker — the
+	// baseline for chaos measurements, where every request keeps paying
+	// a failing disk's latency. The default (false) wraps every store
+	// operation in a Closed/Open/HalfOpen breaker: repeated disk errors
+	// trip it, serving degrades to memory-only (both cache tiers keep
+	// answering), and half-open probes with exponential backoff retry
+	// the disk.
+	NoStoreBreaker bool
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// store breaker (0 = the fault package default, 5).
+	BreakerThreshold int
+	// BreakerCooldown is the first open window before a half-open
+	// probe; successive failed probes double it up to BreakerMaxCooldown
+	// (0 = the defaults, 250ms and 30s).
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// MaxQueueDepth bounds the cold-DP scheduler's total queued
+	// waiters: an arrival past the bound is shed immediately with 503 +
+	// Retry-After instead of growing an unbounded latency cliff. It
+	// complements the per-tenant token buckets (which cap rate, not
+	// simultaneous backlog). 0 means unbounded.
+	MaxQueueDepth int
 	// Tenants is the tenant registry: identity resolution, per-tenant
 	// quotas, cost-based admission, and per-tenant metrics. nil builds
 	// an empty registry — every request is the anonymous tenant under an
@@ -167,11 +194,23 @@ type Server struct {
 	// demote carries snapshots from the frontier tier's eviction hook
 	// (which runs under a shard lock and must not block) to the
 	// background writer that refreshes their recency in the store. Set
-	// once at construction, closed once by Close.
-	demote    chan *moqo.FrontierSnapshot
-	demoteWG  sync.WaitGroup
-	closeOnce sync.Once
-	start     time.Time
+	// once at construction, closed once by Close. demoteMu orders
+	// senders against the close: the hook sends under RLock after
+	// checking demoteClosed, Close flips the flag under Lock before
+	// closing the channel — without it a send could race the close and
+	// panic the evicting request's goroutine.
+	demote       chan *moqo.FrontierSnapshot
+	demoteMu     sync.RWMutex
+	demoteClosed bool
+	demoteWG     sync.WaitGroup
+	closeOnce    sync.Once
+	start        time.Time
+
+	// breaker guards the store tier (nil when the store is disabled or
+	// NoStoreBreaker): repeated disk errors trip it and serving
+	// degrades to memory-only instead of paying the failing disk's
+	// latency on every request.
+	breaker *fault.Breaker
 
 	// tenants resolves identities, enforces quotas and keeps per-tenant
 	// metrics; sched queues cold dynamic programs behind per-tenant
@@ -204,6 +243,18 @@ type Server struct {
 	// room for (the store still holds their write-through copy, just
 	// with stale recency).
 	demoteDropped atomic.Uint64
+	// storeErrors counts store operations that failed with a disk
+	// error; storeSkipped counts operations not attempted because the
+	// breaker was open (served memory-only instead).
+	storeErrors  atomic.Uint64
+	storeSkipped atomic.Uint64
+	// shedOverload counts requests shed with 503 (queue bound hit, or
+	// deadline budget exhausted while queued).
+	shedOverload atomic.Uint64
+	// panics counts contained panics — worker-pool panics surfaced as
+	// ErrInternalPanic and handler panics caught by the recover
+	// middleware. Each failed exactly one request.
+	panics atomic.Uint64
 
 	latMu      sync.Mutex
 	latencies  []float64 // ring buffer of recent /optimize latencies (ms)
@@ -245,6 +296,7 @@ func NewE(opts Options) (*Server, error) {
 		policy = tenant.FIFO
 	}
 	s.sched = tenant.NewScheduler(opts.MaxColdDPs, policy)
+	s.sched.SetMaxQueue(opts.MaxQueueDepth)
 	if opts.CacheCapacity > 0 {
 		s.cache = cache.New[OptimizeResponse](opts.CacheCapacity, opts.CacheShards)
 		// Cache-partition accounting: each stored response carries the
@@ -263,11 +315,19 @@ func NewE(opts Options) (*Server, error) {
 					Dir:      opts.StorePath,
 					MaxBytes: opts.StoreMaxBytes,
 					NoSync:   opts.StoreNoSync,
+					FS:       opts.StoreFS,
 				})
 				if err != nil {
 					return nil, err
 				}
 				s.store = st
+				if !opts.NoStoreBreaker {
+					s.breaker = fault.NewBreaker(fault.BreakerConfig{
+						Threshold:   opts.BreakerThreshold,
+						Cooldown:    opts.BreakerCooldown,
+						MaxCooldown: opts.BreakerMaxCooldown,
+					})
+				}
 				s.demote = make(chan *moqo.FrontierSnapshot, demoteQueueDepth)
 				s.demoteWG.Add(1)
 				go s.demoteLoop()
@@ -282,12 +342,20 @@ func NewE(opts Options) (*Server, error) {
 					// entries are superseded by a finer snapshot the caller
 					// writes through itself. The hook runs under a shard
 					// lock, so hand off without blocking and drop on a full
-					// queue.
-					select {
-					case s.demote <- ent.snap:
-					default:
+					// queue. The RLock pairs with Close: after shutdown
+					// begins the snapshot is counted as dropped, never sent
+					// on a closed channel.
+					s.demoteMu.RLock()
+					if s.demoteClosed {
 						s.demoteDropped.Add(1)
+					} else {
+						select {
+						case s.demote <- ent.snap:
+						default:
+							s.demoteDropped.Add(1)
+						}
 					}
+					s.demoteMu.RUnlock()
 				}
 			})
 			// Second, independent hook: per-tenant attribution for the
@@ -307,42 +375,94 @@ const demoteQueueDepth = 64
 
 // demoteLoop drains the demotion queue: marshaling off the eviction
 // hook's shard lock, then re-putting to refresh the store's recency.
+// Writes honor the breaker — while the disk is tripped a demotion is
+// counted as dropped rather than hammering the dead device (the store
+// still holds the snapshot's write-through copy, just with stale
+// recency).
 func (s *Server) demoteLoop() {
 	defer s.demoteWG.Done()
 	for snap := range s.demote {
+		if !s.storeAllow() {
+			s.demoteDropped.Add(1)
+			continue
+		}
 		data, err := snap.MarshalBinary()
 		if err != nil {
 			continue
 		}
-		_ = s.store.Put(snap.Key(), data)
+		s.storeResult(s.store.Put(snap.Key(), data))
+	}
+}
+
+// storeAllow reports whether the store tier may be touched right now:
+// there is a store, and the circuit breaker (when enabled) is not
+// open. Skipped operations are counted — they are the "serving
+// memory-only" signal on /metrics.
+func (s *Server) storeAllow() bool {
+	if s.store == nil {
+		return false
+	}
+	if s.breaker != nil && !s.breaker.Allow() {
+		s.storeSkipped.Add(1)
+		return false
+	}
+	return true
+}
+
+// storeResult feeds one store operation's outcome to the breaker and
+// the error counter.
+func (s *Server) storeResult(err error) {
+	if err != nil {
+		s.storeErrors.Add(1)
+		if s.breaker != nil {
+			s.breaker.Failure()
+		}
+		return
+	}
+	if s.breaker != nil {
+		s.breaker.Success()
 	}
 }
 
 // storePut marshals a snapshot and writes it through to the disk store
-// (no-op without a store).
+// (no-op without a store or while the breaker is open).
 func (s *Server) storePut(snap *moqo.FrontierSnapshot) {
-	if s.store == nil || snap == nil {
+	if snap == nil || !s.storeAllow() {
 		return
 	}
 	data, err := snap.MarshalBinary()
 	if err != nil {
 		return
 	}
-	_ = s.store.Put(snap.Key(), data)
+	s.storeResult(s.store.Put(snap.Key(), data))
 }
 
 // storeGet consults the disk store for a frontier snapshot under fkey.
 // Entries that fail decoding or key verification — version skew, or
 // damage the store's checksums cannot see — are deleted and counted,
-// never served.
+// never served. A device-level read error is a miss that feeds the
+// breaker (the entry survives in the store's index for after the disk
+// recovers).
 func (s *Server) storeGet(fkey string) *moqo.FrontierSnapshot {
-	if s.store == nil {
+	if !s.storeAllow() {
 		return nil
 	}
-	data, ok := s.store.Get(fkey)
+	data, ok, err := s.store.GetE(fkey)
+	if err != nil {
+		s.storeResult(err)
+		return nil
+	}
 	if !ok {
+		// Index miss: the device was never touched, so this proves
+		// nothing about its health — feeding it to the breaker as a
+		// success would reset the failure streak (and strand a half-open
+		// probe) on an operation that did no I/O.
+		if s.breaker != nil {
+			s.breaker.Cancel()
+		}
 		return nil
 	}
+	s.storeResult(nil)
 	snap, err := moqo.UnmarshalFrontierSnapshot(data)
 	if err != nil || snap.Key() != fkey {
 		s.storeDecodeDropped.Add(1)
@@ -353,21 +473,29 @@ func (s *Server) storeGet(fkey string) *moqo.FrontierSnapshot {
 }
 
 // Close shuts the server's background work down and closes the frontier
-// store, flushing pending demotions. Call it only after the HTTP
-// handler has stopped serving (http.Server.Shutdown); it is safe on a
+// store: the demotion channel is closed and fully drained first (every
+// demotion enqueued before shutdown is flushed to disk or counted as
+// dropped — never lost silently, never blocked on), then the store's
+// segments are synced and closed. Call it only after the HTTP handler
+// has stopped serving (http.Server.Shutdown); it is safe on a
 // store-less server and more than once.
 func (s *Server) Close() error {
 	if s.store == nil {
 		return nil
 	}
 	s.closeOnce.Do(func() {
+		s.demoteMu.Lock()
+		s.demoteClosed = true
+		s.demoteMu.Unlock()
 		close(s.demote)
 		s.demoteWG.Wait()
 	})
 	return s.store.Close()
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every route runs inside
+// the panic-recovery middleware: a handler panic answers that one
+// request with a structured 500 and leaves the server serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/optimize", s.handleOptimize)
@@ -375,7 +503,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics/prometheus", s.handleMetricsPrometheus)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics contains handler panics: the panicking request gets a
+// structured 500 (best-effort — headers may already be out) and the
+// process keeps serving. http.ErrAbortHandler passes through, as the
+// net/http contract requires.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.errors.Add(1)
+			s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+				Error: "internal: handler panic (contained)",
+				Code:  CodeInternal,
+			})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // maxCachedCatalogs bounds the per-scale-factor TPC-H catalog memo; a
@@ -449,11 +603,24 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx := r.Context()
+	// Deadline budget: the request's wall budget starts at admission and
+	// is carried by the context, so every wait downstream — the FIFO
+	// gate, the cold-DP scheduler queue — consumes it. The dynamic
+	// program folds the context deadline into the §5.1 degrade path, so
+	// it gets exactly the remainder: queue time never silently eats
+	// compute time and then some. A budget that dies while still queued
+	// surfaces as DeadlineExceeded from Acquire and is shed with 503.
+	ctx, cancelBudget := context.WithDeadline(r.Context(), started.Add(req.Timeout))
+	defer cancelBudget()
+
 	release, gerr := s.gateRequest(ctx, ten) // FIFO baseline only; no-op under Fair
 	if gerr != nil {
-		s.errors.Add(1)
-		return // client gone while queued
+		if r.Context().Err() != nil {
+			s.errors.Add(1)
+			return // client gone while queued
+		}
+		s.writeShedError(w, gerr)
+		return
 	}
 	defer release()
 
@@ -468,13 +635,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		if ctx.Err() != nil {
+		if r.Context().Err() != nil {
 			// The client is gone; there is nobody to answer. Count it and
 			// drop the connection.
 			s.errors.Add(1)
 			return
 		}
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeServeError(w, err)
 		return
 	}
 
@@ -668,6 +835,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			BatchMembers: s.batchMembers.Load(),
 			Errors:       s.errors.Load(),
 			InFlight:     s.inFlight.Load(),
+			ShedOverload: s.shedOverload.Load(),
+			Panics:       s.panics.Load(),
 		},
 		Latency: s.latencySnapshot(),
 	}
@@ -712,6 +881,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			CorruptDropped: st.CorruptDropped + s.storeDecodeDropped.Load(),
 			Compactions:    st.Compactions,
 			Entries:        st.Entries,
+			IOErrors:       st.IOErrors,
+			Skipped:        s.storeSkipped.Load(),
+		}
+		if s.breaker != nil {
+			bst := s.breaker.Stats()
+			m.FrontierStore.Breaker = &bst
 		}
 	}
 	s.writeJSON(w, http.StatusOK, m)
@@ -749,9 +924,50 @@ func (s *Server) tenantMetrics() []TenantMetrics {
 	return out
 }
 
-// handleHealthz serves GET /healthz.
+// healthSnapshot assembles the shared /healthz + /readyz body.
+func (s *Server) healthSnapshot() HealthResponse {
+	h := HealthResponse{
+		Status:     "ok",
+		Store:      "disabled",
+		QueueDepth: s.sched.Queued(),
+		Shed:       s.sched.Shed(),
+		InFlight:   s.inFlight.Load(),
+	}
+	if s.store != nil {
+		h.Store = "ok"
+		if s.breaker != nil {
+			st := s.breaker.Stats()
+			h.Breaker = &st
+			switch s.breaker.State() {
+			case fault.Open:
+				h.Store, h.Status, h.Degraded = "degraded", "degraded", true
+			case fault.HalfOpen:
+				h.Store, h.Status, h.Degraded = "probing", "degraded", true
+			}
+		}
+	}
+	return h
+}
+
+// handleHealthz serves GET /healthz — liveness. Always 200 while the
+// process can serve requests, even degraded to memory-only; a restart
+// would not help, so the orchestrator must not kill the process. The
+// body carries the same detail as /readyz for operators.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, s.healthSnapshot())
+}
+
+// handleReadyz serves GET /readyz — readiness. 503 when the store is
+// configured but the breaker has quarantined it: the server is up and
+// answering from memory, but a load balancer preferring full-capacity
+// replicas should route around it until the disk recovers.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.healthSnapshot()
+	code := http.StatusOK
+	if h.Degraded {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
 }
 
 // recordLatency folds one served request into the sliding window.

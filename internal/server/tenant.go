@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
+	"moqo"
 	"moqo/internal/tenant"
 )
 
@@ -32,6 +34,11 @@ const (
 	CodeCanceled = "canceled"
 	// CodeInternal: an unexpected serving failure.
 	CodeInternal = "internal"
+	// CodeOverload: the server shed the request — the cold-DP queue is
+	// at its load-shedding bound, or the request's deadline budget was
+	// exhausted while it was still queued. Served as 503 + Retry-After;
+	// the request did no optimization work.
+	CodeOverload = "overload"
 )
 
 // resolveTenant canonicalizes the request's header identity: empty means
@@ -99,12 +106,58 @@ func (s *Server) gateRequest(ctx context.Context, ten string) (func(), error) {
 // Validation failures never reach this — they are rejected at build time.
 func classifyServeError(err error) string {
 	switch {
+	case errors.Is(err, tenant.ErrQueueFull):
+		return CodeOverload
+	case errors.Is(err, moqo.ErrInternalPanic):
+		return CodeInternal
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeTimeout
 	case errors.Is(err, context.Canceled):
 		return CodeCanceled
 	default:
 		return CodeInternal
+	}
+}
+
+// writeShedError renders a load-shed rejection: 503 + Retry-After with
+// code "overload". Used when the scheduler queue is at its bound
+// (ErrQueueFull) or a request's deadline budget died while it was
+// still queued.
+func (s *Server) writeShedError(w http.ResponseWriter, err error) {
+	s.errors.Add(1)
+	s.shedOverload.Add(1)
+	retry := time.Second
+	w.Header().Set("Retry-After", "1")
+	reason := "queue_full"
+	if errors.Is(err, context.DeadlineExceeded) {
+		reason = "budget_exhausted"
+	}
+	s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error:        err.Error(),
+		Code:         CodeOverload,
+		Reason:       reason,
+		RetryAfterMs: retry.Milliseconds(),
+	})
+}
+
+// writeServeError renders a post-admission serving failure with its
+// structured code: contained worker panics are a 500 that fails only
+// this request (the pool survives — see internal/core), shed
+// conditions a 503 + Retry-After, everything else a 400 with the
+// message.
+func (s *Server) writeServeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, moqo.ErrInternalPanic):
+		s.panics.Add(1)
+		s.errors.Add(1)
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+			Error: "internal: optimization aborted by a contained panic",
+			Code:  CodeInternal,
+		})
+	case errors.Is(err, tenant.ErrQueueFull), errors.Is(err, context.DeadlineExceeded):
+		s.writeShedError(w, err)
+	default:
+		s.writeError(w, http.StatusBadRequest, err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"moqo"
+	"moqo/internal/fault"
 )
 
 // OptimizeRequest is the JSON body of POST /optimize. The query comes
@@ -326,6 +327,14 @@ type RequestMetrics struct {
 	BatchMembers uint64 `json:"batch_members"`
 	Errors       uint64 `json:"errors"`
 	InFlight     int64  `json:"in_flight"`
+	// ShedOverload counts requests rejected with 503 at the
+	// load-shedding bound: the cold-DP queue was full, or the request's
+	// deadline budget died while it was still queued.
+	ShedOverload uint64 `json:"shed_overload"`
+	// Panics counts contained panics — worker-pool panics surfaced as a
+	// structured 500 and handler panics caught by the recovery
+	// middleware. The process survived every one of them.
+	Panics uint64 `json:"panics"`
 }
 
 // CacheMetrics snapshots the plan cache (all-zero when the cache is
@@ -386,6 +395,41 @@ type FrontierStoreMetrics struct {
 	// Compactions counts completed segment-log compactions.
 	Compactions uint64 `json:"compactions"`
 	Entries     int    `json:"entries"`
+	// IOErrors counts device-level I/O failures (failed writes, fsyncs,
+	// reads) observed by the store — distinct from CorruptDropped, which
+	// is data damage.
+	IOErrors uint64 `json:"io_errors"`
+	// Skipped counts store operations not attempted because the circuit
+	// breaker was open — serving degraded to memory-only for those.
+	Skipped uint64 `json:"skipped"`
+	// Breaker is the store circuit breaker's state (absent when the
+	// breaker is disabled): "closed" (healthy), "open" (disk quarantined,
+	// serving memory-only), or "half-open" (probing recovery).
+	Breaker *fault.BreakerStats `json:"breaker,omitempty"`
+}
+
+// HealthResponse is the JSON body of GET /healthz (liveness, always
+// 200 while the process serves) and GET /readyz (readiness, 503 when
+// Degraded). The two endpoints share a body so operators see the same
+// facts either way.
+type HealthResponse struct {
+	// Status is "ok", or "degraded" when the store breaker is open and
+	// the server is answering from memory only.
+	Status string `json:"status"`
+	// Degraded is true when persistence is configured but quarantined by
+	// the breaker: the server still answers, but warm-restart durability
+	// and demotion are suspended.
+	Degraded bool `json:"degraded"`
+	// Store reports the persistence tier: "disabled", "ok", "degraded"
+	// (breaker open), or "probing" (half-open).
+	Store string `json:"store"`
+	// Breaker mirrors the store breaker's stats (absent when disabled).
+	Breaker *fault.BreakerStats `json:"breaker,omitempty"`
+	// QueueDepth is the total cold-DP admission queue depth; Shed counts
+	// requests rejected at the load-shedding bound since start.
+	QueueDepth int    `json:"queue_depth"`
+	Shed       uint64 `json:"shed"`
+	InFlight   int64  `json:"in_flight"`
 }
 
 // LatencyMetrics summarizes served /optimize latencies over a sliding

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"syscall"
+	"testing"
+
+	"moqo/internal/fault"
+)
+
+// These tests extend the damage-layout matrix with faults injected at
+// the device rather than painted onto the file: ENOSPC on the Nth
+// write, short writes followed by a crash-shaped reopen, and transient
+// read errors that must not be mistaken for corruption.
+
+// openFaulty opens a store whose I/O runs through an injector.
+func openFaulty(t *testing.T, dir string, cfg fault.Config) (*Store, *fault.Injector) {
+	t.Helper()
+	in := fault.NewInjector(nil, cfg)
+	s, err := Open(Options{Dir: dir, NoSync: true, FS: in})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, in
+}
+
+func TestENOSPCFailsPutKeepsStoreUsable(t *testing.T) {
+	dir := t.TempDir()
+	// Write ops: #1 is the segment header, so #3 is the second Put.
+	s, _ := openFaulty(t, dir, fault.Config{FailWriteAt: 3})
+
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatalf("Put k1: %v", err)
+	}
+	err := s.Put("k2", []byte("v2"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put k2: want ENOSPC, got %v", err)
+	}
+	if !fault.IsInjected(err) {
+		t.Fatalf("Put k2 error not marked injected: %v", err)
+	}
+
+	// The failed Put must not poison the store: k1 still serves, the
+	// next append lands cleanly on the same tail, and the error was
+	// counted as an I/O error, not corruption.
+	if got, ok := s.Get("k1"); !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("Get k1 after failed Put = %q, %v", got, ok)
+	}
+	if _, ok := s.Get("k2"); ok {
+		t.Fatal("failed Put became visible")
+	}
+	if err := s.Put("k3", []byte("v3")); err != nil {
+		t.Fatalf("Put k3 after ENOSPC: %v", err)
+	}
+	st := s.Stats()
+	if st.IOErrors == 0 {
+		t.Errorf("IOErrors = 0; want the ENOSPC counted")
+	}
+	if st.CorruptDropped != 0 {
+		t.Errorf("CorruptDropped = %d; ENOSPC is not corruption", st.CorruptDropped)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen on the real FS: the surviving records replay cleanly.
+	s2 := openT(t, dir)
+	for k, v := range map[string]string{"k1": "v1", "k3": "v3"} {
+		if got, ok := s2.Get(k); !ok || !bytes.Equal(got, []byte(v)) {
+			t.Fatalf("Get(%s) after reopen = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	if _, ok := s2.Get("k2"); ok {
+		t.Fatal("failed Put resurrected by reopen")
+	}
+	if st := s2.Stats(); st.CorruptDropped != 0 {
+		t.Errorf("reopen after clean ENOSPC recovery dropped %d records", st.CorruptDropped)
+	}
+}
+
+func TestShortWriteTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	// The short write persists half the record; FailTruncate blocks the
+	// store's own tail cleanup, so the partial bytes stay on disk — the
+	// exact state a crash mid-write would leave.
+	s, _ := openFaulty(t, dir, fault.Config{ShortWriteAt: 3, FailTruncate: true})
+
+	if err := s.Put("k1", []byte("value-one")); err != nil {
+		t.Fatalf("Put k1: %v", err)
+	}
+	if err := s.Put("k2", []byte("value-two")); err == nil {
+		t.Fatal("short write reported success")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen on the real FS: replay must treat the half record as a
+	// torn tail — truncate it, keep k1, and leave a tail that accepts
+	// appends which survive a further reopen.
+	s2 := openT(t, dir)
+	if got, ok := s2.Get("k1"); !ok || !bytes.Equal(got, []byte("value-one")) {
+		t.Fatalf("Get k1 after torn-tail reopen = %q, %v", got, ok)
+	}
+	if _, ok := s2.Get("k2"); ok {
+		t.Fatal("half-written record served after reopen")
+	}
+	if st := s2.Stats(); st.CorruptDropped == 0 {
+		t.Error("torn tail not counted in CorruptDropped")
+	}
+	if err := s2.Put("k3", []byte("value-three")); err != nil {
+		t.Fatalf("Put after torn-tail truncation: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s3 := openT(t, dir)
+	for k, v := range map[string]string{"k1": "value-one", "k3": "value-three"} {
+		if got, ok := s3.Get(k); !ok || !bytes.Equal(got, []byte(v)) {
+			t.Fatalf("Get(%s) after second reopen = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestTransientReadErrorKeepsEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, in := openFaulty(t, dir, fault.Config{})
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// A dead disk makes reads fail at the device. That is a miss plus
+	// an error — not corruption: the index entry must survive so the
+	// record serves again once the disk recovers.
+	in.SetDead(true)
+	val, ok, err := s.GetE("k1")
+	if ok || err == nil {
+		t.Fatalf("GetE on dead disk = %q, %v, %v; want miss with error", val, ok, err)
+	}
+	if !fault.IsInjected(err) {
+		t.Fatalf("GetE error not injected: %v", err)
+	}
+	if st := s.Stats(); st.CorruptDropped != 0 {
+		t.Fatalf("transient read error counted as corruption (%d dropped)", st.CorruptDropped)
+	}
+
+	in.SetDead(false)
+	got, ok, err := s.GetE("k1")
+	if err != nil || !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("GetE after recovery = %q, %v, %v; want v1", got, ok, err)
+	}
+}
+
+func TestDeadDiskFailsPutNotServing(t *testing.T) {
+	dir := t.TempDir()
+	s, in := openFaulty(t, dir, fault.Config{})
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	in.SetDead(true)
+	if err := s.Put("k2", []byte("v2")); err == nil {
+		t.Fatal("Put on dead disk succeeded")
+	}
+	in.SetDead(false)
+	// The store itself recovers as soon as the device does.
+	if err := s.Put("k2", []byte("v2")); err != nil {
+		t.Fatalf("Put after revival: %v", err)
+	}
+	if got, ok := s.Get("k2"); !ok || !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("Get k2 = %q, %v", got, ok)
+	}
+}

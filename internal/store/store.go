@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"moqo/internal/fault"
 )
 
 const (
@@ -59,6 +61,10 @@ type Options struct {
 	// durability — a crash may lose the most recent writes, but recovery
 	// still detects and drops whatever was torn.
 	NoSync bool
+	// FS is the filesystem seam every I/O operation goes through.
+	// nil means the real OS; tests and chaos harnesses pass a
+	// fault.Injector.
+	FS fault.FS
 }
 
 // withDefaults fills in the documented defaults.
@@ -72,6 +78,9 @@ func (o Options) withDefaults() Options {
 	if o.CompactFraction == 0 {
 		o.CompactFraction = 0.5
 	}
+	if o.FS == nil {
+		o.FS = fault.OS()
+	}
 	return o
 }
 
@@ -83,6 +92,10 @@ type Stats struct {
 	Evictions      uint64 `json:"evictions"`
 	CorruptDropped uint64 `json:"corrupt_dropped"`
 	Compactions    uint64 `json:"compactions"`
+	// IOErrors counts operations that failed with a disk error
+	// (append, fsync, read) without implying corruption — the signal
+	// the serving tier's circuit breaker consumes.
+	IOErrors uint64 `json:"io_errors"`
 	// Bytes is the live record bytes (the budget gauge); DeadBytes the
 	// reclaimable remainder of the log.
 	Bytes     int64 `json:"bytes"`
@@ -95,7 +108,7 @@ type Stats struct {
 type segment struct {
 	seq  int64
 	path string
-	f    *os.File
+	f    fault.File
 	size int64 // append offset (== file size after recovery)
 }
 
@@ -124,7 +137,7 @@ type Store struct {
 
 	hits, misses, writes   uint64
 	evictions, corruptDrop uint64
-	compactions            uint64
+	compactions, ioErrors  uint64
 	compacting             bool
 	compactWG              sync.WaitGroup
 }
@@ -138,7 +151,7 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: no directory")
 	}
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
@@ -157,7 +170,7 @@ func Open(opts Options) (*Store, error) {
 // replays segments in sequence order, and opens (or creates) the active
 // segment for append.
 func (s *Store) recover() error {
-	names, err := os.ReadDir(s.opts.Dir)
+	names, err := s.opts.FS.ReadDir(s.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -168,7 +181,7 @@ func (s *Store) recover() error {
 			// A crash between writing and renaming a compaction output:
 			// the old segments are still authoritative, the temporary is
 			// an aborted artifact — drop it.
-			_ = os.Remove(filepath.Join(s.opts.Dir, name))
+			_ = s.opts.FS.Remove(filepath.Join(s.opts.Dir, name))
 			s.corruptDrop++
 			continue
 		}
@@ -200,12 +213,12 @@ func (s *Store) recover() error {
 // intact record, so appends after a crash continue from a clean tail.
 func (s *Store) replaySegment(seq int64) error {
 	path := filepath.Join(s.opts.Dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := s.opts.FS.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	seg := &segment{seq: seq, path: path, f: f}
-	data, err := os.ReadFile(path)
+	data, err := s.opts.FS.ReadFile(path)
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("store: %w", err)
@@ -254,7 +267,10 @@ func (s *Store) replaySegment(seq int64) error {
 			f.Close()
 			return fmt.Errorf("store: truncate torn tail: %w", err)
 		}
-		s.syncFile(f)
+		if err := s.syncFile(f); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	seg.size = good
 	s.segs = append(s.segs, seg)
@@ -341,19 +357,18 @@ func (s *Store) applyRecord(seg *segment, off, n int64, rec record) {
 }
 
 // resetSegment truncates a header-corrupt file back to an empty segment.
-func (s *Store) resetSegment(f *os.File) error {
+func (s *Store) resetSegment(f fault.File) error {
 	if err := f.Truncate(0); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := writeFileHeader(f); err != nil {
 		return err
 	}
-	s.syncFile(f)
-	return nil
+	return s.syncFile(f)
 }
 
 // writeFileHeader writes the magic + version header at offset 0.
-func writeFileHeader(f *os.File) error {
+func writeFileHeader(f fault.File) error {
 	var h [headerSize]byte
 	copy(h[:], fileMagic)
 	binary.LittleEndian.PutUint16(h[len(fileMagic):], fileVer)
@@ -371,16 +386,28 @@ func segName(seq int64) string {
 // newSegment creates and opens segment seq as the new active segment.
 func (s *Store) newSegment(seq int64) (*segment, error) {
 	path := filepath.Join(s.opts.Dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
+		s.ioErrors++
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if err := writeFileHeader(f); err != nil {
+	// On any failure past the create, remove the partial file so a
+	// retry after the disk recovers is not blocked by O_EXCL.
+	abort := func(err error) (*segment, error) {
 		f.Close()
+		_ = s.opts.FS.Remove(path)
 		return nil, err
 	}
-	s.syncFile(f)
-	s.syncDir()
+	if err := writeFileHeader(f); err != nil {
+		s.ioErrors++
+		return abort(err)
+	}
+	if err := s.syncFile(f); err != nil {
+		return abort(err)
+	}
+	if err := s.syncDir(); err != nil {
+		return abort(err)
+	}
 	seg := &segment{seq: seq, path: path, f: f, size: int64(headerSize)}
 	s.segs = append(s.segs, seg)
 	return seg, nil
@@ -413,9 +440,21 @@ func (s *Store) appendRecord(typ byte, key string, val []byte) (*segment, int64,
 	binary.LittleEndian.PutUint32(buf[n-recTailSize:], crc32.Checksum(body, castagnoli))
 	off := seg.size
 	if _, err := seg.f.WriteAt(buf, off); err != nil {
+		// A failed or short write may have persisted a prefix past the
+		// committed tail. seg.size does not advance, so a later append
+		// overwrites it — and recovery would truncate it as torn — but
+		// trimming it now (best-effort) keeps the on-disk tail clean.
+		s.ioErrors++
+		_ = seg.f.Truncate(off)
 		return nil, 0, 0, fmt.Errorf("store: append: %w", err)
 	}
-	s.syncFile(seg.f)
+	if err := s.syncFile(seg.f); err != nil {
+		// Not durable: report failure without advancing the tail, same
+		// as a failed write (the bytes may or may not have reached the
+		// platter; either way recovery handles them).
+		_ = seg.f.Truncate(off)
+		return nil, 0, 0, err
+	}
 	seg.size += n
 	return seg, off, n, nil
 }
@@ -458,28 +497,39 @@ func (s *Store) Put(key string, val []byte) error {
 // re-verified on every read: damage detected here (bit rot after open)
 // is dropped from the index and counted, never served.
 func (s *Store) Get(key string) ([]byte, bool) {
+	val, ok, _ := s.GetE(key)
+	return val, ok
+}
+
+// GetE is Get with the I/O error surfaced. A read that fails at the
+// device (err != nil) is a miss that keeps the index entry — the
+// record may be intact on a disk that is transiently failing, and the
+// error is the circuit breaker's signal — while a checksum failure is
+// genuine corruption and drops the entry as always.
+func (s *Store) GetE(key string) ([]byte, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ent, ok := s.index[key]
 	if !ok || s.closed {
 		s.misses++
-		return nil, false
+		return nil, false, nil
 	}
 	buf := make([]byte, ent.size)
 	if _, err := ent.seg.f.ReadAt(buf, ent.off); err != nil {
-		s.dropDamaged(key, ent)
-		return nil, false
+		s.ioErrors++
+		s.misses++
+		return nil, false, fmt.Errorf("store: read: %w", err)
 	}
 	rec, _, verdict := parseRecord(buf, 0)
 	if verdict != recOK || rec.typ != recPut || rec.key != key {
 		s.dropDamaged(key, ent)
-		return nil, false
+		return nil, false, nil
 	}
 	s.hits++
 	s.lru.MoveToFront(ent.el)
 	out := make([]byte, len(rec.val))
 	copy(out, rec.val)
-	return out, true
+	return out, true, nil
 }
 
 // dropDamaged removes a record that failed its read-time verification.
@@ -592,13 +642,15 @@ func (s *Store) Compact() error {
 func (s *Store) compactLocked() error {
 	nextSeq := s.active().seq + 1
 	tmpPath := filepath.Join(s.opts.Dir, segName(nextSeq)+tmpSuffix)
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.opts.FS.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
+		s.ioErrors++
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	cleanup := func() {
+		s.ioErrors++
 		tmp.Close()
-		os.Remove(tmpPath)
+		s.opts.FS.Remove(tmpPath)
 	}
 	if err := writeFileHeader(tmp); err != nil {
 		cleanup()
@@ -639,16 +691,23 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	newPath := filepath.Join(s.opts.Dir, segName(nextSeq))
-	if err := os.Rename(tmpPath, newPath); err != nil {
+	if err := s.opts.FS.Rename(tmpPath, newPath); err != nil {
 		cleanup()
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	s.syncDir()
+	if err := s.syncDir(); err != nil {
+		// The rename happened but its durability is unknown. Leave the
+		// old segments in place: replay resolves the duplicate keys
+		// newest-wins whichever state the crash exposes.
+		tmp.Close()
+		return err
+	}
 
 	// The rename is the commit point: swap the index over, then drop the
 	// superseded segments.
-	f, err := os.OpenFile(newPath, os.O_RDWR, 0o644)
+	f, err := s.opts.FS.OpenFile(newPath, os.O_RDWR, 0o644)
 	if err != nil {
+		s.ioErrors++
 		tmp.Close()
 		return fmt.Errorf("store: compact: %w", err)
 	}
@@ -662,7 +721,7 @@ func (s *Store) compactLocked() error {
 	}
 	for _, o := range old {
 		o.f.Close()
-		os.Remove(o.path)
+		s.opts.FS.Remove(o.path)
 	}
 	s.deadBytes = 0
 	s.compactions++
@@ -687,6 +746,7 @@ func (s *Store) Stats() Stats {
 		Evictions:      s.evictions,
 		CorruptDropped: s.corruptDrop,
 		Compactions:    s.compactions,
+		IOErrors:       s.ioErrors,
 		Bytes:          s.liveBytes,
 		DeadBytes:      s.deadBytes,
 		Entries:        len(s.index),
@@ -720,21 +780,30 @@ func (s *Store) closeSegments() {
 	}
 }
 
-// syncFile fsyncs one file unless NoSync.
-func (s *Store) syncFile(f *os.File) {
-	if !s.opts.NoSync {
-		_ = f.Sync()
+// syncFile fsyncs one file unless NoSync. An fsync failure is a disk
+// error the caller must surface — data that didn't reach the platter
+// is not durable, and swallowing it would hide a failing device from
+// the circuit breaker.
+func (s *Store) syncFile(f fault.File) error {
+	if s.opts.NoSync {
+		return nil
 	}
+	if err := f.Sync(); err != nil {
+		s.ioErrors++
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	return nil
 }
 
 // syncDir fsyncs the store directory (making creates and renames
 // durable) unless NoSync.
-func (s *Store) syncDir() {
+func (s *Store) syncDir() error {
 	if s.opts.NoSync {
-		return
+		return nil
 	}
-	if d, err := os.Open(s.opts.Dir); err == nil {
-		_ = d.Sync()
-		d.Close()
+	if err := s.opts.FS.SyncDir(s.opts.Dir); err != nil {
+		s.ioErrors++
+		return fmt.Errorf("store: fsync dir: %w", err)
 	}
+	return nil
 }

@@ -2,8 +2,16 @@ package tenant
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// ErrQueueFull rejects an Acquire when the scheduler's total queue
+// depth is at its load-shedding bound. The caller should shed the
+// request (HTTP 503 + Retry-After) rather than let an unbounded queue
+// grow a latency cliff — the bound complements the per-tenant token
+// buckets, which cap rate but not simultaneous backlog.
+var ErrQueueFull = errors.New("tenant: scheduler queue full")
 
 // Policy selects how the scheduler orders queued work.
 type Policy int
@@ -40,13 +48,15 @@ type schedQueue struct {
 // MaxConcurrent cap is skipped until it releases. It is safe for
 // concurrent use.
 type Scheduler struct {
-	mu      sync.Mutex
-	slots   int
-	running int
-	policy  Policy
-	queues  map[string]*schedQueue
-	queued  int
-	granted map[string]uint64
+	mu       sync.Mutex
+	slots    int
+	running  int
+	policy   Policy
+	queues   map[string]*schedQueue
+	queued   int
+	maxQueue int // total queued-waiter bound (0 = unbounded)
+	shed     uint64
+	granted  map[string]uint64
 }
 
 // NewScheduler builds a scheduler with the given concurrency (slots < 1
@@ -76,6 +86,11 @@ func (s *Scheduler) Acquire(ctx context.Context, tenant string, weight, maxConc 
 		weight = 1
 	}
 	s.mu.Lock()
+	if s.maxQueue > 0 && s.queued >= s.maxQueue {
+		s.shed++
+		s.mu.Unlock()
+		return ErrQueueFull
+	}
 	q := s.queueFor(tenant)
 	// Quotas hot-reload: the latest acquisition's view wins.
 	q.weight, q.maxConc = weight, maxConc
@@ -208,4 +223,30 @@ func (s *Scheduler) Running() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.running
+}
+
+// SetMaxQueue bounds the total number of queued waiters; an Acquire
+// past the bound fails immediately with ErrQueueFull. 0 removes the
+// bound. Safe to call at any time (hot reload).
+func (s *Scheduler) SetMaxQueue(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.maxQueue = n
+}
+
+// Queued returns the total number of queued waiters.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Shed returns how many acquisitions were rejected at the queue bound.
+func (s *Scheduler) Shed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
 }

@@ -258,3 +258,46 @@ func TestSchedulerAcquireCancel(t *testing.T) {
 	}
 	s.Release("c")
 }
+
+func TestSchedulerQueueBoundSheds(t *testing.T) {
+	s := NewScheduler(1, Fair)
+	s.SetMaxQueue(2)
+	// Fill the slot, then the two queue positions.
+	if err := s.Acquire(context.Background(), "a", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go s.Acquire(ctx, "b", 1, 0)
+	}
+	for deadline := time.Now().Add(5 * time.Second); s.Queued() != 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued (queued=%d)", s.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third waiter is shed immediately, without blocking.
+	if err := s.Acquire(context.Background(), "c", 1, 0); err != ErrQueueFull {
+		t.Fatalf("Acquire past the bound returned %v, want ErrQueueFull", err)
+	}
+	if s.Shed() != 1 {
+		t.Fatalf("Shed = %d, want 1", s.Shed())
+	}
+
+	// Draining the queue reopens admission; raising the bound to 0
+	// removes it.
+	cancel()
+	for deadline := time.Now().Add(5 * time.Second); s.Queued() != 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled waiters never left the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Release("a")
+	if err := s.Acquire(context.Background(), "c", 1, 0); err != nil {
+		t.Fatalf("Acquire after drain: %v", err)
+	}
+	s.Release("c")
+}

@@ -437,6 +437,13 @@ func (req Request) resolve() (objs objective.Set, w objective.Weights, b objecti
 	return objs, w, b, alg, alpha, nil
 }
 
+// ErrInternalPanic marks an optimization abandoned because a worker
+// panicked inside the dynamic program. The panic is contained — the
+// worker pool winds down cleanly and only the one request fails — and
+// the wrapped error text carries the panic value and stack. Matches
+// with errors.Is.
+var ErrInternalPanic = core.ErrEnginePanic
+
 // OptimizeContext solves one MOQO problem under a context. Cancelling the
 // context (a client disconnect, an explicit cancel) aborts the dynamic
 // program promptly — within about a thousand candidate plans — and returns
